@@ -1,0 +1,62 @@
+"""Ablation A4: S-XB position.  Deadlock safety is position-independent
+(E13); this bench measures the performance side: broadcast traffic loads
+the S-XB row, so its position shifts hotspot contention for background
+point-to-point traffic."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np  # noqa: E402
+
+from repro.core import SwitchLogic, make_config  # noqa: E402
+from repro.core.cdg import analyze_deadlock_freedom  # noqa: E402
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig  # noqa: E402
+from repro.topology import MDCrossbar  # noqa: E402
+from repro.traffic import BernoulliInjector, BroadcastInjector  # noqa: E402
+
+SHAPE = (4, 4)
+
+
+def run_with_sxb(row: int):
+    topo = MDCrossbar(SHAPE)
+    cfg = make_config(SHAPE, sxb_line=(row,))
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(SwitchLogic(topo, cfg)), SimConfig(stall_limit=3000)
+    )
+    p2p = BernoulliInjector(
+        load=0.15, seed=21, stop_at=600, measure_from=150, measure_until=600
+    )
+    sim.add_generator(p2p)
+    sim.add_generator(BroadcastInjector(rate=0.01, seed=22, stop_at=600))
+    res = sim.run(max_cycles=20_000, until_drained=False)
+    measured = p2p.measured_packets(res.delivered)
+    lat = float(np.mean([p.latency for p in measured]))
+    return lat, res
+
+
+def test_a04_sxb_position(benchmark, report):
+    def kernel():
+        return {row: run_with_sxb(row) for row in range(SHAPE[1])}
+
+    out = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    lines = [
+        "A4: S-XB position ablation -- p2p mean latency under 0.15 load "
+        "plus broadcast traffic (rate 0.01), 4x4",
+        "S-XB row   p2p mean latency (cycles)",
+    ]
+    for row, (lat, res) in out.items():
+        lines.append(f"{row:<10} {lat:.2f}" + ("  [DEADLOCK]" if res.deadlocked else ""))
+    spread = max(l for l, _ in out.values()) - min(l for l, _ in out.values())
+    lines.append(
+        f"position shifts mean latency by {spread:.2f} cycles; safety is "
+        "unaffected (verified below)"
+    )
+    report(*lines)
+    assert all(not res.deadlocked for _, res in out.values())
+    # safety is position-independent
+    topo = MDCrossbar(SHAPE)
+    for row in range(SHAPE[1]):
+        logic = SwitchLogic(topo, make_config(SHAPE, sxb_line=(row,)))
+        assert analyze_deadlock_freedom(topo, logic).deadlock_free

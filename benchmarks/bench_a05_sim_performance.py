@@ -1,0 +1,41 @@
+"""Ablation A5: simulator engine throughput (cycles/second) across network
+sizes and loads -- the practical budget for large traffic runs."""
+
+from repro.core import SwitchLogic, make_config
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.topology import MDCrossbar
+from repro.traffic import BernoulliInjector
+
+
+def run_cycles(shape, load, cycles):
+    topo = MDCrossbar(shape)
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(SwitchLogic(topo, make_config(shape))), SimConfig()
+    )
+    sim.add_generator(BernoulliInjector(load=load, seed=1, stop_at=cycles))
+    return sim.run(max_cycles=cycles, until_drained=False)
+
+
+def test_a05_engine_throughput_8x8(benchmark, report):
+    res = benchmark.pedantic(
+        run_cycles, args=((8, 8), 0.3, 1000), rounds=3, iterations=1
+    )
+    secs = benchmark.stats.stats.mean
+    report(
+        "A5: simulator engine throughput",
+        f"8x8 (64 PEs) at 0.3 load: {1000 / secs:,.0f} cycles/s "
+        f"({res.flit_moves / secs:,.0f} flit-moves/s)",
+    )
+    assert len(res.delivered) > 0
+
+
+def test_a05_engine_throughput_16x16(benchmark, report):
+    res = benchmark.pedantic(
+        run_cycles, args=((16, 16), 0.2, 400), rounds=2, iterations=1
+    )
+    secs = benchmark.stats.stats.mean
+    report(
+        "A5b: 16x16 (256 PEs) at 0.2 load: "
+        f"{400 / secs:,.0f} cycles/s ({res.flit_moves / secs:,.0f} flit-moves/s)",
+    )
+    assert len(res.delivered) > 0

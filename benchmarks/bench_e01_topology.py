@@ -1,0 +1,34 @@
+"""E1 (paper Fig. 2 + Section 3.1 structure): the multi-dimensional
+crossbar network -- inventory, degrees and construction cost."""
+
+from repro.analysis import verify_md_crossbar_distances
+from repro.topology import MDCrossbar
+
+
+def test_e01_topology_inventory(benchmark, report):
+    topo = benchmark(MDCrossbar, (4, 3))
+    xbs = [e for e in topo.elements() if e[0] == "XB"]
+    report(
+        "E1 / Fig. 2: 4x3 two-dimensional crossbar network",
+        topo.describe(),
+        f"X-dimension crossbars: {sum(1 for e in xbs if e[1] == 0)} (one per row)",
+        f"Y-dimension crossbars: {sum(1 for e in xbs if e[1] == 1)} (one per column)",
+        f"router ports: {topo.router_ports} ((d+1) x (d+1) relay switch)",
+        f"max crossbar hops between any two PEs: {topo.diameter_hops}",
+        f"distance claim (<= d hops, 1 hop on shared line): "
+        f"{verify_md_crossbar_distances((4, 3))}",
+    )
+    assert topo.num_nodes == 12
+
+
+def test_e01_topology_scales_to_sr2201(benchmark, report):
+    topo = benchmark(MDCrossbar, (16, 16, 8))
+    report(
+        "E1b: full-scale SR2201 network (16x16x8 = 2048 PEs)",
+        topo.describe(),
+        f"crossbar switches: {topo.crossbar_count()}",
+        f"router ports: {topo.router_ports}",
+        f"diameter: {topo.diameter_hops} crossbar hops",
+    )
+    assert topo.num_nodes == 2048
+    assert topo.diameter_hops == 3

@@ -1,0 +1,68 @@
+"""E5 (paper Figs. 7-8): the hardware detour path selection facility --
+route shape, RC trace and latency overhead around a faulty router."""
+
+from repro.core import Fault, Header, Packet, RC, SwitchLogic, Unicast, compute_route, make_config
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.topology import MDCrossbar
+from repro.viz import render_route
+
+SHAPE = (4, 3)
+FAULT = Fault.router((2, 0))
+
+
+def test_e05_fig8_route_shape(benchmark, report):
+    topo = MDCrossbar(SHAPE)
+    logic = SwitchLogic(topo, make_config(SHAPE, fault=FAULT))
+    tree = benchmark(compute_route, topo, logic, Unicast((0, 0), (2, 2)))
+    els = tree.elements_to((2, 2))
+    assert ("RTR", (2, 0)) not in els
+    report(
+        "E5 / Fig. 8: detour routing around faulty RTR(2,0)",
+        render_route(tree, (2, 2)),
+        f"RC trace: {[rc.name for rc in tree.rc_trace_to((2, 2))]}",
+        f"crossbar hops: {tree.xb_hops_to((2, 2))} (normal route: 2)",
+        f"D-XB: {logic.config.dxb_element} (= S-XB under the safe scheme)",
+    )
+
+
+def run_latency(fault):
+    topo = MDCrossbar(SHAPE)
+    logic = SwitchLogic(topo, make_config(SHAPE, fault=fault))
+    sim = NetworkSimulator(MDCrossbarAdapter(logic), SimConfig())
+    sim.send(Packet(Header(source=(0, 0), dest=(2, 2)), length=8))
+    res = sim.run()
+    return res.delivered[0].latency
+
+
+def test_e05_detour_latency_overhead(benchmark, report):
+    detour = benchmark(run_latency, FAULT)
+    normal = run_latency(None)
+    assert detour > normal
+    report(
+        "E5b: single-transfer latency overhead of the detour",
+        f"normal route latency : {normal} cycles",
+        f"detour route latency : {detour} cycles "
+        f"(+{100 * (detour - normal) / normal:.0f}%)",
+    )
+
+
+def test_e05_full_reachability_under_fault(benchmark, report):
+    topo = MDCrossbar(SHAPE)
+    logic = SwitchLogic(topo, make_config(SHAPE, fault=FAULT))
+
+    def kernel():
+        from repro.core.routes import route_all_unicasts
+
+        return route_all_unicasts(topo, logic)
+
+    trees = benchmark(kernel)
+    assert len(trees) == 11 * 10
+    detoured = sum(
+        1 for t in trees if any(rc is RC.DETOUR for rc in t.rc_on.values())
+    )
+    report(
+        "E5c: reachability census with one faulty router",
+        f"healthy pairs routed: {len(trees)} / {len(trees)}",
+        f"pairs needing the detour facility: {detoured}",
+        f"pairs using the normal route: {len(trees) - detoured}",
+    )

@@ -1,0 +1,40 @@
+"""E9 (paper Section 3.1, "short communication distances"): hop counts and
+diameters across topologies and machine sizes."""
+
+from repro.analysis import comparison_table, profile, verify_md_crossbar_distances
+from repro.topology import MDCrossbar
+
+
+def test_e09_distance_table(benchmark, report):
+    table = benchmark(comparison_table, 64)
+    lines = ["E9 / Section 3.1: topology comparison at 64 PEs"]
+    lines.extend(p.row() for p in table.values())
+    report(*lines)
+    md = table["md-crossbar"]
+    assert md.diameter_hops == 2
+    assert md.diameter_hops < table["mesh"].diameter_hops
+    assert md.diameter_hops < table["torus"].diameter_hops
+    assert md.diameter_hops < table["hypercube"].diameter_hops
+    assert md.avg_hops < table["torus"].avg_hops
+
+
+def test_e09_diameter_stays_d_with_scale(benchmark, report):
+    shapes = [(4, 4), (8, 8), (16, 16), (16, 16, 8)]
+
+    def kernel():
+        return [profile(MDCrossbar(s)) for s in shapes]
+
+    profiles = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    lines = ["E9b: MD crossbar diameter vs machine size (paper: <= d hops)"]
+    lines.extend(p.row() for p in profiles)
+    report(*lines)
+    assert [p.diameter_hops for p in profiles] == [2, 2, 2, 3]
+
+
+def test_e09_shared_line_one_hop(benchmark, report):
+    ok = benchmark(verify_md_crossbar_distances, (8, 8))
+    assert ok
+    report(
+        "E9c: 'any two PEs connected by the same crossbar switch can "
+        "communicate in only one hop' -- verified exhaustively on 8x8",
+    )

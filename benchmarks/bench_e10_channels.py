@@ -1,0 +1,43 @@
+"""E10 (paper Section 3.1, "wide communication channels"): router port
+counts and channel widths under a fixed pin budget, with the message-size
+crossover against the hypercube."""
+
+from repro.analysis import (
+    channel_budget_table,
+    crossover_message_size,
+    scaling_series,
+)
+
+
+def test_e10_channel_width_table(benchmark, report):
+    table = benchmark(channel_budget_table, 1024, 64, 2)
+    lines = [
+        "E10 / Section 3.1: channel width under a 64-unit router pin "
+        "budget, 1024 PEs"
+    ]
+    lines.extend(cb.row(message_bytes=4096) for cb in table.values())
+    md, hc, mesh = table["md-crossbar"], table["hypercube"], table["mesh"]
+    cross = crossover_message_size(md, hc)
+    lines.append(
+        f"MD crossbar at least matches the hypercube from {cross} B messages"
+    )
+    report(*lines)
+    assert md.ports < hc.ports
+    assert md.width_bytes >= mesh.width_bytes
+    assert md.zero_load_cycles(4096) < hc.zero_load_cycles(4096)
+    assert cross != -1
+
+
+def test_e10_scaling_series(benchmark, report):
+    series = benchmark(scaling_series, 64, 2, (16, 64, 256, 1024), 4096)
+    lines = ["E10b: zero-load 4 KiB transfer latency (cycles) vs machine size"]
+    header = "n      " + "".join(f"{t:>14}" for t in series[0][1])
+    lines.append(header)
+    for n, row in series:
+        lines.append(f"{n:<7}" + "".join(f"{v:14.0f}" for v in row.values()))
+    report(*lines)
+    # the MD crossbar's latency is flat in n; the mesh's grows
+    md = [row["md-crossbar"] for _, row in series]
+    mesh = [row["mesh"] for _, row in series]
+    assert md[0] == md[-1]
+    assert mesh[-1] > mesh[0]

@@ -1,0 +1,79 @@
+"""E12 (paper Sections 2 and 5): the serialization cost of the broadcast
+facility -- completion time versus number of simultaneous broadcasts."""
+
+from repro.core import Header, Packet, RC, SwitchLogic, make_config
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.topology import MDCrossbar
+
+SHAPE = (4, 3)
+LENGTH = 8
+
+
+def run_storm(k: int) -> int:
+    topo = MDCrossbar(SHAPE)
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(SwitchLogic(topo, make_config(SHAPE))),
+        SimConfig(stall_limit=500),
+    )
+    coords = list(topo.node_coords())
+    for i in range(k):
+        src = coords[(i * 5) % len(coords)]
+        sim.send(
+            Packet(Header(source=src, dest=src, rc=RC.BROADCAST_REQUEST), length=LENGTH)
+        )
+    res = sim.run(max_cycles=100_000)
+    assert not res.deadlocked and len(res.delivered) == k
+    return res.cycles
+
+
+def test_e12_broadcast_serialization_cost(benchmark, report):
+    ks = [1, 2, 4, 8]
+
+    def kernel():
+        return {k: run_storm(k) for k in ks}
+
+    times = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    lines = [
+        "E12 / Sections 2, 5: completion time of k simultaneous broadcasts "
+        f"({LENGTH}-flit packets, {SHAPE[0]}x{SHAPE[1]})",
+        "k   cycles   cycles/broadcast",
+    ]
+    for k, t in times.items():
+        lines.append(f"{k:<3} {t:<8} {t / k:.1f}")
+    report(*lines)
+    # serialization: completion grows ~linearly, each extra broadcast adds
+    # at least a spread's worth of cycles
+    assert times[2] > times[1]
+    assert times[8] > times[4] > times[2]
+    per = times[8] / 8
+    assert per > 0.5 * times[1]
+
+
+def test_e12_broadcast_vs_p2p_background(benchmark, report):
+    """A broadcast under p2p background: the S-XB drain-then-serve keeps it
+    from starving."""
+    from repro.traffic import BernoulliInjector
+
+    def run():
+        topo = MDCrossbar(SHAPE)
+        sim = NetworkSimulator(
+            MDCrossbarAdapter(SwitchLogic(topo, make_config(SHAPE))),
+            SimConfig(stall_limit=2000),
+        )
+        sim.add_generator(BernoulliInjector(load=0.2, seed=9, stop_at=500))
+        bc = Packet(
+            Header(source=(3, 2), dest=(3, 2), rc=RC.BROADCAST_REQUEST), length=8
+        )
+        sim.send(bc, at_cycle=100)
+        res = sim.run(max_cycles=20_000, until_drained=False)
+        return bc, res
+
+    bc, res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not res.deadlocked
+    assert bc.delivered_at is not None
+    report(
+        "E12b: broadcast under 0.2-load p2p background",
+        f"broadcast latency: {bc.latency} cycles "
+        f"(idle-network broadcast: ~{run_storm(1)} cycles)",
+        f"background packets delivered: {len(res.delivered) - 1}",
+    )

@@ -1,0 +1,70 @@
+"""E15 (paper Sections 1-2, Fig. 1): the SR2201 machine model -- standard
+configurations, 300 MB/s links, analytic vs simulated transfer times."""
+
+from repro.machine import SR2201, STANDARD_CONFIGS, units
+
+
+def test_e15_configurations(benchmark, report):
+    def kernel():
+        return {name: SR2201.named(name) for name in STANDARD_CONFIGS}
+
+    machines = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    lines = ["E15 / Sections 1-2: SR2201 standard configurations"]
+    for name, m in machines.items():
+        lines.append(
+            f"{name:<14} shape={str(m.shape):<14} "
+            f"peak={m.peak_mflops / 1000:7.1f} GFLOPS "
+            f"crossbars={m.topo.crossbar_count():<4} "
+            f"router_ports={m.topo.router_ports}"
+        )
+    report(*lines)
+    assert machines["SR2201/2048"].num_pes == 2048
+    assert machines["SR2201/2048"].topo.router_ports == 4
+
+
+def test_e15_transfer_model(benchmark, report):
+    m = SR2201((4, 3))
+    sizes = [64, 256, 1024, 4096]
+
+    def kernel():
+        rows = []
+        for nbytes in sizes:
+            analytic = m.transfer_cycles((0, 0), (3, 2), nbytes)
+            res = m.simulate_transfer((0, 0), (3, 2), nbytes)
+            # whole-message completion (the NIA segments long messages)
+            done = max(p.delivered_at for p in res.delivered)
+            start = min(p.injected_at for p in res.delivered)
+            rows.append((nbytes, analytic, done - start))
+        return rows
+
+    rows = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    lines = [
+        "E15b: corner-to-corner transfer, analytic vs flit-simulated",
+        "bytes    analytic(cyc)  simulated(cyc)  time(us)   eff-BW(MB/s)",
+    ]
+    for nbytes, analytic, sim in rows:
+        lines.append(
+            f"{nbytes:<8} {analytic:<14} {sim:<15} "
+            f"{units.cycles_to_us(sim):<10.2f} "
+            f"{m.effective_bandwidth_mb_s((0, 0), (3, 2), nbytes):.0f}"
+        )
+    report(*lines)
+    for nbytes, analytic, sim in rows:
+        assert abs(sim - analytic) <= max(6, 0.25 * analytic)
+    # large transfers approach the 300 MB/s link bandwidth
+    assert m.effective_bandwidth_mb_s((0, 0), (3, 2), 1 << 20) > 290
+
+
+def test_e15_broadcast_on_machine(benchmark, report):
+    m = SR2201((4, 3))
+
+    def kernel():
+        return m.simulate_broadcast((1, 2), 512)
+
+    res = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert len(res.delivered) == 1
+    report(
+        "E15c: 512-byte hardware broadcast on a 12-PE machine",
+        f"completion: {res.delivered[0].latency} cycles "
+        f"({units.cycles_to_us(res.delivered[0].latency):.2f} us)",
+    )

@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_eNN_*`` file regenerates one of the paper's figures or
+claims (the experiment index lives in DESIGN.md / EXPERIMENTS.md) and
+times its kernel with pytest-benchmark.  The reproduced rows are printed
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see them live) and
+also appended to ``benchmarks/results.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).with_name("results.txt")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS.write_text("")
+    yield
+
+
+@pytest.fixture()
+def report():
+    """Print + persist the reproduced experiment rows."""
+
+    def _report(title: str, *lines: str) -> None:
+        text = f"\n=== {title} ===\n" + "\n".join(lines) + "\n"
+        print(text)
+        with RESULTS.open("a") as fh:
+            fh.write(text)
+
+    return _report

@@ -1,0 +1,8 @@
+"""Back-compat shim: the sweep machinery lives in repro.experiments."""
+
+from repro.experiments.sweeps import (  # noqa: F401
+    build_network,
+    run_load_point,
+    saturation_load,
+    sweep,
+)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Application kernels and collectives on the SR2201 network: the
+large-scale numerical workloads the paper's introduction motivates, plus
+the hardware-vs-software broadcast comparison of Section 3.2.
+
+Run:  python examples/application_kernels.py
+"""
+
+from repro import MDCrossbar, make_config
+from repro.collectives import BinomialBroadcast, DisseminationBarrier, LinearBroadcast
+from repro.core import Header, Packet, RC, SwitchLogic
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.traffic import compare_topologies
+
+SHAPE = (4, 4)
+
+
+def make_sim():
+    topo = MDCrossbar(SHAPE)
+    return NetworkSimulator(
+        MDCrossbarAdapter(SwitchLogic(topo, make_config(SHAPE))),
+        SimConfig(stall_limit=5000),
+    )
+
+
+def run_collective(cls, **kw):
+    sim = make_sim()
+    if cls is DisseminationBarrier:
+        col = cls(sim, **kw)
+    else:
+        col = cls(sim, (0, 0), packet_length=8, **kw)
+    while not col.result.done and sim.cycle < 100_000:
+        sim.step()
+    return col.result
+
+
+def main() -> None:
+    print(f"=== application kernels on {SHAPE[0]}x{SHAPE[1]} (8-flit packets) ===")
+    for kernel in ("stencil", "fft", "alltoall", "sweep"):
+        print(f"-- {kernel}")
+        for kind, res in compare_topologies(kernel, SHAPE).items():
+            print(f"   {kind:<12} {res.row()}")
+
+    print("\n=== broadcast: the hardware facility vs software trees ===")
+    sim = make_sim()
+    pkt = Packet(Header(source=(0, 0), dest=(0, 0), rc=RC.BROADCAST_REQUEST), length=8)
+    sim.send(pkt)
+    sim.run()
+    print(f"hardware S-XB broadcast : {pkt.latency} cycles, 1 injection")
+    bino = run_collective(BinomialBroadcast)
+    print(
+        f"software binomial tree  : {bino.duration} cycles, "
+        f"{bino.messages_sent} messages"
+    )
+    lin = run_collective(LinearBroadcast)
+    print(
+        f"software linear sends   : {lin.duration} cycles, "
+        f"{lin.messages_sent} messages"
+    )
+
+    print("\n=== a software barrier (no hardware barrier on the SR2201) ===")
+    bar = run_collective(DisseminationBarrier)
+    print(
+        f"dissemination barrier over {SHAPE[0] * SHAPE[1]} PEs: "
+        f"{bar.duration} cycles, {bar.messages_sent} messages, "
+        f"{max(1, (SHAPE[0] * SHAPE[1] - 1).bit_length())} rounds"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Replay of the paper's Figs. 5 and 6: why naive hardware broadcast
+deadlocks under cut-through routing, and how the serialized crossbar
+(S-XB) fixes it.
+
+Run:  python examples/broadcast_deadlock_demo.py
+"""
+
+from repro import MDCrossbar, make_config
+from repro.core import Header, Packet, RC, SwitchLogic
+from repro.core.config import BroadcastMode
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.viz import render_grid
+
+SHAPE = (4, 3)
+SOURCES = [(2, 1), (3, 2)]
+
+
+def run(mode: BroadcastMode):
+    topo = MDCrossbar(SHAPE)
+    cfg = make_config(SHAPE, broadcast_mode=mode)
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(SwitchLogic(topo, cfg)), SimConfig(stall_limit=200)
+    )
+    rc = RC.BROADCAST if mode is BroadcastMode.NAIVE else RC.BROADCAST_REQUEST
+    for src in SOURCES:
+        sim.send(Packet(Header(source=src, dest=src, rc=rc), length=6))
+    return cfg, sim.run(max_cycles=5000)
+
+
+def main() -> None:
+    topo = MDCrossbar(SHAPE)
+    print("Two PEs start hardware broadcasts at the same time:")
+    print(render_grid(topo, highlight_pes=SOURCES))
+    print()
+
+    print("--- Fig. 5: naive dimension-order broadcast (X then Y) ---")
+    _, res = run(BroadcastMode.NAIVE)
+    print(f"result: deadlocked = {res.deadlocked}")
+    if res.deadlock is not None:
+        print(res.deadlock.describe())
+    print(
+        "each broadcast grabbed some Y-dimension crossbars and is waiting\n"
+        "for ports the other one holds: cyclic waiting, exactly as the\n"
+        "paper's Fig. 5 describes.\n"
+    )
+
+    print("--- Fig. 6: the SR2201's serialized broadcast (Y-X-Y via S-XB) ---")
+    cfg, res = run(BroadcastMode.SERIALIZED)
+    print(f"S-XB: {cfg.sxb_element}")
+    print(f"result: deadlocked = {res.deadlocked}")
+    for p in sorted(res.delivered, key=lambda p: p.delivered_at):
+        print(
+            f"  broadcast from PE{p.source}: completed at cycle "
+            f"{p.delivered_at} (latency {p.latency})"
+        )
+    print(
+        "broadcast requests travel point-to-point to the S-XB, which\n"
+        "forwards them to all its ports one at a time -- the second\n"
+        "broadcast simply waits its turn, so no cyclic waiting can form."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The paper's future work, explored: how many faults can the facility
+carry, and what that does to machine reliability.
+
+Run:  python examples/multifault_reliability.py
+"""
+
+from repro import Fault, MDCrossbar
+from repro.analysis import mttf_comparison
+from repro.core.multifault import analyze_fault_set, fault_pair_census
+
+SHAPE = (4, 3)
+
+
+def main() -> None:
+    topo = MDCrossbar(SHAPE)
+
+    print("=== concrete fault sets on the 4x3 network ===")
+    cases = [
+        (Fault.router((1, 0)),),
+        (Fault.router((1, 0)), Fault.router((3, 2))),
+        (Fault.router((0, 0)), Fault.router((1, 0)), Fault.router((2, 0))),
+        (Fault.crossbar(0, (0,)), Fault.crossbar(0, (2,))),
+        (Fault.crossbar(0, (0,)), Fault.crossbar(1, (1,))),
+    ]
+    for faults in cases:
+        print(" ", analyze_fault_set(topo, faults).row())
+
+    print("\n=== exhaustive two-fault census ===")
+    summary = fault_pair_census(SHAPE, check_deadlock=True)
+    for line in summary.rows():
+        print(" ", line)
+    print(
+        "  every *feasible* pair is fully tolerated; the losses are fault\n"
+        "  pairs hitting crossbars of two different dimensions (rule R1)."
+    )
+
+    print("\n=== what that buys in MTTF ===")
+    cmp = mttf_comparison(SHAPE, samples=200)
+    for line in cmp.rows():
+        print(" ", line)
+    print(
+        "\nThe paper's single-fault facility already doubles the network's\n"
+        "mean time to operational failure; generalizing its rules (same\n"
+        "hardware mechanisms, more fault bits) multiplies it further --\n"
+        "the direction Section 6 announces as future research."
+    )
+
+
+if __name__ == "__main__":
+    main()

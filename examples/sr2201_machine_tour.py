@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""A tour of the SR2201 machine model: the shipped configurations, transfer
+time estimates at 300 MB/s, hardware broadcast, and running the machine
+with a fault.
+
+Run:  python examples/sr2201_machine_tour.py
+"""
+
+from repro import Fault
+from repro.machine import SR2201, STANDARD_CONFIGS, units
+
+
+def main() -> None:
+    print("=== SR2201 configurations (paper Sections 1-2) ===")
+    for name in STANDARD_CONFIGS:
+        m = SR2201.named(name)
+        print(
+            f"{name:<14} {str(m.shape):<14} "
+            f"{m.peak_mflops / 1000:7.1f} GFLOPS  "
+            f"{m.topo.crossbar_count():4d} crossbars  "
+            f"diameter {m.topo.diameter_hops} hops"
+        )
+
+    print("\n=== the flagship: 2048 PEs ===")
+    big = SR2201.named("SR2201/2048")
+    print(big.describe())
+    for nbytes in (256, 4096, 65536, 1 << 20):
+        us = big.transfer_time_us((0, 0, 0), (15, 15, 7), nbytes)
+        bw = big.effective_bandwidth_mb_s((0, 0, 0), (15, 15, 7), nbytes)
+        print(
+            f"  corner-to-corner {nbytes:>8} B: {us:9.2f} us "
+            f"({bw:5.1f} MB/s effective)"
+        )
+
+    print("\n=== flit-level simulation on a 12-PE machine ===")
+    small = SR2201((4, 3))
+    res = small.simulate_transfer((0, 0), (3, 2), 1024)
+    lat = res.delivered[0].latency
+    print(
+        f"1 KiB transfer: {lat} cycles = {units.cycles_to_us(lat):.2f} us "
+        f"(analytic model: {small.transfer_cycles((0, 0), (3, 2), 1024)} cycles)"
+    )
+    res = small.simulate_broadcast((1, 2), 1024)
+    lat = res.delivered[0].latency
+    print(f"1 KiB broadcast to all 12 PEs: {lat} cycles = {units.cycles_to_us(lat):.2f} us")
+
+    print("\n=== the same machine with a faulty router ===")
+    faulted = SR2201((4, 3), fault=Fault.router((2, 0)))
+    print(faulted.describe())
+    res = faulted.simulate_transfer((0, 0), (2, 2), 1024)
+    lat = res.delivered[0].latency
+    print(
+        f"1 KiB transfer through the detour: {lat} cycles = "
+        f"{units.cycles_to_us(lat):.2f} us (the machine keeps operating)"
+    )
+
+
+if __name__ == "__main__":
+    main()

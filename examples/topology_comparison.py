@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The paper's Section 3.1 argument as a runnable comparison: distances,
+channel widths, conflicts and simulated latency-under-load for the MD
+crossbar against mesh, torus and hypercube.
+
+Run:  python examples/topology_comparison.py          (quick)
+      python examples/topology_comparison.py --full   (adds the 8x8 sweep)
+"""
+
+import sys
+
+from repro.analysis import (
+    channel_budget_table,
+    check_all_embeddings,
+    comparison_table,
+    crossover_message_size,
+    permutation_conflict_comparison,
+    summarize_conflicts,
+)
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+
+    print("=== structure at 64 PEs (paper: short distances, few ports) ===")
+    for p in comparison_table(64).values():
+        print(p.row())
+
+    print("\n=== channel width under a 64-unit pin budget, 1024 PEs ===")
+    table = channel_budget_table(1024)
+    for cb in table.values():
+        print(cb.row(message_bytes=4096))
+    cross = crossover_message_size(table["md-crossbar"], table["hypercube"])
+    print(f"MD crossbar matches the hypercube from {cross}-byte messages up")
+
+    print("\n=== conflicts under random permutations, 8x8 ===")
+    results = permutation_conflict_comparison((8, 8), samples=10, seed=7)
+    for name, s in summarize_conflicts(results).items():
+        print(
+            f"{name:<14} mean conflicted channels "
+            f"{s['mean_conflicted_channels']:6.1f}   "
+            f"mean max channel load {s['mean_max_load']:.1f}"
+        )
+
+    print("\n=== conflict-free guest-topology programs on the MD crossbar ===")
+    for r in check_all_embeddings((8, 8)).values():
+        print(r.row())
+
+    if full:
+        sys.path.insert(0, "benchmarks")
+        from sweep_utils import sweep
+
+        print("\n=== simulated latency vs offered load, uniform, 8x8 ===")
+        for kind in ("md-crossbar", "mesh", "torus"):
+            print(f"-- {kind}")
+            for p in sweep(kind, (8, 8), [0.1, 0.2, 0.3, 0.4],
+                           warmup=150, window=300, drain=3000):
+                print("  ", p.row())
+    else:
+        print("\n(run with --full for the simulated latency-vs-load sweep)")
+
+
+if __name__ == "__main__":
+    main()

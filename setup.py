@@ -1,0 +1,5 @@
+"""Legacy shim so editable installs work in offline environments that lack
+the `wheel` package (PEP 660 builds need it; `setup.py develop` does not)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro: reproduction of the Hitachi SR2201 deadlock-free fault-tolerant
+routing paper (Yasuda et al., IPPS 1997).
+
+The package rebuilds the paper's full system in Python:
+
+* :mod:`repro.topology` -- the multi-dimensional crossbar network and the
+  mesh / torus / hypercube / crossbar comparison topologies;
+* :mod:`repro.core` -- packets with RC bits, dimension-order routing, the
+  serialized-broadcast facility, the hardware detour facility, and the
+  channel-dependency-graph deadlock analysis;
+* :mod:`repro.sim` -- a cycle-driven flit-level cut-through simulator with a
+  runtime deadlock detector;
+* :mod:`repro.traffic` -- workload generators;
+* :mod:`repro.machine` -- the SR2201 machine model (up to 2048 PEs);
+* :mod:`repro.analysis` -- analytic network comparisons (Section 3.1).
+
+Quickstart::
+
+    from repro import MDCrossbar, make_config, Fault
+    from repro.core import SwitchLogic, Unicast, compute_route
+
+    topo = MDCrossbar((4, 3))
+    cfg = make_config(topo.shape, fault=Fault.router((2, 0)))
+    logic = SwitchLogic(topo, cfg)
+    route = compute_route(topo, logic, Unicast((0, 0), (2, 2)))
+    print(route.elements_to((2, 2)))
+"""
+
+from .core import (
+    RC,
+    Broadcast,
+    BroadcastMode,
+    DetourScheme,
+    Fault,
+    FaultRegistry,
+    Header,
+    Packet,
+    RoutingConfig,
+    SwitchLogic,
+    Unicast,
+    analyze_deadlock_freedom,
+    compute_route,
+    make_config,
+)
+from .topology import FullCrossbar, Hypercube, MDCrossbar, Mesh, Torus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RC",
+    "Broadcast",
+    "BroadcastMode",
+    "DetourScheme",
+    "Fault",
+    "FaultRegistry",
+    "FullCrossbar",
+    "Header",
+    "Hypercube",
+    "MDCrossbar",
+    "Mesh",
+    "Packet",
+    "RoutingConfig",
+    "SwitchLogic",
+    "Torus",
+    "Unicast",
+    "analyze_deadlock_freedom",
+    "compute_route",
+    "make_config",
+    "__version__",
+]

@@ -1,0 +1,133 @@
+"""Pin-budget channel-width model (paper Section 3.1, "wide communication
+channels").
+
+The paper's argument: a router chip has a fixed pin budget, roughly
+``ports x physical channel width``.  The MD crossbar router needs only
+``d + 1`` ports, so its channels can be as wide as a mesh's, whereas a
+hypercube router needs ``log2(n) + 1`` ports, which squeezes the channel
+width and slows large transfers.  This module quantifies that trade-off
+with a zero-load latency model:
+
+    T(L) = H * t_r + ceil(L / W) cycles
+
+for message length ``L`` bytes, hop count ``H``, per-hop latency ``t_r``
+and channel width ``W`` bytes/cycle, with ``W = pin_budget / ports`` under
+the fixed pin budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..machine.sr2201 import ROUTER_CYCLES_PER_HOP
+
+
+@dataclass
+class ChannelBudget:
+    """Channel width a topology affords under a router pin budget."""
+
+    name: str
+    ports: int
+    width_bytes: float
+    diameter_hops: int
+
+    def zero_load_cycles(self, message_bytes: int) -> float:
+        """Pipeline latency of a diameter-length transfer of ``message_bytes``."""
+        serialization = math.ceil(message_bytes / self.width_bytes)
+        return self.diameter_hops * ROUTER_CYCLES_PER_HOP + serialization
+
+    def row(self, message_bytes: int = 1024) -> str:
+        return (
+            f"{self.name:<12} ports={self.ports:<3} width={self.width_bytes:6.1f}B "
+            f"diameter={self.diameter_hops:<3} "
+            f"T({message_bytes}B)={self.zero_load_cycles(message_bytes):8.0f} cyc"
+        )
+
+
+def router_ports(topology: str, n: int, dims: int = 2) -> int:
+    """Port count of one router in each topology family at ``n`` nodes."""
+    if topology == "md-crossbar":
+        return dims + 1
+    if topology == "mesh" or topology == "torus":
+        return 2 * dims + 1
+    if topology == "hypercube":
+        return int(math.log2(n)) + 1
+    if topology == "crossbar":
+        return 2  # PE port + the single n x n crossbar port
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def diameter_hops(topology: str, n: int, dims: int = 2) -> int:
+    side = round(n ** (1.0 / dims))
+    if topology == "md-crossbar":
+        return dims
+    if topology == "mesh":
+        return dims * (side - 1)
+    if topology == "torus":
+        return dims * (side // 2)
+    if topology == "hypercube":
+        return int(math.log2(n))
+    if topology == "crossbar":
+        return 1
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def channel_budget_table(
+    n: int,
+    pin_budget: int = 64,
+    dims: int = 2,
+    topologies: Tuple[str, ...] = ("md-crossbar", "mesh", "torus", "hypercube"),
+) -> Dict[str, ChannelBudget]:
+    """The Section 3.1 channel-width comparison at ``n`` nodes.
+
+    ``pin_budget`` is the router's total pin count in channel-byte units;
+    each topology divides it across its ports.
+    """
+    if n < 4 or n & (n - 1):
+        raise ValueError("n must be a power of two >= 4")
+    out: Dict[str, ChannelBudget] = {}
+    for t in topologies:
+        ports = router_ports(t, n, dims)
+        out[t] = ChannelBudget(
+            name=t,
+            ports=ports,
+            width_bytes=pin_budget / ports,
+            diameter_hops=diameter_hops(t, n, dims),
+        )
+    return out
+
+
+def crossover_message_size(
+    a: ChannelBudget, b: ChannelBudget, max_bytes: int = 1 << 22
+) -> int:
+    """Smallest message size at which ``a`` becomes at least as fast as
+    ``b`` (or -1 if never within ``max_bytes``).
+
+    With its wider channels the MD crossbar overtakes the hypercube once
+    serialization dominates the extra... fewer hops of the hypercube --
+    the paper's motivation for low-dimension networks.
+    """
+    size = 1
+    while size <= max_bytes:
+        if a.zero_load_cycles(size) <= b.zero_load_cycles(size):
+            return size
+        size *= 2
+    return -1
+
+
+def scaling_series(
+    pin_budget: int = 64,
+    dims: int = 2,
+    sizes: Tuple[int, ...] = (16, 64, 256, 1024),
+    message_bytes: int = 4096,
+) -> List[Tuple[int, Dict[str, float]]]:
+    """Zero-load latency of each topology across machine sizes."""
+    series = []
+    for n in sizes:
+        table = channel_budget_table(n, pin_budget, dims)
+        series.append(
+            (n, {t: cb.zero_load_cycles(message_bytes) for t, cb in table.items()})
+        )
+    return series

@@ -1,0 +1,152 @@
+"""System reliability model (paper Sections 1 and 4: "to maintain high
+reliability while the system is operational it is very important to avoid
+any faults in the network").
+
+Switch lifetimes are modelled as independent exponentials with rate
+``rate`` per switch; the machine runs until its accumulated fault set stops
+being *operable*:
+
+* **no facility** -- the first network-switch failure stops hardware
+  routing (the IBM SP2 situation the paper cites: one faulty switch forces
+  software-controlled transmission);
+* **paper facility** -- the machine survives any single fault and stops at
+  the second;
+* **extended facility** -- the multi-fault generalization
+  (:mod:`repro.core.multifault`) keeps going while a valid configuration
+  exists (rules R1/R2 satisfiable), checked fault by fault.
+
+:func:`mttf_comparison` returns analytic values for the first two and a
+Monte-Carlo estimate for the third, as mean time to (operational) failure
+in units of ``1/rate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import ConfigError, make_config
+from ..core.multifault import all_single_faults
+from ..topology.mdcrossbar import MDCrossbar
+
+
+def mttf_no_facility(num_switches: int, rate: float = 1.0) -> float:
+    """Expected time of the first failure among ``num_switches`` switches."""
+    return 1.0 / (num_switches * rate)
+
+
+def mttf_single_fault_facility(num_switches: int, rate: float = 1.0) -> float:
+    """Expected time of the second failure: the paper's facility keeps the
+    machine operational through the first."""
+    return 1.0 / (num_switches * rate) + 1.0 / ((num_switches - 1) * rate)
+
+
+@dataclass
+class MTTFEstimate:
+    mean: float
+    std_error: float
+    mean_faults_survived: float
+    samples: int
+
+    def row(self) -> str:
+        return (
+            f"MTTF {self.mean:.4f} +/- {self.std_error:.4f} (1/rate units), "
+            f"survives {self.mean_faults_survived:.2f} faults on average"
+        )
+
+
+def simulate_extended_facility(
+    shape,
+    rate: float = 1.0,
+    samples: int = 200,
+    seed: int = 13,
+    max_faults: Optional[int] = None,
+) -> MTTFEstimate:
+    """Monte-Carlo MTTF of the multi-fault extension.
+
+    Each sample draws a random failure order over all switches with
+    exponential inter-arrival times; the machine dies when the accumulated
+    fault set admits no valid routing configuration (or when a PE with
+    pending faults... any infeasible set).  Returns time units of 1/rate.
+    """
+    rng = np.random.default_rng(seed)
+    singles = all_single_faults(shape)
+    n = len(singles)
+    cap = max_faults if max_faults is not None else n
+    times: List[float] = []
+    survived: List[int] = []
+    feasibility_cache: Dict[Tuple[int, ...], bool] = {}
+
+    for _ in range(samples):
+        order = rng.permutation(n)
+        t = 0.0
+        alive = n
+        faults: List[int] = []
+        death: Optional[float] = None
+        for step, idx in enumerate(order):
+            # exponential waiting time for the next failure among the
+            # remaining healthy switches
+            t += float(rng.exponential(1.0 / (alive * rate)))
+            alive -= 1
+            faults.append(int(idx))
+            key = tuple(sorted(faults))
+            feasible = feasibility_cache.get(key)
+            if feasible is None:
+                try:
+                    make_config(shape, faults=tuple(singles[i] for i in key))
+                    feasible = True
+                except ConfigError:
+                    feasible = False
+                feasibility_cache[key] = feasible
+            if not feasible or len(faults) >= cap:
+                death = t
+                survived.append(len(faults) - 1 if not feasible else len(faults))
+                break
+        times.append(death if death is not None else t)
+        if death is None:
+            survived.append(len(faults))
+    arr = np.asarray(times)
+    return MTTFEstimate(
+        mean=float(arr.mean()),
+        std_error=float(arr.std(ddof=1) / np.sqrt(len(arr))),
+        mean_faults_survived=float(np.mean(survived)),
+        samples=samples,
+    )
+
+
+@dataclass
+class ReliabilityComparison:
+    shape: Tuple[int, ...]
+    num_switches: int
+    no_facility: float
+    single_fault: float
+    extended: MTTFEstimate
+
+    def rows(self) -> List[str]:
+        base = self.no_facility
+        return [
+            f"network {self.shape}: {self.num_switches} switches "
+            f"(routers + crossbars), unit failure rate per switch",
+            f"no facility     : MTTF {self.no_facility:.4f}  (1.00x)",
+            f"paper facility  : MTTF {self.single_fault:.4f}  "
+            f"({self.single_fault / base:.2f}x)",
+            f"extended (multi): {self.extended.row()} "
+            f"({self.extended.mean / base:.2f}x)",
+        ]
+
+
+def mttf_comparison(
+    shape, samples: int = 200, seed: int = 13
+) -> ReliabilityComparison:
+    """Analytic + Monte-Carlo MTTF comparison for one network shape."""
+    topo = MDCrossbar(shape)
+    num_switches = len(topo.switch_elements())
+    return ReliabilityComparison(
+        shape=tuple(shape),
+        num_switches=num_switches,
+        no_facility=mttf_no_facility(num_switches),
+        single_fault=mttf_single_fault_facility(num_switches),
+        extended=simulate_extended_facility(shape, samples=samples, seed=seed),
+    )

@@ -1,0 +1,110 @@
+"""Analytic saturation throughput from static channel loads.
+
+For uniform point-to-point traffic at offered load ``r`` flits/PE/cycle,
+the expected utilization of channel ``c`` is ``r * routes(c) / n`` where
+``routes(c)`` counts the source-destination pairs whose route crosses
+``c``.  The network saturates when its most-loaded channel reaches full
+utilization, giving the classic bottleneck bound
+
+    r_sat = n / max_c routes(c)   (flits/PE/cycle).
+
+This turns the static route set -- no simulation -- into a throughput
+prediction, and explains *where* each topology chokes: the MD crossbar's
+bottleneck is a turn-router port, the mesh's is a bisection link.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..baselines.dor import MeshAdapter, TorusAdapter
+from ..core.config import make_config
+from ..core.coords import all_coords, num_nodes
+from ..core.routes import Unicast, compute_route
+from ..core.switch_logic import SwitchLogic
+from ..topology.mdcrossbar import MDCrossbar
+from ..topology.mesh import Mesh
+from ..topology.torus import Torus
+from .conflicts import _baseline_route_channels, _md_route_channels
+
+
+@dataclass
+class SaturationEstimate:
+    """Bottleneck analysis of one topology under uniform traffic."""
+
+    name: str
+    num_pes: int
+    max_routes_per_channel: int
+    mean_routes_per_channel: float
+    saturation_load: float
+    bottleneck_channel: object
+
+    def row(self) -> str:
+        return (
+            f"{self.name:<14} max_load={self.max_routes_per_channel:<5} "
+            f"mean={self.mean_routes_per_channel:6.1f} "
+            f"r_sat={self.saturation_load:5.3f} flits/PE/cycle "
+            f"bottleneck={self.bottleneck_channel!r}"
+        )
+
+
+def channel_route_counts(name: str, shape) -> Tuple[Counter, Dict[int, object]]:
+    """Route-count per channel cid over all source-destination pairs."""
+    counts: Counter = Counter()
+    if name == "md-crossbar":
+        topo = MDCrossbar(shape)
+        logic = SwitchLogic(topo, make_config(shape))
+        route = lambda s, t: _md_route_channels(topo, logic, s, t)
+    elif name == "mesh":
+        topo = Mesh(shape)
+        adapter = MeshAdapter(topo)
+        route = lambda s, t: _baseline_route_channels(topo, adapter, s, t)
+    elif name == "torus":
+        topo = Torus(shape)
+        adapter = TorusAdapter(topo)
+        route = lambda s, t: _baseline_route_channels(topo, adapter, s, t)
+    else:
+        raise ValueError(f"unknown topology {name!r}")
+    for s in all_coords(shape):
+        for t in all_coords(shape):
+            if s != t:
+                counts.update(route(s, t))
+    chans = {c.cid: c for c in topo.channels()}
+    return counts, chans
+
+
+def estimate_saturation(name: str, shape) -> SaturationEstimate:
+    """Bottleneck saturation estimate for uniform traffic.
+
+    Injection/ejection channels are excluded from the bottleneck (they are
+    per-PE and scale with the endpoints, not the network fabric).
+    """
+    counts, chans = channel_route_counts(name, shape)
+    n = num_nodes(shape)
+    fabric = {
+        cid: k
+        for cid, k in counts.items()
+        if chans[cid].src[0] != "PE" and chans[cid].dst[0] != "PE"
+    }
+    if not fabric:
+        raise ValueError("no fabric channels found")
+    bottleneck_cid, max_load = max(fabric.items(), key=lambda kv: (kv[1], -kv[0]))
+    # a source offers r flits/cycle spread uniformly over n-1 destinations,
+    # so channel utilization = r * routes(c) / n; full at r = n / routes(c)
+    saturation = n / max_load
+    return SaturationEstimate(
+        name=name,
+        num_pes=n,
+        max_routes_per_channel=max_load,
+        mean_routes_per_channel=sum(fabric.values()) / len(fabric),
+        saturation_load=min(1.0, saturation),
+        bottleneck_channel=chans[bottleneck_cid],
+    )
+
+
+def saturation_comparison(
+    shape, names: Tuple[str, ...] = ("md-crossbar", "mesh", "torus")
+) -> List[SaturationEstimate]:
+    return [estimate_saturation(n, shape) for n in names]

@@ -1,0 +1,11 @@
+"""Baseline networks the paper compares against (Sections 1 and 3.1).
+
+Dimension-order routed mesh (static, VC-free), torus (CRAY T3D-style, with
+the classic dateline virtual-channel split), and hypercube (e-cube routing).
+Each provides a :class:`~repro.sim.adapter.RoutingAdapter` so the same
+flit-level simulator drives all topologies in the performance benches.
+"""
+
+from .dor import HypercubeAdapter, MeshAdapter, TorusAdapter, make_baseline
+
+__all__ = ["HypercubeAdapter", "MeshAdapter", "TorusAdapter", "make_baseline"]

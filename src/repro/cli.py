@@ -1,0 +1,450 @@
+"""Command-line tools: ``python -m repro <command> ...``.
+
+Subcommands:
+
+* ``route``     -- print the route of a transfer or broadcast, with faults
+* ``check``     -- deadlock analysis (tiered CDG + ordering certificate)
+* ``census``    -- single- or two-fault tolerance census
+* ``simulate``  -- run uniform traffic and print latency statistics
+* ``figures``   -- replay the paper's Figs. 5/6/9/10 scenarios
+* ``machine``   -- describe an SR2201 configuration
+* ``kernels``   -- run application kernels across topologies
+* ``collectives`` -- hardware vs software broadcast and barrier costs
+* ``replay``    -- replay a recorded workload trace (JSONL)
+* ``doctor``    -- cross-validate every analysis layer for a configuration
+
+Examples::
+
+    python -m repro route --shape 4x3 --src 0,0 --dst 2,2 --fault rtr:2,0
+    python -m repro check --shape 4x3 --fault rtr:2,0 --scheme naive
+    python -m repro census --shape 4x3 --pairs
+    python -m repro simulate --shape 8x8 --load 0.3 --cycles 600
+    python -m repro machine --config SR2201/2048
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core import (
+    Broadcast,
+    Fault,
+    SwitchLogic,
+    Unicast,
+    analyze_deadlock_freedom,
+    compute_route,
+    make_config,
+)
+from .core.config import BroadcastMode, ConfigError, DetourScheme
+from .topology import MDCrossbar
+
+
+def parse_shape(text: str):
+    try:
+        return tuple(int(v) for v in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}; use e.g. 4x3")
+
+
+def parse_coord(text: str):
+    try:
+        return tuple(int(v) for v in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad coordinate {text!r}; use e.g. 2,0")
+
+
+def parse_fault(text: str) -> Fault:
+    """``rtr:x,y[,z]`` or ``xb:<dim>:<line coords>``."""
+    kind, _, rest = text.partition(":")
+    if kind == "rtr":
+        return Fault.router(parse_coord(rest))
+    if kind == "xb":
+        dim_s, _, line_s = rest.partition(":")
+        try:
+            return Fault.crossbar(int(dim_s), parse_coord(line_s) if line_s else ())
+        except ValueError:
+            pass
+    raise argparse.ArgumentTypeError(
+        f"bad fault {text!r}; use rtr:x,y or xb:dim:line (e.g. xb:0:1)"
+    )
+
+
+def _build(args) -> tuple:
+    topo = MDCrossbar(args.shape)
+    cfg = make_config(
+        args.shape,
+        faults=tuple(args.fault or ()),
+        detour_scheme=DetourScheme(args.scheme),
+        broadcast_mode=BroadcastMode(args.broadcast),
+    )
+    return topo, SwitchLogic(topo, cfg)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--shape", type=parse_shape, default=(4, 3), help="e.g. 4x3 or 4x4x4")
+    p.add_argument(
+        "--fault", type=parse_fault, action="append",
+        help="rtr:x,y or xb:dim:line; repeatable for multi-fault analysis",
+    )
+    p.add_argument(
+        "--scheme", choices=[s.value for s in DetourScheme], default="safe",
+        help="detour scheme: safe (D-XB = S-XB, paper Sec. 5) or naive",
+    )
+    p.add_argument(
+        "--broadcast", choices=[m.value for m in BroadcastMode],
+        default="serialized", help="broadcast facility mode",
+    )
+
+
+def cmd_route(args) -> int:
+    from .viz import render_rc_legend, render_route
+
+    topo, logic = _build(args)
+    if args.bcast:
+        tree = compute_route(topo, logic, Broadcast(args.src))
+        print(f"broadcast from PE{args.src}: {len(tree.delivered)} PEs covered")
+        show = args.dst or max(topo.node_coords())
+        print(render_route(tree, show))
+    else:
+        if args.dst is None:
+            print("route: --dst is required for point-to-point", file=sys.stderr)
+            return 2
+        tree = compute_route(topo, logic, Unicast(args.src, args.dst))
+        print(render_route(tree, args.dst))
+        print(f"crossbar hops: {tree.xb_hops_to(args.dst)}")
+    print(render_rc_legend())
+    return 0
+
+
+def cmd_check(args) -> int:
+    from .core.ordering import CertificateError, certify_deadlock_freedom
+
+    topo, logic = _build(args)
+    res = analyze_deadlock_freedom(topo, logic)
+    print(
+        f"tiered CDG analysis: {res.num_flows} flows, {res.num_edges} edges "
+        f"-> deadlock free: {res.deadlock_free}"
+    )
+    if res.hazard is not None:
+        print(res.hazard.describe())
+        return 1
+    try:
+        cert = certify_deadlock_freedom(topo, logic)
+        print(
+            f"ordering certificate: {len(cert.rank)} channels ranked, "
+            f"{cert.num_flows_verified} flows verified"
+        )
+    except CertificateError as e:
+        print(f"ordering certificate: unavailable ({e})")
+    return 0
+
+
+def cmd_census(args) -> int:
+    from .core.multifault import (
+        all_single_faults,
+        analyze_fault_set,
+        fault_pair_census,
+    )
+
+    topo = MDCrossbar(args.shape)
+    scheme = DetourScheme(args.scheme)
+    if args.pairs:
+        summary = fault_pair_census(
+            args.shape, detour_scheme=scheme, max_pairs=args.max_sets
+        )
+        print(f"two-fault census on {args.shape} ({scheme.value} scheme):")
+        for line in summary.rows():
+            print(" ", line)
+        return 0 if summary.degraded == 0 else 1
+    ok = True
+    for fault in all_single_faults(args.shape):
+        report = analyze_fault_set(topo, [fault], detour_scheme=scheme)
+        print(report.row())
+        ok = ok and (report.fully_tolerant or not report.feasible)
+    return 0 if ok else 1
+
+
+def cmd_simulate(args) -> int:
+    from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+    from .sim.stats import LatencyStats
+    from .traffic import BernoulliInjector, get_pattern
+
+    topo, logic = _build(args)
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(logic), SimConfig(stall_limit=args.stall_limit)
+    )
+    gen = BernoulliInjector(
+        load=args.load,
+        packet_length=args.packet_length,
+        pattern=get_pattern(args.pattern),
+        seed=args.seed,
+        stop_at=args.cycles,
+        measure_from=args.cycles // 4,
+    )
+    sim.add_generator(gen)
+    res = sim.run(max_cycles=args.cycles * 10, until_drained=False)
+    stats = LatencyStats.from_packets(gen.measured_packets(res.delivered))
+    print(
+        f"{args.pattern} traffic at {args.load} flits/PE/cycle on "
+        f"{'x'.join(map(str, args.shape))}: offered {gen.offered} packets, "
+        f"delivered {len(res.delivered)}"
+    )
+    print(f"latency: {stats.row()}")
+    if res.deadlocked:
+        print(res.deadlock.describe())
+        return 1
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from .core import Header, Packet, RC
+    from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+
+    shape = (4, 3)
+
+    def scenario(name, mode, scheme, fault, sends, expect_deadlock):
+        topo = MDCrossbar(shape)
+        cfg = make_config(
+            shape, faults=(fault,) if fault else (),
+            broadcast_mode=mode, detour_scheme=scheme,
+        )
+        sim = NetworkSimulator(
+            MDCrossbarAdapter(SwitchLogic(topo, cfg)), SimConfig(stall_limit=200)
+        )
+        for cycle, src, dst, rc in sends:
+            sim.send(Packet(Header(source=src, dest=dst, rc=rc), length=6), at_cycle=cycle)
+        res = sim.run(max_cycles=5000)
+        verdict = "deadlock" if res.deadlocked else f"{len(res.delivered)} delivered"
+        flag = "(as the paper predicts)" if res.deadlocked == expect_deadlock else "(UNEXPECTED)"
+        print(f"{name}: {verdict} {flag}")
+        return res.deadlocked == expect_deadlock
+
+    bc = RC.BROADCAST
+    req = RC.BROADCAST_REQUEST
+    n = RC.NORMAL
+    ok = True
+    ok &= scenario(
+        "Fig. 5  naive broadcasts ", BroadcastMode.NAIVE, DetourScheme.SAFE, None,
+        [(0, (2, 1), (2, 1), bc), (0, (3, 2), (3, 2), bc)], True,
+    )
+    ok &= scenario(
+        "Fig. 6  serialized S-XB  ", BroadcastMode.SERIALIZED, DetourScheme.SAFE, None,
+        [(0, (2, 1), (2, 1), req), (0, (3, 2), (3, 2), req)], False,
+    )
+    fig9 = [
+        (0, (3, 2), (3, 2), req),
+        (1, (0, 0), (2, 2), n),
+        (1, (1, 0), (3, 1), n),
+        (2, (0, 1), (1, 2), n),
+    ]
+    ok &= scenario(
+        "Fig. 9  naive D-XB       ", BroadcastMode.SERIALIZED, DetourScheme.NAIVE,
+        Fault.router((2, 0)), fig9, True,
+    )
+    ok &= scenario(
+        "Fig. 10 D-XB = S-XB      ", BroadcastMode.SERIALIZED, DetourScheme.SAFE,
+        Fault.router((2, 0)), fig9, False,
+    )
+    return 0 if ok else 1
+
+
+def cmd_machine(args) -> int:
+    from .machine import SR2201, STANDARD_CONFIGS
+
+    if args.config:
+        m = SR2201.named(args.config)
+        print(m.describe())
+    else:
+        for name in STANDARD_CONFIGS:
+            print(SR2201.named(name).describe())
+            print()
+    return 0
+
+
+def cmd_kernels(args) -> int:
+    from .traffic import KERNELS, compare_topologies
+
+    names = args.kernel or sorted(KERNELS)
+    kinds = tuple(args.topology) if args.topology else ("md-crossbar", "mesh", "torus")
+    for kernel in names:
+        try:
+            out = compare_topologies(kernel, args.shape, kinds=kinds)
+        except ValueError as e:
+            print(f"{kernel}: skipped ({e})")
+            continue
+        print(f"-- {kernel}")
+        for kind, res in out.items():
+            print(f"   {kind:<12} {res.row()}")
+    return 0
+
+
+def cmd_collectives(args) -> int:
+    from .collectives import (
+        BinomialBroadcast,
+        DisseminationBarrier,
+        LinearBroadcast,
+    )
+    from .core import Header, Packet, RC
+    from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+
+    topo, logic = _build(args)
+    root = tuple(0 for _ in args.shape)
+
+    def fresh():
+        return NetworkSimulator(
+            MDCrossbarAdapter(logic), SimConfig(stall_limit=5000)
+        )
+
+    sim = fresh()
+    pkt = Packet(
+        Header(source=root, dest=root, rc=RC.BROADCAST_REQUEST),
+        length=args.packet_length,
+    )
+    sim.send(pkt)
+    sim.run()
+    print(f"hardware S-XB broadcast : {pkt.latency} cycles, 1 injection")
+    for name, cls in (("binomial", BinomialBroadcast), ("linear", LinearBroadcast)):
+        sim = fresh()
+        col = cls(sim, root, packet_length=args.packet_length)
+        while not col.result.done and sim.cycle < 200_000:
+            sim.step()
+        print(
+            f"software {name:<8} tree : {col.result.duration} cycles, "
+            f"{col.result.messages_sent} messages"
+        )
+    sim = fresh()
+    bar = DisseminationBarrier(sim)
+    while not bar.result.done and sim.cycle < 200_000:
+        sim.step()
+    print(
+        f"dissemination barrier   : {bar.result.duration} cycles, "
+        f"{bar.result.messages_sent} messages ({bar.rounds} rounds)"
+    )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+    from .sim.stats import LatencyStats
+    from .core import SwitchLogic
+    from .traffic import WorkloadTrace
+
+    trace = WorkloadTrace.load(args.trace)
+    topo = MDCrossbar(trace.shape)
+    cfg = make_config(
+        trace.shape,
+        faults=tuple(args.fault or ()),
+        detour_scheme=DetourScheme(args.scheme),
+        broadcast_mode=BroadcastMode(args.broadcast),
+    )
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(SwitchLogic(topo, cfg)), SimConfig(stall_limit=5000)
+    )
+    trace.install(sim)
+    res = sim.run(max_cycles=args.max_cycles)
+    stats = LatencyStats.from_packets(res.delivered)
+    print(
+        f"replayed {len(trace)} packets on {'x'.join(map(str, trace.shape))}: "
+        f"{len(res.delivered)} delivered, {len(res.dropped)} dropped, "
+        f"{res.cycles} cycles"
+    )
+    print(f"latency: {stats.row()}")
+    if res.deadlocked:
+        print(res.deadlock.describe())
+        return 1
+    return 0
+
+
+def cmd_doctor(args) -> int:
+    from .core.selfcheck import self_check
+
+    topo, logic = _build(args)
+    report = self_check(topo, logic)
+    print(f"self-check on {'x'.join(map(str, args.shape))}:")
+    for line in report.rows():
+        print(" ", line)
+    print("healthy" if report.healthy else "INCONSISTENT")
+    return 0 if report.healthy else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SR2201 deadlock-free fault-tolerant routing toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("route", help="print a route")
+    _add_common(p)
+    p.add_argument("--src", type=parse_coord, required=True)
+    p.add_argument("--dst", type=parse_coord)
+    p.add_argument("--bcast", action="store_true", help="broadcast from --src")
+    p.set_defaults(fn=cmd_route)
+
+    p = sub.add_parser("check", help="deadlock analysis")
+    _add_common(p)
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("census", help="fault tolerance census")
+    _add_common(p)
+    p.add_argument("--pairs", action="store_true", help="two-fault census")
+    p.add_argument("--max-sets", type=int, default=None)
+    p.set_defaults(fn=cmd_census)
+
+    p = sub.add_parser("simulate", help="run synthetic traffic")
+    _add_common(p)
+    p.add_argument("--load", type=float, default=0.2)
+    p.add_argument("--pattern", default="uniform")
+    p.add_argument("--packet-length", type=int, default=4)
+    p.add_argument("--cycles", type=int, default=500)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--stall-limit", type=int, default=2000)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("figures", help="replay the paper's figures")
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("machine", help="describe an SR2201 configuration")
+    p.add_argument("--config", help="e.g. SR2201/2048")
+    p.set_defaults(fn=cmd_machine)
+
+    p = sub.add_parser("kernels", help="application kernels across topologies")
+    p.add_argument("--shape", type=parse_shape, default=(4, 4))
+    p.add_argument("--kernel", action="append", help="stencil/fft/alltoall/sweep")
+    p.add_argument(
+        "--topology", action="append",
+        default=None, help="md-crossbar/mesh/torus (repeatable)",
+    )
+    p.set_defaults(fn=cmd_kernels, topology=None)
+
+    p = sub.add_parser("collectives", help="hardware vs software broadcast")
+    _add_common(p)
+    p.add_argument("--packet-length", type=int, default=8)
+    p.set_defaults(fn=cmd_collectives)
+
+    p = sub.add_parser("doctor", help="cross-validate all analysis layers")
+    _add_common(p)
+    p.set_defaults(fn=cmd_doctor)
+
+    p = sub.add_parser("replay", help="replay a workload trace (JSONL)")
+    _add_common(p)
+    p.add_argument("trace", help="path to the trace file")
+    p.add_argument("--max-cycles", type=int, default=200_000)
+    p.set_defaults(fn=cmd_replay)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ConfigError, ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

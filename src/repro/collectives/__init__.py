@@ -1,0 +1,18 @@
+"""Software collectives over point-to-point messages (the conventional
+alternative to the SR2201's hardware broadcast, paper Section 3.2)."""
+
+from .software import (
+    BinomialBroadcast,
+    CollectiveResult,
+    DEFAULT_SW_OVERHEAD,
+    DisseminationBarrier,
+    LinearBroadcast,
+)
+
+__all__ = [
+    "BinomialBroadcast",
+    "CollectiveResult",
+    "DEFAULT_SW_OVERHEAD",
+    "DisseminationBarrier",
+    "LinearBroadcast",
+]

@@ -1,0 +1,216 @@
+"""Software collective operations over point-to-point messages.
+
+The paper (Section 3.2) notes that conventional parallel computers avoid
+broadcast deadlock "by performing the broadcast through the software"
+[20-21]; the SR2201's hardware facility exists to beat that.  This package
+implements the software alternatives so the comparison is runnable:
+
+* :class:`LinearBroadcast` -- the root sends one message per destination;
+* :class:`BinomialBroadcast` -- the classic log2(n)-round doubling tree;
+* :class:`DisseminationBarrier` -- the log2(n)-round all-to-all-ish barrier.
+
+Each collective is an *agent* driven by the flit simulator: it reacts to
+message deliveries the way a PE's message handler would, paying a
+configurable per-message software overhead (NIA setup + handler time)
+before launching follow-up sends.  Software collectives use only RC=NORMAL
+packets, so they work in the naive broadcast mode and with faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.coords import Coord
+from ..core.packet import Header, Packet
+from ..sim.network import NetworkSimulator
+
+#: default per-message software launch overhead, in cycles (processor
+#: builds the message and kicks the NIA; the SR2201's hardware facility
+#: pays none of this after injection)
+DEFAULT_SW_OVERHEAD = 20
+
+
+@dataclass
+class CollectiveResult:
+    """Completion record of one software collective."""
+
+    started_at: int
+    completed_at: Optional[int] = None
+    messages_sent: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def duration(self) -> Optional[int]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class _Agent:
+    """Base: installs itself as generator + delivery listener."""
+
+    def __init__(
+        self,
+        sim: NetworkSimulator,
+        packet_length: int = 4,
+        sw_overhead: int = DEFAULT_SW_OVERHEAD,
+    ) -> None:
+        self.sim = sim
+        self.packet_length = packet_length
+        self.sw_overhead = sw_overhead
+        self.result = CollectiveResult(started_at=sim.cycle)
+        #: (ready_cycle, source, dest) launches not yet issued
+        self._queue: List[Tuple[int, Coord, Coord]] = []
+        self._my_pids: Set[int] = set()
+        sim.add_generator(self._on_cycle)
+        sim.add_delivery_listener(self._on_delivery)
+
+    # -- plumbing ----------------------------------------------------------
+    def _schedule_send(self, at: int, src: Coord, dst: Coord) -> None:
+        self._queue.append((at, src, dst))
+
+    def _on_cycle(self, sim: NetworkSimulator) -> None:
+        due = [q for q in self._queue if q[0] <= sim.cycle]
+        if not due:
+            return
+        self._queue = [q for q in self._queue if q[0] > sim.cycle]
+        for _, src, dst in due:
+            pkt = Packet(Header(source=src, dest=dst), length=self.packet_length)
+            self._my_pids.add(pkt.pid)
+            sim.send(pkt)
+            self.result.messages_sent += 1
+
+    def _on_delivery(self, packet: Packet, coord: Coord, cycle: int) -> None:
+        if packet.pid in self._my_pids:
+            self.handle(coord, cycle)
+
+    # -- protocol ------------------------------------------------------------
+    def handle(self, coord: Coord, cycle: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class LinearBroadcast(_Agent):
+    """Root sends to every other PE, one message after another.
+
+    The baseline conventional machines used before hardware multicast: n-1
+    sequential launches from one node.
+    """
+
+    def __init__(
+        self,
+        sim: NetworkSimulator,
+        root: Coord,
+        packet_length: int = 4,
+        sw_overhead: int = DEFAULT_SW_OVERHEAD,
+    ) -> None:
+        super().__init__(sim, packet_length, sw_overhead)
+        self.root = tuple(root)
+        self._targets = [c for c in sim.live_nodes if c != self.root]
+        self._received: Set[Coord] = {self.root}
+        t = sim.cycle
+        for dst in self._targets:
+            t += sw_overhead
+            self._schedule_send(t, self.root, dst)
+
+    def handle(self, coord: Coord, cycle: int) -> None:
+        self._received.add(coord)
+        if len(self._received) == len(self._targets) + 1:
+            self.result.completed_at = cycle
+
+
+class BinomialBroadcast(_Agent):
+    """Recursive-doubling broadcast: in round k every PE that already has
+    the message forwards it to the PE 2**k ranks away.  log2(n) rounds,
+    each recipient relays as soon as its copy (plus software overhead)
+    lands."""
+
+    def __init__(
+        self,
+        sim: NetworkSimulator,
+        root: Coord,
+        packet_length: int = 4,
+        sw_overhead: int = DEFAULT_SW_OVERHEAD,
+    ) -> None:
+        super().__init__(sim, packet_length, sw_overhead)
+        nodes: Sequence[Coord] = list(sim.live_nodes)
+        self.root = tuple(root)
+        if self.root not in nodes:
+            raise ValueError(f"root {root} is not a live PE")
+        # rank PEs with the root at 0
+        ordered = [self.root] + [c for c in nodes if c != self.root]
+        self._rank: Dict[Coord, int] = {c: i for i, c in enumerate(ordered)}
+        self._coord: Dict[int, Coord] = {i: c for c, i in self._rank.items()}
+        self.n = len(ordered)
+        self._received: Set[Coord] = set()
+        self._acquired(self.root, sim.cycle)
+
+    def _acquired(self, coord: Coord, cycle: int) -> None:
+        if coord in self._received:
+            return
+        self._received.add(coord)
+        if len(self._received) == self.n:
+            self.result.completed_at = cycle
+            return
+        rank = self._rank[coord]
+        t = cycle
+        stride = 1
+        while stride < self.n:
+            if rank < stride:  # this PE participates in this round
+                target = rank + stride
+                if target < self.n:
+                    t += max(1, self.sw_overhead)
+                    self._schedule_send(t, coord, self._coord[target])
+            stride *= 2
+
+    def handle(self, coord: Coord, cycle: int) -> None:
+        self._acquired(coord, cycle)
+
+
+class DisseminationBarrier(_Agent):
+    """Dissemination barrier: in round k, PE of rank r signals rank
+    (r + 2**k) mod n; a PE enters round k+1 once it has both sent its
+    round-k signal and received one.  ceil(log2 n) rounds."""
+
+    def __init__(
+        self,
+        sim: NetworkSimulator,
+        packet_length: int = 1,
+        sw_overhead: int = DEFAULT_SW_OVERHEAD,
+    ) -> None:
+        super().__init__(sim, packet_length, sw_overhead)
+        nodes = list(sim.live_nodes)
+        self._rank = {c: i for i, c in enumerate(nodes)}
+        self._coord = {i: c for c, i in self._rank.items()}
+        self.n = len(nodes)
+        self.rounds = max(1, (self.n - 1).bit_length())
+        #: per PE: next round awaited
+        self._round: Dict[Coord, int] = {c: 0 for c in nodes}
+        #: per PE: received signals not yet consumed.  Each PE receives
+        #: exactly ``rounds`` signals (one per round, from distinct
+        #: senders), so counting them is sufficient for termination; a
+        #: signal arriving one round early is consumed at most one round
+        #: early, making the modelled completion time a slight lower bound.
+        self._pending: Dict[Coord, int] = {c: 0 for c in nodes}
+        self._finished: Set[Coord] = set()
+        for c in nodes:
+            self._send_round(c, 0, sim.cycle)
+
+    def _send_round(self, coord: Coord, rnd: int, cycle: int) -> None:
+        partner = self._coord[(self._rank[coord] + (1 << rnd)) % self.n]
+        self._schedule_send(cycle + self.sw_overhead, coord, partner)
+
+    def handle(self, coord: Coord, cycle: int) -> None:
+        self._pending[coord] += 1
+        while self._pending[coord] > 0 and coord not in self._finished:
+            self._pending[coord] -= 1
+            self._round[coord] += 1
+            if self._round[coord] >= self.rounds:
+                self._finished.add(coord)
+                if len(self._finished) == self.n:
+                    self.result.completed_at = cycle
+                return
+            self._send_round(coord, self._round[coord], cycle)

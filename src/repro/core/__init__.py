@@ -1,0 +1,80 @@
+"""Core routing machinery: the paper's primary contribution.
+
+Public surface of :mod:`repro.core`:
+
+* packet model: :class:`Header`, :class:`Packet`, :class:`Flit`, :class:`RC`
+* configuration: :func:`make_config`, :class:`RoutingConfig`,
+  :class:`BroadcastMode`, :class:`DetourScheme`
+* faults: :class:`Fault`, :class:`FaultRegistry`
+* routing: :class:`SwitchLogic`, :func:`compute_route`, :class:`Unicast`,
+  :class:`Broadcast`, :class:`RouteTree`
+* deadlock analysis: :func:`analyze_deadlock_freedom`, :func:`build_cdg`
+"""
+
+from .config import (
+    BroadcastMode,
+    ConfigError,
+    DetourScheme,
+    RoutingConfig,
+    make_config,
+)
+from .cdg import (
+    ChannelDependencyGraph,
+    CDGResult,
+    DeadlockHazard,
+    analyze_deadlock_freedom,
+    build_cdg,
+)
+from .coords import Coord
+from .fault import Fault, FaultKind, FaultRegistry, LocalFaultInfo
+from .packet import RC, Flit, FlitKind, Header, Packet, make_flits
+from .routes import (
+    Broadcast,
+    RouteLoopError,
+    RouteTree,
+    Unicast,
+    compute_route,
+    route_all_broadcasts,
+    route_all_unicasts,
+)
+from .switch_logic import (
+    Decision,
+    RoutingError,
+    SwitchLogic,
+    UnreachableDestinationError,
+)
+
+__all__ = [
+    "BroadcastMode",
+    "Broadcast",
+    "CDGResult",
+    "ChannelDependencyGraph",
+    "ConfigError",
+    "Coord",
+    "DeadlockHazard",
+    "Decision",
+    "DetourScheme",
+    "Fault",
+    "FaultKind",
+    "FaultRegistry",
+    "Flit",
+    "FlitKind",
+    "Header",
+    "LocalFaultInfo",
+    "Packet",
+    "RC",
+    "RouteLoopError",
+    "RouteTree",
+    "RoutingConfig",
+    "RoutingError",
+    "SwitchLogic",
+    "Unicast",
+    "UnreachableDestinationError",
+    "analyze_deadlock_freedom",
+    "build_cdg",
+    "compute_route",
+    "make_config",
+    "make_flits",
+    "route_all_broadcasts",
+    "route_all_unicasts",
+]

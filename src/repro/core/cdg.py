@@ -1,0 +1,386 @@
+"""Channel-dependency deadlock analysis for the SR2201 facility.
+
+Under cut-through switching a blocked packet keeps every channel it has
+acquired (paper Section 3.2), so deadlock is a cyclic wait on *channels*.
+For deterministic unicast routing the classic channel-dependency-graph (CDG)
+theorem of Dally & Seitz applies directly: build the graph whose edge
+``c -> c'`` says the routing relation forwards packets from channel ``c``
+to channel ``c'`` next, and the routing is deadlock free iff that graph is
+acyclic.  The SR2201 adds *multicast trees* (hardware broadcast) which the
+classic theorem does not cover, so the analysis here runs in three tiers:
+
+**Tier 1 -- path packets.**  Point-to-point packets (normal and detoured)
+and broadcast *request* legs are path-shaped.  Their immediate-successor
+edges form the classic CDG; we also add the S-XB *barrier* edges: the S-XB
+serves arrivals drain-then-serve (a pending broadcast reserves the whole
+crossbar), so the channel entering the S-XB may wait for every S-XB output
+channel.  A cycle here is a unicast-style deadlock hazard.
+
+**Tier 2 -- one multicast against path packets.**  A spreading broadcast
+holds a *prefix-closed* subset ``A`` of its route tree ``T`` and waits for
+frontier channels.  Because acquired channels are kept until the tail
+drains, a blocked state with channel ``a`` held and channel ``w`` waited
+exists iff ``w`` is neither ``a`` nor an ancestor of ``a`` in ``T``.  A
+deadlock closing through the multicast therefore requires channels
+``w, a in T`` with ``w`` not an ancestor-or-self of ``a`` and a non-empty
+tier-1 CDG path ``w ->+ a`` (the chain of path packets that hold ``w`` and
+transitively wait back into the tree).  Channels granted *atomically* by the
+serialized S-XB (its output ports) are never waited by the multicast itself
+and are excluded from ``w``.
+
+**Tier 3 -- concurrent multicasts.**  Only the naive (non-serialized)
+broadcast mode allows two multicasts in flight; under serialization the
+S-XB admits one spread at a time and successive spreads cross identical
+channels FIFO, so they cannot block each other.  For concurrent trees we
+search the meta-graph over states ``(tree, held channel a)`` with a
+transition to ``(tree', a')`` when the first tree can wait for some ``w``
+(per the tier-2 state condition) from which tier-1 edges reach ``a'`` in the
+second tree; a cycle is a multi-broadcast deadlock hazard -- exactly the
+paper's Fig. 5.
+
+Soundness: a configuration reporting *deadlock free* admits no blocked-wait
+cycle under the modelled protocol (the tiers enumerate every way a cycle can
+thread path packets and multicast states).  Reported hazards are
+constructive candidates; the flit-level simulator confirms the paper's
+Fig. 5 and Fig. 9 hazards dynamically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..topology.base import Channel
+from ..topology.mdcrossbar import MDCrossbar
+from .config import BroadcastMode
+from .routes import (
+    Broadcast,
+    RouteTree,
+    Unicast,
+    route_all_broadcasts,
+    route_all_unicasts,
+)
+from .switch_logic import SwitchLogic
+
+
+@dataclass
+class DeadlockHazard:
+    """A witness for a possible deadlock.
+
+    ``kind`` is ``path-cycle`` (tier 1), ``tree-path-cycle`` (tier 2) or
+    ``multi-tree-cycle`` (tier 3); ``channels`` traces the cyclic wait and
+    ``flows`` names the packets that realize it.
+    """
+
+    kind: str
+    channels: Tuple[Channel, ...]
+    flows: Tuple[str, ...]
+
+    def describe(self) -> str:
+        chain = " ->\n  ".join(repr(c) for c in self.channels)
+        return f"[{self.kind}] involving {', '.join(self.flows)}:\n  {chain}"
+
+
+@dataclass
+class CDGResult:
+    deadlock_free: bool
+    hazard: Optional[DeadlockHazard]
+    num_channels: int
+    num_edges: int
+    num_flows: int
+
+    def __bool__(self) -> bool:
+        return self.deadlock_free
+
+    # backwards-friendly alias
+    @property
+    def cycle(self) -> Optional[DeadlockHazard]:
+        return self.hazard
+
+
+class _TreeInfo:
+    """Per-multicast-tree data for tiers 2 and 3."""
+
+    def __init__(self, tree: RouteTree, serialized: bool) -> None:
+        self.tree = tree
+        self.name = str(tree.flow)
+        self.cids: Set[int] = set()
+        self.channel_of: Dict[int, Channel] = {}
+        self.anc: Dict[int, Set[int]] = {}
+        for c in tree.channels():
+            self.cids.add(c.cid)
+            self.channel_of[c.cid] = c
+            s = {c.cid}
+            p = tree.parent[c]
+            while p is not None:
+                s.add(p.cid)
+                p = tree.parent[p]
+            self.anc[c.cid] = s
+        # channels granted atomically by the serialized S-XB: the multicast
+        # never *waits* for them
+        self.atomic: Set[int] = set()
+        if serialized:
+            for entry in tree.serialize_entries:
+                self.atomic.update(ch.cid for ch in tree.children[entry])
+        self.waitable: Set[int] = self.cids - self.atomic - {tree.root.cid}
+
+    def state_allows(self, held: int, waited: int) -> bool:
+        """True if some prefix-closed state holds ``held`` while ``waited``
+        is still pending."""
+        return waited in self.waitable and waited not in self.anc[held]
+
+
+class ChannelDependencyGraph:
+    """Tiered channel-dependency deadlock analysis (see module docstring)."""
+
+    def __init__(self) -> None:
+        #: tier-1 immediate-successor edges: cid -> set of cids
+        self.succ: Dict[int, Set[int]] = {}
+        self.edge_flows: Dict[Tuple[int, int], str] = {}
+        self.channels: Dict[int, Channel] = {}
+        self.trees: List[_TreeInfo] = []
+        self.concurrent_trees: bool = False
+        self.num_flows = 0
+        self._reach_cache: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------ building
+    def _note_channel(self, c: Channel) -> None:
+        self.channels.setdefault(c.cid, c)
+
+    def _add_succ(self, u: Channel, v: Channel, flow_name: str) -> None:
+        self._note_channel(u)
+        self._note_channel(v)
+        self.succ.setdefault(u.cid, set()).add(v.cid)
+        self.edge_flows.setdefault((u.cid, v.cid), flow_name)
+        self._reach_cache.clear()
+
+    def add_path_flow(
+        self,
+        tree: RouteTree,
+        sxb_element=None,
+        sxb_outputs: Sequence[Channel] = (),
+    ) -> None:
+        """Add a path-shaped flow's tier-1 edges (plus barrier edges)."""
+        self.num_flows += 1
+        name = str(tree.flow)
+        for c in tree.channels():
+            self._note_channel(c)
+            p = tree.parent[c]
+            if p is not None:
+                self._add_succ(p, c, name)
+            if sxb_element is not None and c.dst == sxb_element:
+                for o in sxb_outputs:
+                    self._add_succ(c, o, name + " @S-XB barrier")
+
+    def add_multicast_tree(
+        self,
+        tree: RouteTree,
+        serialized: bool,
+        sxb_element=None,
+        sxb_outputs: Sequence[Channel] = (),
+    ) -> None:
+        """Add a broadcast: its request leg as a tier-1 path flow (it is
+        path-shaped until the S-XB grant) and the whole tree for tiers 2/3."""
+        self.num_flows += 1
+        name = str(tree.flow)
+        info = _TreeInfo(tree, serialized)
+        self.trees.append(info)
+        for c in tree.channels():
+            self._note_channel(c)
+        if serialized and tree.serialize_entries:
+            # the pre-grant request phase is a path packet: chain edges up
+            # to the S-XB entry plus the barrier wait
+            for entry in tree.serialize_entries:
+                chain = list(reversed(tree.ancestors(entry))) + [entry]
+                for a, b in zip(chain, chain[1:]):
+                    self._add_succ(a, b, name + " request")
+                for o in sxb_outputs:
+                    self._add_succ(entry, o, name + " request @S-XB barrier")
+        else:
+            self.concurrent_trees = True
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(v) for v in self.succ.values())
+
+    # --------------------------------------------------------- reachability
+    def _reach_plus(self, start: int) -> Set[int]:
+        """Channels reachable from ``start`` via >= 1 tier-1 edge."""
+        cached = self._reach_cache.get(start)
+        if cached is not None:
+            return cached
+        seen: Set[int] = set()
+        q = deque(self.succ.get(start, ()))
+        seen.update(self.succ.get(start, ()))
+        while q:
+            u = q.popleft()
+            for v in self.succ.get(u, ()):
+                if v not in seen:
+                    seen.add(v)
+                    q.append(v)
+        self._reach_cache[start] = seen
+        return seen
+
+    def _shortest_chain(self, start: int, goals: Set[int]) -> List[int]:
+        """A shortest >=1-edge tier-1 path from ``start`` into ``goals``."""
+        prev: Dict[int, int] = {}
+        q = deque()
+        for v in self.succ.get(start, ()):
+            if v not in prev:
+                prev[v] = start
+                q.append(v)
+        while q:
+            u = q.popleft()
+            if u in goals:
+                chain = [u]
+                while chain[-1] != start:
+                    chain.append(prev[chain[-1]])
+                return list(reversed(chain))
+            for v in self.succ.get(u, ()):
+                if v not in prev:
+                    prev[v] = u
+                    q.append(v)
+        raise RuntimeError("no chain found despite reachability")  # pragma: no cover
+
+    # -------------------------------------------------------------- tiers
+    def find_deadlock(self) -> CDGResult:
+        hazard = self._tier1() or self._tier2() or self._tier3()
+        return CDGResult(
+            deadlock_free=hazard is None,
+            hazard=hazard,
+            num_channels=len(self.channels),
+            num_edges=self.num_edges,
+            num_flows=self.num_flows,
+        )
+
+    def _tier1(self) -> Optional[DeadlockHazard]:
+        g = nx.DiGraph()
+        g.add_nodes_from(self.succ)
+        for u, vs in self.succ.items():
+            for v in vs:
+                g.add_edge(u, v)
+        try:
+            cyc = nx.find_cycle(g)
+        except nx.NetworkXNoCycle:
+            return None
+        cids = [u for u, _ in cyc]
+        flows = tuple(
+            sorted({self.edge_flows[(u, v)] for u, v in cyc})
+        )
+        return DeadlockHazard(
+            kind="path-cycle",
+            channels=tuple(self.channels[c] for c in cids),
+            flows=flows,
+        )
+
+    def _tier2(self) -> Optional[DeadlockHazard]:
+        for info in self.trees:
+            for w in info.waitable:
+                reach = self._reach_plus(w)
+                hits = reach & info.cids
+                if not hits:
+                    continue
+                for a in hits:
+                    if info.state_allows(held=a, waited=w):
+                        chain = self._shortest_chain(w, {a})
+                        cids = [w] + chain
+                        flows = tuple(
+                            sorted(
+                                {info.name}
+                                | {
+                                    self.edge_flows.get((u, v), "?")
+                                    for u, v in zip(cids, cids[1:])
+                                }
+                            )
+                        )
+                        return DeadlockHazard(
+                            kind="tree-path-cycle",
+                            channels=tuple(self.channels[c] for c in cids),
+                            flows=flows,
+                        )
+        return None
+
+    def _tier3(self) -> Optional[DeadlockHazard]:
+        if not self.concurrent_trees or len(self.trees) < 2:
+            return None
+        # meta-graph over (tree index, held channel); an edge means "tree i
+        # blocked in a state holding a can wait for w whose tier-1 closure
+        # reaches a' held by tree j"
+        meta = nx.DiGraph()
+        n = len(self.trees)
+        for i, ti in enumerate(self.trees):
+            for a in ti.cids:
+                waits = [w for w in ti.waitable if ti.state_allows(a, w)]
+                targets: Set[Tuple[int, int]] = set()
+                for w in waits:
+                    closure = {w} | self._reach_plus(w)
+                    for j in range(n):
+                        if j == i:
+                            continue
+                        for a2 in closure & self.trees[j].cids:
+                            targets.add((j, a2))
+                for t in targets:
+                    meta.add_edge((i, a), t)
+        try:
+            cyc = nx.find_cycle(meta)
+        except (nx.NetworkXNoCycle, nx.NetworkXError):
+            return None
+        states = [u for u, _ in cyc]
+        chans = tuple(self.channels[a] for _, a in states)
+        flows = tuple(sorted({self.trees[i].name for i, _ in states}))
+        return DeadlockHazard(kind="multi-tree-cycle", channels=chans, flows=flows)
+
+
+def build_cdg(
+    topo: MDCrossbar,
+    logic: SwitchLogic,
+    *,
+    include_unicasts: bool = True,
+    include_broadcasts: bool = True,
+    unicast_flows: Optional[Sequence[Unicast]] = None,
+    broadcast_sources: Optional[Sequence] = None,
+) -> ChannelDependencyGraph:
+    """Build the tiered dependency structure for all (or given) flows."""
+    from .routes import compute_route
+
+    cfg = logic.config
+    cdg = ChannelDependencyGraph()
+    serialized = cfg.broadcast_mode is BroadcastMode.SERIALIZED
+    # The drain-then-serve barrier at the S-XB only ever engages when a
+    # broadcast is pending there; without broadcasts the S-XB behaves like
+    # any other crossbar and unicasts wait for single ports only.
+    barrier_active = serialized and include_broadcasts
+    sxb_element = cfg.sxb_element if barrier_active else None
+    sxb_outputs: Tuple[Channel, ...] = (
+        tuple(topo.channels_from(cfg.sxb_element)) if barrier_active else ()
+    )
+
+    if include_unicasts:
+        if unicast_flows is not None:
+            uni = [compute_route(topo, logic, f) for f in unicast_flows]
+        else:
+            uni = route_all_unicasts(topo, logic)
+        for t in uni:
+            cdg.add_path_flow(t, sxb_element=sxb_element, sxb_outputs=sxb_outputs)
+    if include_broadcasts:
+        bc = route_all_broadcasts(topo, logic, sources=broadcast_sources)
+        for t in bc:
+            cdg.add_multicast_tree(
+                t,
+                serialized=serialized,
+                sxb_element=sxb_element,
+                sxb_outputs=sxb_outputs,
+            )
+    return cdg
+
+
+def analyze_deadlock_freedom(
+    topo: MDCrossbar,
+    logic: SwitchLogic,
+    **kwargs,
+) -> CDGResult:
+    """One-call tiered deadlock analysis (see :func:`build_cdg`)."""
+    return build_cdg(topo, logic, **kwargs).find_deadlock()

@@ -1,0 +1,337 @@
+"""Routing facility configuration (paper Sections 3.2, 4 and 5).
+
+A configuration fixes everything the network hardware is told "in advance":
+
+* the **dimension order** used by normal routing (default X-Y[-Z...]); the
+  paper notes *"if a part of the network is faulty, however, the network
+  hardware can change the routing order"* -- we use that to place a faulty
+  crossbar's dimension first, where the source-local detour can bypass it;
+* the **serialized crossbar** (S-XB) that serializes broadcasts, one of the
+  first-order-dimension crossbars;
+* the **detour crossbar** (D-XB) targeted by detour routing.  The paper's
+  deadlock-free scheme (Section 5) *sets the D-XB to the same XB as the
+  S-XB*; the deadlock-prone naive alternative keeps them distinct;
+* the **broadcast mode**: ``serialized`` (the SR2201 facility, Fig. 6) or
+  ``naive`` dimension-order multicast (deadlock-prone, Fig. 5).
+
+Placement rules enforced here (derived in DESIGN.md Section "detour"):
+
+R1. If the fault is a crossbar, its dimension must be first in the routing
+    order (otherwise the detour leg itself would need the faulty XB).
+R2. The S-XB (and D-XB) line must avoid the fault: it must not be the faulty
+    XB, and for a faulty router it must differ from the router's coordinate
+    in every dimension other than the first -- the paper's *"another XB which
+    is not connected to the faulty [router] substitutes for the S-XB"*,
+    strengthened so that no broadcast relay or detour-leg router can ever be
+    the faulty one.
+R3. The deadlock-free scheme requires ``dxb_line == sxb_line``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from itertools import product
+from typing import Optional, Sequence, Tuple
+
+from .coords import LineKey, validate_shape
+from .fault import Fault, FaultKind
+
+
+class BroadcastMode(str, enum.Enum):
+    #: SR2201 hardware facility: serialize at the S-XB (Fig. 6)
+    SERIALIZED = "serialized"
+    #: plain dimension-order multicast; deadlocks under concurrency (Fig. 5)
+    NAIVE = "naive"
+
+
+class DetourScheme(str, enum.Enum):
+    #: paper Section 5: D-XB is the S-XB -- deadlock free
+    SAFE = "safe"
+    #: Section 4 facility with an independently chosen D-XB -- deadlocks
+    #: when combined with broadcasts (Fig. 9)
+    NAIVE = "naive"
+
+
+class ConfigError(ValueError):
+    """Raised for routing configurations the facility cannot support."""
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Immutable description of the network's routing facility state.
+
+    Build one with :func:`make_config`, which applies the placement rules,
+    or construct directly (and call :meth:`validated`) in tests that need a
+    deliberately broken configuration.
+    """
+
+    shape: Tuple[int, ...]
+    #: permutation of ``range(d)``; ``order[0]`` plays the paper's X role
+    order: Tuple[int, ...]
+    #: line key of the S-XB (a dimension-``order[0]`` crossbar)
+    sxb_line: LineKey
+    #: line key of the D-XB; equals ``sxb_line`` under the SAFE scheme
+    dxb_line: LineKey
+    broadcast_mode: BroadcastMode = BroadcastMode.SERIALIZED
+    detour_scheme: DetourScheme = DetourScheme.SAFE
+    fault: Optional[Fault] = None
+    #: canonical fault set; ``fault`` is kept as the single-fault view.
+    #: The paper's facility supports one fault; multiple entries drive the
+    #: facility-extension analysis in :mod:`repro.core.multifault`.
+    faults: Tuple[Fault, ...] = ()
+
+    # -- derived views ------------------------------------------------------
+    def all_faults(self) -> Tuple[Fault, ...]:
+        if self.faults:
+            return self.faults
+        return (self.fault,) if self.fault is not None else ()
+
+    @property
+    def num_dims(self) -> int:
+        return len(self.shape)
+
+    @property
+    def first_dim(self) -> int:
+        """The dimension routed first (the X role)."""
+        return self.order[0]
+
+    def position(self, dim: int) -> int:
+        """Position of ``dim`` in the routing order."""
+        return self.order.index(dim)
+
+    def dims_after(self, dim: int) -> Tuple[int, ...]:
+        return self.order[self.position(dim) + 1 :]
+
+    def line_coord(self, line: LineKey, dim: int) -> int:
+        """Coordinate of ``line`` (a first-dim line key) in dimension ``dim``.
+
+        A line key of a dimension-``first_dim`` crossbar stores the
+        coordinates of all other dimensions in increasing dimension order.
+        """
+        if dim == self.first_dim:
+            raise ValueError("a first-dimension line has no first-dim coordinate")
+        idx = dim if dim < self.first_dim else dim - 1
+        return line[idx]
+
+    @property
+    def sxb_element(self):
+        from ..topology.base import xb
+
+        return xb(self.first_dim, self.sxb_line)
+
+    @property
+    def dxb_element(self):
+        from ..topology.base import xb
+
+        return xb(self.first_dim, self.dxb_line)
+
+    # -- validation ----------------------------------------------------------
+    def validated(self) -> "RoutingConfig":
+        shape = validate_shape(self.shape)
+        d = len(shape)
+        if sorted(self.order) != list(range(d)):
+            raise ConfigError(f"order {self.order} is not a permutation of 0..{d-1}")
+        for name, line in (("sxb_line", self.sxb_line), ("dxb_line", self.dxb_line)):
+            if len(line) != d - 1:
+                raise ConfigError(f"{name} {line} must have {d - 1} coordinates")
+            rest = [shape[k] for k in range(d) if k != self.first_dim]
+            for v, n in zip(line, rest):
+                if not 0 <= v < n:
+                    raise ConfigError(f"{name} {line} out of range for shape {shape}")
+        if self.detour_scheme is DetourScheme.SAFE and self.dxb_line != self.sxb_line:
+            raise ConfigError(
+                "SAFE detour scheme requires dxb_line == sxb_line (paper Sec. 5)"
+            )
+        if self.faults and self.fault is not None and self.fault not in self.faults:
+            raise ConfigError("fault must be a member of faults (or omitted)")
+        for f in self.all_faults():
+            self._validate_fault_placement(f)
+        return self
+
+    def _validate_fault_placement(self, f: Fault) -> None:
+        if f.kind is FaultKind.XB:
+            if f.dim != self.first_dim:
+                raise ConfigError(
+                    f"R1: faulty crossbar dimension {f.dim} must be first in the "
+                    f"routing order (got order {self.order}); reorder the dims"
+                )
+            for name, line in (("S-XB", self.sxb_line), ("D-XB", self.dxb_line)):
+                if line == f.line:
+                    raise ConfigError(f"R2: {name} must not be the faulty crossbar")
+        else:
+            assert f.coord is not None
+            for name, line in (("S-XB", self.sxb_line), ("D-XB", self.dxb_line)):
+                for k in range(self.num_dims):
+                    if k == self.first_dim or self.shape[k] == 1:
+                        continue
+                    if self.line_coord(line, k) == f.coord[k]:
+                        raise ConfigError(
+                            f"R2: {name} line {line} shares dim-{k} coordinate "
+                            f"with faulty router {f.coord}"
+                        )
+
+    def with_fault(self, fault: Optional[Fault]) -> "RoutingConfig":
+        """Re-derive a valid configuration for a new fault, keeping the
+        scheme and broadcast mode."""
+        return make_config(
+            self.shape,
+            fault=fault,
+            broadcast_mode=self.broadcast_mode,
+            detour_scheme=self.detour_scheme,
+        )
+
+    def with_faults(self, faults) -> "RoutingConfig":
+        """Re-derive a valid configuration for a new fault set."""
+        return make_config(
+            self.shape,
+            faults=tuple(faults),
+            broadcast_mode=self.broadcast_mode,
+            detour_scheme=self.detour_scheme,
+        )
+
+
+def _candidate_lines(shape: Sequence[int], first_dim: int):
+    rest = [range(n) for k, n in enumerate(shape) if k != first_dim]
+    yield from product(*rest)
+
+
+def select_order(
+    shape: Sequence[int], fault
+) -> Tuple[int, ...]:
+    """Choose a routing order: identity unless a faulty crossbar forces its
+    dimension to the front (rule R1; paper Section 3.2 'change the routing
+    order').  Accepts a single fault, a sequence of faults, or None; two
+    faulty crossbars in different dimensions are irreconcilable."""
+    d = len(shape)
+    faults = _as_faults(fault)
+    xb_dims = {f.dim for f in faults if f.kind is FaultKind.XB}
+    if len(xb_dims) > 1:
+        raise ConfigError(
+            f"R1: faulty crossbars in dimensions {sorted(xb_dims)} cannot "
+            f"all be routed first; the facility cannot cover this fault set"
+        )
+    if xb_dims:
+        (dim,) = xb_dims
+        return (dim,) + tuple(k for k in range(d) if k != dim)
+    return tuple(range(d))
+
+
+def _as_faults(fault) -> Tuple[Fault, ...]:
+    if fault is None:
+        return ()
+    if isinstance(fault, Fault):
+        return (fault,)
+    return tuple(fault)
+
+
+def select_sxb_line(
+    shape: Sequence[int],
+    order: Tuple[int, ...],
+    fault,
+    preferred: Optional[LineKey] = None,
+) -> LineKey:
+    """Choose the S-XB line: the preferred (default all-zero) line, or the
+    first line that satisfies rule R2 for every fault present."""
+    first = order[0]
+    faults = _as_faults(fault)
+    candidates = list(_candidate_lines(shape, first))
+    if preferred is not None:
+        if tuple(preferred) not in candidates:
+            raise ConfigError(f"preferred S-XB line {preferred} invalid for {shape}")
+        candidates.remove(tuple(preferred))
+        candidates.insert(0, tuple(preferred))
+    for line in candidates:
+        if all(_line_ok(line, shape, first, f) for f in faults):
+            return line
+    raise ConfigError(
+        f"no admissible S-XB line for shape {tuple(shape)} with {list(map(str, faults))}; "
+        f"the network is too small to satisfy rule R2"
+    )
+
+
+def _line_ok(
+    line: LineKey, shape: Sequence[int], first: int, fault: Fault
+) -> bool:
+    if fault.kind is FaultKind.XB:
+        return not (fault.dim == first and fault.line == line)
+    assert fault.coord is not None
+    idx = 0
+    for k in range(len(shape)):
+        if k == first:
+            continue
+        if shape[k] > 1 and line[idx] == fault.coord[k]:
+            return False
+        idx += 1
+    return True
+
+
+def select_dxb_line(
+    shape: Sequence[int],
+    order: Tuple[int, ...],
+    fault,
+    sxb_line: LineKey,
+    scheme: DetourScheme,
+) -> LineKey:
+    """Choose the D-XB line: the S-XB itself under the paper's SAFE scheme,
+    otherwise the first admissible line different from the S-XB (to make the
+    naive scheme's hazard reproducible)."""
+    if scheme is DetourScheme.SAFE:
+        return sxb_line
+    first = order[0]
+    faults = _as_faults(fault)
+    for line in _candidate_lines(shape, first):
+        if line != sxb_line and all(
+            _line_ok(line, shape, first, f) for f in faults
+        ):
+            return line
+    raise ConfigError(
+        f"no admissible distinct D-XB line for shape {tuple(shape)}; use the "
+        f"SAFE scheme or a larger network"
+    )
+
+
+def make_config(
+    shape: Sequence[int],
+    *,
+    fault: Optional[Fault] = None,
+    faults: Optional[Sequence[Fault]] = None,
+    broadcast_mode: BroadcastMode = BroadcastMode.SERIALIZED,
+    detour_scheme: DetourScheme = DetourScheme.SAFE,
+    order: Optional[Sequence[int]] = None,
+    sxb_line: Optional[LineKey] = None,
+    dxb_line: Optional[LineKey] = None,
+) -> RoutingConfig:
+    """Build and validate a routing configuration.
+
+    Everything left ``None`` is chosen automatically by the facility rules;
+    explicit values are validated and may raise :class:`ConfigError`.
+    Pass either ``fault`` (the paper's single-fault facility) or ``faults``
+    (the multi-fault extension; see :mod:`repro.core.multifault`).
+    """
+    if fault is not None and faults is not None:
+        raise ConfigError("pass either fault= or faults=, not both")
+    fset = _as_faults(faults if faults is not None else fault)
+    shp = validate_shape(shape)
+    ordr = tuple(order) if order is not None else select_order(shp, fset)
+    sline = (
+        tuple(sxb_line)
+        if sxb_line is not None
+        else select_sxb_line(shp, ordr, fset)
+    )
+    dline = (
+        tuple(dxb_line)
+        if dxb_line is not None
+        else select_dxb_line(shp, ordr, fset, sline, detour_scheme)
+    )
+    cfg = RoutingConfig(
+        shape=shp,
+        order=ordr,
+        sxb_line=sline,
+        dxb_line=dline,
+        broadcast_mode=broadcast_mode,
+        detour_scheme=detour_scheme,
+        fault=fset[0] if len(fset) == 1 else None,
+        faults=fset,
+    )
+    return cfg.validated()

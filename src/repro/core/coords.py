@@ -1,0 +1,114 @@
+"""Coordinate arithmetic for the multi-dimensional crossbar lattice.
+
+Every processing element (PE) of a d-dimensional crossbar network sits on a
+lattice point of a ``n_0 x n_1 x ... x n_{d-1}`` solid (paper, Section 3.1).
+We represent a lattice point as a tuple of ``d`` non-negative integers,
+dimension 0 being the paper's X axis, dimension 1 the Y axis and so on.
+
+A *line* of the lattice along dimension ``k`` is identified by the remaining
+coordinates; one full crossbar switch (XB) connects all lattice points of a
+line.  :func:`line_of` / :func:`point_on_line` convert between the two views.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, Sequence, Tuple
+
+Coord = Tuple[int, ...]
+#: A line along dimension ``k`` is keyed by the coordinates of the other
+#: dimensions, in increasing dimension order.
+LineKey = Tuple[int, ...]
+
+
+def validate_shape(shape: Sequence[int]) -> Tuple[int, ...]:
+    """Return ``shape`` as a tuple after sanity checks.
+
+    A valid shape has at least one dimension and every extent is >= 1
+    (degenerate extents of 1 are permitted: the paper's d=1 case is the
+    plain crossbar).
+    """
+    shp = tuple(int(n) for n in shape)
+    if len(shp) == 0:
+        raise ValueError("network shape needs at least one dimension")
+    if any(n < 1 for n in shp):
+        raise ValueError(f"all dimension extents must be >= 1, got {shp}")
+    return shp
+
+
+def validate_coord(coord: Sequence[int], shape: Sequence[int]) -> Coord:
+    """Return ``coord`` as a tuple after bounds checking against ``shape``."""
+    c = tuple(int(v) for v in coord)
+    if len(c) != len(shape):
+        raise ValueError(
+            f"coordinate {c} has {len(c)} dims, network has {len(shape)}"
+        )
+    for k, (v, n) in enumerate(zip(c, shape)):
+        if not 0 <= v < n:
+            raise ValueError(f"coordinate {c} out of range in dim {k} (extent {n})")
+    return c
+
+
+def all_coords(shape: Sequence[int]) -> Iterator[Coord]:
+    """Iterate over every lattice point, dimension 0 varying slowest."""
+    yield from product(*(range(n) for n in shape))
+
+
+def num_nodes(shape: Sequence[int]) -> int:
+    n = 1
+    for e in shape:
+        n *= e
+    return n
+
+
+def line_of(coord: Coord, dim: int) -> LineKey:
+    """Key of the dimension-``dim`` line through ``coord``.
+
+    The key is the coordinate tuple with dimension ``dim`` removed; together
+    with ``dim`` it names the crossbar switch serving that line.
+    """
+    return coord[:dim] + coord[dim + 1 :]
+
+def point_on_line(dim: int, line: LineKey, value: int) -> Coord:
+    """Lattice point on the dimension-``dim`` line ``line`` at offset ``value``."""
+    return line[:dim] + (value,) + line[dim:]
+
+
+def all_lines(shape: Sequence[int], dim: int) -> Iterator[LineKey]:
+    """Iterate over the keys of every dimension-``dim`` line."""
+    others = [range(n) for k, n in enumerate(shape) if k != dim]
+    yield from product(*others)
+
+
+def num_lines(shape: Sequence[int], dim: int) -> int:
+    """Number of dimension-``dim`` lines (= crossbars of that dimension)."""
+    return num_nodes(shape) // shape[dim]
+
+
+def differing_dims(a: Coord, b: Coord) -> Tuple[int, ...]:
+    """Dimensions in which ``a`` and ``b`` differ, ascending."""
+    return tuple(k for k, (x, y) in enumerate(zip(a, b)) if x != y)
+
+
+def hop_distance(a: Coord, b: Coord) -> int:
+    """Number of crossbar traversals between two PEs (paper: <= d hops)."""
+    return len(differing_dims(a, b))
+
+
+def lexicographic_index(coord: Coord, shape: Sequence[int]) -> int:
+    """Row-major linear index of ``coord`` (dimension 0 slowest)."""
+    idx = 0
+    for v, n in zip(coord, shape):
+        idx = idx * n + v
+    return idx
+
+
+def coord_from_index(index: int, shape: Sequence[int]) -> Coord:
+    """Inverse of :func:`lexicographic_index`."""
+    if not 0 <= index < num_nodes(shape):
+        raise ValueError(f"index {index} out of range for shape {tuple(shape)}")
+    out = []
+    for n in reversed(shape):
+        out.append(index % n)
+        index //= n
+    return tuple(reversed(out))

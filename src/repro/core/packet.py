@@ -1,0 +1,192 @@
+"""Packet, header and flit model (paper Figs. 3 and 4).
+
+A packet is a header plus data.  The header carries the receiving address --
+one coordinate per network dimension -- and the *route change* (RC) bit that
+selects among the four routings of Fig. 4:
+
+====  =========================  =============================================
+RC    name                       meaning
+====  =========================  =============================================
+0     ``NORMAL``                 dimension-order routing by receiving address
+1     ``BROADCAST_REQUEST``      en route to the serialized crossbar (S-XB)
+2     ``BROADCAST``              spreading from the S-XB to every PE
+3     ``DETOUR``                 en route to the detour crossbar (D-XB)
+====  =========================  =============================================
+
+For transmission the packet is divided into fixed-size *flits* (cut-through
+routing, Section 3.2); the header flit governs the route and the tail flit
+releases the channels the packet holds.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from .coords import Coord
+
+
+class RC(enum.IntEnum):
+    """Route-change bit values (paper Fig. 4)."""
+
+    NORMAL = 0
+    BROADCAST_REQUEST = 1
+    BROADCAST = 2
+    DETOUR = 3
+
+
+class FlitKind(enum.IntEnum):
+    HEAD = 0
+    BODY = 1
+    TAIL = 2
+    #: single-flit packet: header and tail in one flit
+    HEAD_TAIL = 3
+
+
+_packet_ids = itertools.count()
+
+
+def _next_packet_id() -> int:
+    return next(_packet_ids)
+
+
+@dataclass(frozen=True)
+class Header:
+    """Routing information carried by the header flit.
+
+    ``dest`` is the receiving address.  It is only *effective* while
+    ``rc == RC.NORMAL`` (paper Section 3.2); under the other RC values the
+    switches route by the special rules and ignore or re-interpret it.
+    ``source`` is carried for bookkeeping (the hardware does not need it for
+    routing, and none of the switch logic consults it).
+    """
+
+    source: Coord
+    dest: Coord
+    rc: RC = RC.NORMAL
+
+    def with_rc(self, rc: RC) -> "Header":
+        """Copy of this header with the RC bit rewritten (done by switches)."""
+        # hot path in the simulator: direct construction beats
+        # dataclasses.replace by ~3x
+        return Header(source=self.source, dest=self.dest, rc=rc)
+
+    def encode(self, shape: Tuple[int, ...]) -> int:
+        """Pack the header into an integer the way a header flit would.
+
+        Layout (LSB first): 2 bits RC, then ``ceil(log2 n_k)`` bits per
+        destination coordinate, then the same for the source coordinate.
+        Purely a fidelity/bookkeeping feature; the simulator passes
+        :class:`Header` objects around directly.
+        """
+        word = int(self.rc)
+        pos = 2
+        for coords in (self.dest, self.source):
+            for v, n in zip(coords, shape):
+                width = max(1, (n - 1).bit_length())
+                word |= v << pos
+                pos += width
+        return word
+
+    @staticmethod
+    def decode(word: int, shape: Tuple[int, ...]) -> "Header":
+        """Inverse of :meth:`encode`."""
+        rc = RC(word & 0b11)
+        pos = 2
+        coords = []
+        for _ in range(2):
+            c = []
+            for n in shape:
+                width = max(1, (n - 1).bit_length())
+                c.append((word >> pos) & ((1 << width) - 1))
+                pos += width
+            coords.append(tuple(c))
+        dest, source = coords
+        return Header(source=source, dest=dest, rc=rc)
+
+
+@dataclass
+class Packet:
+    """A packet: header plus a payload length in flits.
+
+    ``length`` counts every flit including the header flit; the minimum is 1
+    (a header-only packet).  ``pid`` is unique per process, ``injected_at`` /
+    ``delivered_at`` are filled in by the simulator.
+    """
+
+    header: Header
+    length: int = 4
+    pid: int = field(default_factory=_next_packet_id)
+    injected_at: Optional[int] = None
+    delivered_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("packet length must be >= 1 flit")
+
+    @property
+    def source(self) -> Coord:
+        return self.header.source
+
+    @property
+    def dest(self) -> Coord:
+        return self.header.dest
+
+    @property
+    def rc(self) -> RC:
+        return self.header.rc
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.header.rc in (RC.BROADCAST_REQUEST, RC.BROADCAST)
+
+    def flit_kinds(self) -> Tuple[FlitKind, ...]:
+        """Kinds of the packet's flits in transmission order."""
+        if self.length == 1:
+            return (FlitKind.HEAD_TAIL,)
+        return (
+            (FlitKind.HEAD,)
+            + (FlitKind.BODY,) * (self.length - 2)
+            + (FlitKind.TAIL,)
+        )
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.injected_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.injected_at
+
+
+@dataclass
+class Flit:
+    """One fixed-size unit of a packet (cut-through routing, Section 3.2).
+
+    The header flit carries the (mutable-by-switches) routing header; body and
+    tail flits follow the path the header reserved.  ``seq`` is the flit's
+    index within its packet.
+    """
+
+    packet: Packet
+    kind: FlitKind
+    seq: int
+
+    @property
+    def is_head(self) -> bool:
+        return self.kind in (FlitKind.HEAD, FlitKind.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self.kind in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Flit(p{self.packet.pid}:{self.kind.name}#{self.seq})"
+
+
+def make_flits(packet: Packet) -> Tuple[Flit, ...]:
+    """Divide ``packet`` into its sequence of flits."""
+    return tuple(
+        Flit(packet=packet, kind=kind, seq=i)
+        for i, kind in enumerate(packet.flit_kinds())
+    )

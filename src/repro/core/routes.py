@@ -1,0 +1,222 @@
+"""Static route computation: walk the distributed switch logic to a tree.
+
+The simulator exercises the switch logic dynamically; this module walks the
+same :class:`~repro.core.switch_logic.SwitchLogic` statically, producing the
+complete channel tree a packet (or broadcast) traverses.  The trees feed the
+channel-dependency-graph deadlock analysis (:mod:`repro.core.cdg`), the
+per-figure experiments, and the tests that cross-check the logic against an
+independent route oracle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from ..topology.base import Channel, ElementId, element_kind, ElementKind
+from ..topology.mdcrossbar import MDCrossbar
+from .config import RoutingConfig
+from .coords import Coord
+from .packet import RC, Header
+from .switch_logic import RoutingError, SwitchLogic
+
+
+@dataclass(frozen=True)
+class Unicast:
+    """A point-to-point flow from ``source`` to ``dest``."""
+
+    source: Coord
+    dest: Coord
+
+    def initial_header(self) -> Header:
+        return Header(source=self.source, dest=self.dest, rc=RC.NORMAL)
+
+    def __str__(self) -> str:
+        return f"p2p {self.source}->{self.dest}"
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """A broadcast flow from ``source`` to every PE."""
+
+    source: Coord
+    #: RC value at injection: BROADCAST_REQUEST under the serialized
+    #: facility, BROADCAST under the naive mode
+    initial_rc: RC = RC.BROADCAST_REQUEST
+
+    def initial_header(self) -> Header:
+        return Header(source=self.source, dest=self.source, rc=self.initial_rc)
+
+    def __str__(self) -> str:
+        return f"bcast {self.source}"
+
+
+Flow = Union[Unicast, Broadcast]
+
+
+@dataclass
+class RouteTree:
+    """The channels one flow occupies, as a tree rooted at injection.
+
+    For a unicast the tree is a path.  ``rc_on[c]`` is the RC bit the packet
+    carries while traversing channel ``c``; ``serialize_entries`` lists the
+    channels that enter the S-XB under its one-at-a-time serialization.
+    """
+
+    flow: Flow
+    root: Channel
+    parent: Dict[Channel, Optional[Channel]] = field(default_factory=dict)
+    children: Dict[Channel, List[Channel]] = field(default_factory=dict)
+    rc_on: Dict[Channel, RC] = field(default_factory=dict)
+    serialize_entries: List[Channel] = field(default_factory=list)
+    delivered: Set[Coord] = field(default_factory=set)
+    dropped_at: List[ElementId] = field(default_factory=list)
+
+    def channels(self) -> Tuple[Channel, ...]:
+        return tuple(self.parent.keys())
+
+    def ancestors(self, c: Channel) -> Tuple[Channel, ...]:
+        """Strict ancestors of ``c``, nearest first."""
+        out = []
+        p = self.parent[c]
+        while p is not None:
+            out.append(p)
+            p = self.parent[p]
+        return tuple(out)
+
+    def path_to(self, dest: Coord) -> Tuple[Channel, ...]:
+        """Injection-to-ejection channel path reaching PE ``dest``."""
+        from ..topology.base import pe
+
+        target = pe(dest)
+        leaf = next(
+            (c for c in self.parent if c.dst == target),
+            None,
+        )
+        if leaf is None:
+            raise KeyError(f"flow {self.flow} does not deliver to {dest}")
+        return tuple(reversed((leaf,) + self.ancestors(leaf)))
+
+    def elements_to(self, dest: Coord) -> Tuple[ElementId, ...]:
+        """Element sequence (PE, RTR, XB, ... PE) of the path to ``dest``."""
+        chans = self.path_to(dest)
+        return (chans[0].src,) + tuple(c.dst for c in chans)
+
+    def xb_hops_to(self, dest: Coord) -> int:
+        """Crossbar traversals on the path to ``dest`` (paper: <= d normally)."""
+        return sum(
+            1 for el in self.elements_to(dest) if element_kind(el) is ElementKind.XB
+        )
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.parent)
+
+    def rc_trace_to(self, dest: Coord) -> Tuple[RC, ...]:
+        """RC bit per channel along the path to ``dest`` (e.g. the paper's
+        detour leaves the trace NORMAL.. DETOUR.. NORMAL..)."""
+        return tuple(self.rc_on[c] for c in self.path_to(dest))
+
+
+class RouteLoopError(RoutingError):
+    """The switch logic revisited a channel: a routing loop (livelock)."""
+
+
+def compute_route(
+    topo: MDCrossbar,
+    logic: SwitchLogic,
+    flow: Flow,
+    max_steps: Optional[int] = None,
+) -> RouteTree:
+    """Trace ``flow`` through the switch logic and return its route tree.
+
+    Raises :class:`RouteLoopError` if a channel repeats (which a correct
+    configuration never produces) and propagates :class:`RoutingError` from
+    the switch logic for invalid states.
+    """
+    from ..topology.base import pe as pe_el
+
+    header = flow.initial_header()
+    if isinstance(flow, Unicast):
+        logic.check_deliverable(flow.source, flow.dest)
+    else:
+        logic.check_deliverable(flow.source, flow.source)
+
+    root = topo.injection_channel(flow.source)
+    tree = RouteTree(flow=flow, root=root)
+    tree.parent[root] = None
+    tree.children[root] = []
+    tree.rc_on[root] = header.rc
+    limit = max_steps if max_steps is not None else 4 * topo.num_channels + 16
+
+    # BFS frontier: (channel just traversed, rc carried on it)
+    frontier = deque([(root, header.rc)])
+    steps = 0
+    while frontier:
+        chan, rc = frontier.popleft()
+        el = chan.dst
+        if element_kind(el) is ElementKind.PE:
+            tree.delivered.add(el[1])
+            continue
+        steps += 1
+        if steps > limit:
+            raise RouteLoopError(
+                f"flow {flow} exceeded {limit} routing steps; livelock?"
+            )
+        decision = logic.decide(el, chan.src, header.with_rc(rc))
+        if decision.drop:
+            tree.dropped_at.append(el)
+            continue
+        for out_el in decision.outputs:
+            out_chan = topo.channel(el, out_el)
+            if out_chan in tree.parent:
+                raise RouteLoopError(
+                    f"flow {flow} revisited channel {out_chan}; routing loop"
+                )
+            tree.parent[out_chan] = chan
+            tree.children[chan].append(out_chan)
+            tree.children[out_chan] = []
+            tree.rc_on[out_chan] = decision.rc
+            frontier.append((out_chan, decision.rc))
+        if decision.serialize:
+            tree.serialize_entries.append(chan)
+    return tree
+
+
+def route_all_unicasts(
+    topo: MDCrossbar,
+    logic: SwitchLogic,
+    sources: Optional[Sequence[Coord]] = None,
+    dests: Optional[Sequence[Coord]] = None,
+) -> List[RouteTree]:
+    """Routes of every healthy (source, dest) pair (or given subsets)."""
+    dead = set(logic.registry.dead_pes())
+    nodes = [c for c in topo.node_coords() if c not in dead]
+    srcs = [c for c in (sources if sources is not None else nodes) if c not in dead]
+    dsts = [c for c in (dests if dests is not None else nodes) if c not in dead]
+    return [
+        compute_route(topo, logic, Unicast(s, t))
+        for s in srcs
+        for t in dsts
+        if s != t
+    ]
+
+
+def route_all_broadcasts(
+    topo: MDCrossbar,
+    logic: SwitchLogic,
+    sources: Optional[Sequence[Coord]] = None,
+) -> List[RouteTree]:
+    """Broadcast route trees from every healthy source (or a subset)."""
+    from .config import BroadcastMode
+
+    rc0 = (
+        RC.BROADCAST_REQUEST
+        if logic.config.broadcast_mode is BroadcastMode.SERIALIZED
+        else RC.BROADCAST
+    )
+    dead = set(logic.registry.dead_pes())
+    nodes = [c for c in topo.node_coords() if c not in dead]
+    srcs = [c for c in (sources if sources is not None else nodes) if c not in dead]
+    return [compute_route(topo, logic, Broadcast(s, rc0)) for s in srcs]

@@ -1,0 +1,176 @@
+"""One-call consistency audit over every analysis layer.
+
+:func:`self_check` cross-validates, for a given configuration, everything
+this library claims about it:
+
+1. **routes vs oracle** -- every fault-free dimension-order route matches
+   the independent oracle in :mod:`repro.core.dimension_order`;
+2. **route invariants** -- detours avoid the fault, end NORMAL, and reach
+   every healthy destination; broadcasts cover each live PE exactly once;
+3. **CDG vs certificate** -- the tiered deadlock analysis and the ordering
+   certificate agree (both prove freedom, or the analysis reports a hazard
+   and no certificate exists);
+4. **static vs dynamic** -- a sample of transfers run through the flit
+   simulator lands with the exact latency the static route predicts
+   (channels + flits) on an idle network.
+
+The CLI exposes this as ``python -m repro doctor``.  A healthy report means
+the reproduction's layers cannot silently disagree for this configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..topology.mdcrossbar import MDCrossbar
+from .cdg import analyze_deadlock_freedom
+from .config import RoutingConfig
+from .dimension_order import expected_normal_elements
+from .ordering import CertificateError, build_certificate
+from .packet import RC, Header, Packet
+from .routes import (
+    Broadcast,
+    Unicast,
+    compute_route,
+    route_all_broadcasts,
+    route_all_unicasts,
+)
+from .switch_logic import SwitchLogic
+
+
+@dataclass
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def row(self) -> str:
+        mark = "ok  " if self.passed else "FAIL"
+        return f"[{mark}] {self.name}" + (f": {self.detail}" if self.detail else "")
+
+
+@dataclass
+class SelfCheckReport:
+    shape: Tuple[int, ...]
+    checks: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def rows(self) -> List[str]:
+        return [c.row() for c in self.checks]
+
+
+def self_check(
+    topo: MDCrossbar,
+    logic: SwitchLogic,
+    simulate_samples: int = 6,
+) -> SelfCheckReport:
+    """Run the full consistency audit (see module docstring)."""
+    report = SelfCheckReport(shape=topo.shape)
+    cfg = logic.config
+    fault_free = not cfg.all_faults()
+    dead = set(logic.registry.dead_pes())
+    live = [c for c in topo.node_coords() if c not in dead]
+
+    # 1 + 2: routes
+    uni = route_all_unicasts(topo, logic)
+    oracle_ok = True
+    invariants_ok = True
+    detail = ""
+    for tree in uni:
+        flow = tree.flow
+        if flow.dest not in tree.delivered:
+            invariants_ok, detail = False, f"{flow} undelivered"
+            break
+        if tree.rc_trace_to(flow.dest)[-1] is not RC.NORMAL:
+            invariants_ok, detail = False, f"{flow} ends non-NORMAL"
+            break
+        els = tree.elements_to(flow.dest)
+        for f in cfg.all_faults():
+            if f.element in els:
+                invariants_ok, detail = False, f"{flow} crosses {f}"
+                break
+        if fault_free and els != expected_normal_elements(
+            cfg, flow.source, flow.dest
+        ):
+            oracle_ok, detail = False, f"{flow} deviates from the oracle"
+            break
+    report.checks.append(
+        CheckResult(
+            "dimension-order routes match the independent oracle"
+            if fault_free
+            else "all healthy pairs routed, faults avoided, RC ends NORMAL",
+            oracle_ok and invariants_ok,
+            detail,
+        )
+    )
+
+    # 2b: broadcast coverage
+    bc_ok, bc_detail = True, ""
+    for tree in route_all_broadcasts(topo, logic):
+        ej = [c for c in tree.channels() if c.dst[0] == "PE"]
+        if tree.delivered != set(live) or len(ej) != len(live):
+            bc_ok = False
+            bc_detail = f"{tree.flow} covered {len(tree.delivered)}/{len(live)}"
+            break
+    report.checks.append(
+        CheckResult("broadcasts cover every live PE exactly once", bc_ok, bc_detail)
+    )
+
+    # 3: CDG vs certificate
+    verdict = analyze_deadlock_freedom(topo, logic)
+    cert_err: Optional[str] = None
+    try:
+        cert = build_certificate(topo, logic)
+        cert_flows = cert.num_flows_verified
+    except CertificateError as e:
+        cert = None
+        cert_err = str(e)
+        cert_flows = 0
+    agree = (verdict.deadlock_free and cert is not None) or (
+        not verdict.deadlock_free and cert is None
+    )
+    report.checks.append(
+        CheckResult(
+            "tiered CDG analysis and ordering certificate agree",
+            agree,
+            f"deadlock_free={verdict.deadlock_free}, "
+            + (f"certificate over {cert_flows} flows" if cert else f"no certificate ({cert_err})"),
+        )
+    )
+
+    # 4: static vs dynamic latency on samples
+    from ..sim.adapter import MDCrossbarAdapter
+    from ..sim.config import SimConfig
+    from ..sim.network import NetworkSimulator
+
+    sample_pairs = []
+    for i, s in enumerate(live):
+        t = live[(i * 5 + 3) % len(live)]
+        if s != t:
+            sample_pairs.append((s, t))
+        if len(sample_pairs) >= simulate_samples:
+            break
+    dyn_ok, dyn_detail = True, f"{len(sample_pairs)} transfers checked"
+    for s, t in sample_pairs:
+        sim = NetworkSimulator(MDCrossbarAdapter(logic), SimConfig())
+        pkt = Packet(Header(source=s, dest=t), length=4)
+        sim.send(pkt)
+        sim.run()
+        tree = compute_route(topo, logic, Unicast(s, t))
+        want = len(tree.path_to(t)) + 4
+        if pkt.latency != want:
+            dyn_ok = False
+            dyn_detail = f"{s}->{t}: simulated {pkt.latency}, static {want}"
+            break
+    report.checks.append(
+        CheckResult(
+            "simulated idle latency equals static route prediction",
+            dyn_ok,
+            dyn_detail,
+        )
+    )
+    return report

@@ -1,0 +1,5 @@
+"""Reusable experiment harnesses (load sweeps and friends)."""
+
+from .sweeps import build_network, run_load_point, saturation_load, sweep
+
+__all__ = ["build_network", "run_load_point", "saturation_load", "sweep"]

@@ -1,0 +1,94 @@
+"""Latency-versus-load sweep machinery.
+
+The standard experiment loop of interconnect evaluation: drive a network
+with Bernoulli traffic at a fixed offered load, measure latency over a
+window after warmup, let the fabric drain, and sweep the load axis.  Used
+by the E8/E11/E20/E22 benches and available to downstream users directly:
+
+    from repro.experiments import sweep
+    points = sweep("md-crossbar", (8, 8), [0.1, 0.2, 0.3])
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines import make_baseline
+from ..core import SwitchLogic, make_config
+from ..sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from ..sim.stats import LatencyStats, LoadPoint
+from ..traffic import BernoulliInjector, Pattern, uniform
+
+
+def build_network(kind: str, shape, stall_limit: int = 2000):
+    """(simulator factory) for 'md-crossbar' or a baseline name."""
+    if kind == "md-crossbar":
+        from ..topology import MDCrossbar
+
+        topo = MDCrossbar(shape)
+        logic = SwitchLogic(topo, make_config(shape))
+        adapter = MDCrossbarAdapter(logic)
+        vcs = 1
+    else:
+        topo, adapter, vcs = make_baseline(kind, shape)
+    return lambda: NetworkSimulator(
+        adapter, SimConfig(num_vcs=vcs, stall_limit=stall_limit)
+    )
+
+
+def run_load_point(
+    make_sim,
+    load: float,
+    pattern: Pattern = uniform,
+    packet_length: int = 4,
+    warmup: int = 200,
+    window: int = 500,
+    drain: int = 4000,
+    seed: int = 1,
+) -> LoadPoint:
+    """One point of the latency-vs-offered-load curve."""
+    sim = make_sim()
+    gen = BernoulliInjector(
+        load=load,
+        packet_length=packet_length,
+        pattern=pattern,
+        seed=seed,
+        stop_at=warmup + window,
+        measure_from=warmup,
+        measure_until=warmup + window,
+    )
+    sim.add_generator(gen)
+    res = sim.run(max_cycles=warmup + window + drain, until_drained=False)
+    measured = gen.measured_packets(res.delivered)
+    nodes = len(sim.live_nodes)
+    accepted = (
+        sum(p.length for p in measured) / (window * nodes) if nodes else 0.0
+    )
+    return LoadPoint(
+        offered_load=load,
+        accepted_load=accepted,
+        latency=LatencyStats.from_packets(measured),
+        deadlocked=res.deadlocked,
+        cycles=res.cycles,
+    )
+
+
+def sweep(
+    kind: str,
+    shape,
+    loads: Sequence[float],
+    pattern: Pattern = uniform,
+    **kw,
+) -> List[LoadPoint]:
+    make_sim = build_network(kind, shape)
+    return [run_load_point(make_sim, load, pattern, **kw) for load in loads]
+
+
+def saturation_load(points: Sequence[LoadPoint], factor: float = 4.0) -> Optional[float]:
+    """First offered load whose mean latency exceeds ``factor`` x the
+    zero-ish-load latency (a standard saturation estimate)."""
+    base = points[0].latency.mean
+    for p in points:
+        if p.latency.count == 0 or p.latency.mean > factor * base:
+            return p.offered_load
+    return None

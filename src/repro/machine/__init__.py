@@ -1,0 +1,19 @@
+"""SR2201 machine model: configurations, units and transfer estimates."""
+
+from . import units
+from .sr2201 import (
+    MAX_PACKET_FLITS,
+    ROUTER_CYCLES_PER_HOP,
+    SR2201,
+    STANDARD_CONFIGS,
+    segment_message,
+)
+
+__all__ = [
+    "MAX_PACKET_FLITS",
+    "ROUTER_CYCLES_PER_HOP",
+    "SR2201",
+    "STANDARD_CONFIGS",
+    "segment_message",
+    "units",
+]

@@ -1,0 +1,181 @@
+"""The Hitachi SR2201 machine model (paper Sections 1-2, Fig. 1).
+
+A machine instance ties together the multi-dimensional crossbar network, the
+per-PE hardware parameters and the routing facility configuration, and
+offers both analytic and simulated end-to-end transfer estimates.  The
+SR2201 scales to 2048 PEs; :data:`STANDARD_CONFIGS` lists representative
+shipped-class configurations with their 3D (2D for the smallest) crossbar
+shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.config import BroadcastMode, DetourScheme, RoutingConfig, make_config
+from ..core.coords import Coord, hop_distance, num_nodes
+from ..core.fault import Fault
+from ..core.packet import Header, Packet, RC
+from ..core.switch_logic import SwitchLogic
+from ..sim.adapter import MDCrossbarAdapter
+from ..sim.config import SimConfig
+from ..sim.network import NetworkSimulator, SimResult
+from ..topology.mdcrossbar import MDCrossbar
+from . import units
+
+#: name -> crossbar shape of representative SR2201 configurations
+STANDARD_CONFIGS: Dict[str, Tuple[int, ...]] = {
+    "SR2201/8": (4, 2),
+    "SR2201/32": (8, 4),
+    "SR2201/64": (4, 4, 4),
+    "SR2201/256": (8, 8, 4),
+    "SR2201/1024": (16, 8, 8),
+    "SR2201/2048": (16, 16, 8),
+}
+
+#: fixed per-switch header latency assumed by the analytic model (cycles):
+#: one cycle to traverse the link plus one to route/arbitrate
+ROUTER_CYCLES_PER_HOP: int = 2
+
+#: maximum packet length the NIA generates, in flits; longer messages are
+#: segmented into a pipeline of packets (cut-through networks bound packet
+#: length so a single transfer cannot monopolize channels indefinitely)
+MAX_PACKET_FLITS: int = 256
+
+
+def segment_message(nbytes: int) -> list:
+    """Split a message into NIA packet lengths (flits), longest first.
+
+    Every packet is at most :data:`MAX_PACKET_FLITS`; the total carries the
+    whole payload.
+    """
+    flits = units.bytes_to_flits(nbytes)
+    out = []
+    while flits > 0:
+        take = min(flits, MAX_PACKET_FLITS)
+        out.append(take)
+        flits -= take
+    return out
+
+
+@dataclass
+class SR2201:
+    """One SR2201 machine: topology + routing facility + clocking."""
+
+    shape: Tuple[int, ...]
+    fault: Optional[Fault] = None
+    broadcast_mode: BroadcastMode = BroadcastMode.SERIALIZED
+    detour_scheme: DetourScheme = DetourScheme.SAFE
+    topo: MDCrossbar = field(init=False)
+    config: RoutingConfig = field(init=False)
+    logic: SwitchLogic = field(init=False)
+
+    def __post_init__(self) -> None:
+        if num_nodes(self.shape) > units.MAX_PES:
+            raise ValueError(
+                f"shape {self.shape} exceeds the SR2201 maximum of "
+                f"{units.MAX_PES} PEs"
+            )
+        self.topo = MDCrossbar(self.shape)
+        self.config = make_config(
+            self.shape,
+            fault=self.fault,
+            broadcast_mode=self.broadcast_mode,
+            detour_scheme=self.detour_scheme,
+        )
+        self.logic = SwitchLogic(self.topo, self.config)
+
+    @classmethod
+    def named(cls, name: str, **kw) -> "SR2201":
+        try:
+            shape = STANDARD_CONFIGS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown configuration {name!r}; choose from "
+                f"{sorted(STANDARD_CONFIGS)}"
+            ) from None
+        return cls(shape=shape, **kw)
+
+    # ------------------------------------------------------------ analytic
+    @property
+    def num_pes(self) -> int:
+        return num_nodes(self.shape)
+
+    @property
+    def peak_mflops(self) -> float:
+        return self.num_pes * units.PE_PEAK_MFLOPS
+
+    def transfer_cycles(self, src: Coord, dst: Coord, nbytes: int) -> int:
+        """Analytic cut-through estimate: header pipeline + payload stream.
+
+        Cut-through latency = (elements traversed) * per-hop cycles +
+        payload serialization; the crossbar hop count is at most d (paper
+        Section 3.1).
+        """
+        xb_hops = hop_distance(src, dst)
+        # PE->RTR, each XB hop adds XB+RTR, final RTR->PE
+        element_hops = 2 + 2 * xb_hops
+        payload_flits = units.bytes_to_flits(nbytes)
+        return element_hops * ROUTER_CYCLES_PER_HOP + payload_flits
+
+    def transfer_time_us(self, src: Coord, dst: Coord, nbytes: int) -> float:
+        return units.cycles_to_us(self.transfer_cycles(src, dst, nbytes))
+
+    def effective_bandwidth_mb_s(
+        self, src: Coord, dst: Coord, nbytes: int
+    ) -> float:
+        """Delivered bandwidth including header pipeline overhead."""
+        us = self.transfer_time_us(src, dst, nbytes)
+        return (nbytes / 1e6) / (us / 1e6) if us > 0 else 0.0
+
+    # ------------------------------------------------------------ simulated
+    def simulator(self, sim_config: Optional[SimConfig] = None) -> NetworkSimulator:
+        return NetworkSimulator(
+            MDCrossbarAdapter(self.logic), sim_config or SimConfig()
+        )
+
+    def simulate_transfer(
+        self, src: Coord, dst: Coord, nbytes: int
+    ) -> SimResult:
+        """Run one point-to-point transfer through the flit simulator.
+
+        Messages longer than the NIA's maximum packet length are segmented
+        into a pipeline of packets, exactly as the hardware would send them.
+        """
+        sim = self.simulator()
+        for length in segment_message(nbytes):
+            sim.send(Packet(Header(source=src, dest=dst), length=length))
+        return sim.run()
+
+    def message_time_us(self, src: Coord, dst: Coord, nbytes: int) -> float:
+        """End-to-end simulated time for a (possibly segmented) message."""
+        res = self.simulate_transfer(src, dst, nbytes)
+        done = max(p.delivered_at for p in res.delivered)
+        start = min(p.injected_at for p in res.delivered)
+        return units.cycles_to_us(done - start)
+
+    def simulate_broadcast(self, src: Coord, nbytes: int) -> SimResult:
+        sim = self.simulator()
+        sim.send(
+            Packet(
+                Header(source=src, dest=src, rc=RC.BROADCAST_REQUEST),
+                length=units.bytes_to_flits(nbytes),
+            )
+        )
+        return sim.run()
+
+    def describe(self) -> str:
+        lines = [
+            f"SR2201 {self.num_pes} PEs, {len(self.shape)}-D crossbar {self.shape}",
+            f"  peak {self.peak_mflops / 1000:.1f} GFLOPS "
+            f"({units.PE_PEAK_MFLOPS:.0f} MFLOPS x {self.num_pes} PEs)",
+            f"  links {units.LINK_BANDWIDTH_BYTES_PER_S / 1e6:.0f} MB/s, "
+            f"flit {units.FLIT_BYTES} B @ {units.CLOCK_HZ / 1e6:.0f} MHz",
+            f"  crossbars: {self.topo.crossbar_count()} "
+            f"(router ports: {self.topo.router_ports})",
+            f"  routing order {self.config.order}, S-XB line {self.config.sxb_line}",
+        ]
+        if self.fault is not None:
+            lines.append(f"  fault: {self.fault} (scheme {self.detour_scheme.value})")
+        return "\n".join(lines)

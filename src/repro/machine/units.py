@@ -1,0 +1,44 @@
+"""Physical units of the SR2201 interconnect (paper Sections 1-2).
+
+The SR2201's network moves data at 300 MB/s per link between any pair of
+PEs; each PE runs a 150 MHz PA-RISC microprocessor.  We clock the network
+model at the processor frequency, which makes one flit = 2 bytes:
+
+    150e6 cycles/s * 2 bytes/cycle = 300 MB/s.
+"""
+
+from __future__ import annotations
+
+#: network clock (Hz) -- the 150 MHz machine clock
+CLOCK_HZ: float = 150e6
+#: per-link bandwidth (bytes/s), paper Section 2
+LINK_BANDWIDTH_BYTES_PER_S: float = 300e6
+#: bytes carried by one flit in one clock
+FLIT_BYTES: int = int(LINK_BANDWIDTH_BYTES_PER_S / CLOCK_HZ)
+#: peak floating-point rate per PE (paper Section 2)
+PE_PEAK_MFLOPS: float = 300.0
+#: maximum memory per PE (paper Section 2)
+PE_MAX_MEMORY_BYTES: int = 1 << 30
+#: maximum system size (paper Section 2)
+MAX_PES: int = 2048
+
+
+def cycles_to_seconds(cycles: float) -> float:
+    return cycles / CLOCK_HZ
+
+
+def cycles_to_us(cycles: float) -> float:
+    return cycles / CLOCK_HZ * 1e6
+
+
+def seconds_to_cycles(seconds: float) -> float:
+    return seconds * CLOCK_HZ
+
+
+def bytes_to_flits(nbytes: int) -> int:
+    """Flits needed to carry ``nbytes`` of payload (at least one)."""
+    return max(1, -(-int(nbytes) // FLIT_BYTES))
+
+
+def flits_to_bytes(nflits: int) -> int:
+    return int(nflits) * FLIT_BYTES

@@ -1,0 +1,78 @@
+"""Routing adapters: how the simulator asks a network for next hops.
+
+The simulator is topology-agnostic; it needs, for each switch element, a
+next-hop decision given the input channel and the header.  Adapters provide
+that:
+
+* :class:`MDCrossbarAdapter` wraps the paper's distributed
+  :class:`~repro.core.switch_logic.SwitchLogic` (single virtual channel);
+* the baselines package provides adapters for mesh / torus / hypercube
+  dimension-order routing (the torus one uses the dateline virtual-channel
+  split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, Tuple
+
+from ..core.packet import RC, Header
+from ..core.switch_logic import SwitchLogic
+from ..topology.base import ElementId, Topology
+
+
+@dataclass(frozen=True)
+class SimDecision:
+    """A grant request: output (element, virtual channel) pairs.
+
+    ``policy`` selects the grant semantics:
+
+    * ``"all"`` (default) -- the packet needs *every* listed output
+      (unicast with one entry, multicast with several; ports are acquired
+      progressively and held);
+    * ``"any"`` -- the packet takes the *first free* output in list order
+      (adaptive routing: earlier entries are the preferred adaptive
+      choices, the last entry is the escape channel).
+
+    ``serialize`` requests the atomic FIFO one-at-a-time grant used by the
+    S-XB; ``drop`` discards the packet (destination dead).  ``rc`` is the
+    RC bit the forwarded copies carry.
+    """
+
+    outputs: Tuple[Tuple[ElementId, int], ...]
+    rc: RC
+    serialize: bool = False
+    drop: bool = False
+    policy: str = "all"
+
+
+class RoutingAdapter(Protocol):
+    """What the simulator needs from a routed network."""
+
+    topo: Topology
+
+    def decide(
+        self, element: ElementId, in_from: ElementId, in_vc: int, header: Header
+    ) -> SimDecision:
+        """Next-hop decision at ``element`` for a header that arrived from
+        ``in_from`` on virtual channel ``in_vc``."""
+        ...
+
+
+class MDCrossbarAdapter:
+    """The SR2201 network: defer to the distributed switch logic, VC 0."""
+
+    def __init__(self, logic: SwitchLogic) -> None:
+        self.logic = logic
+        self.topo = logic.topo
+
+    def decide(
+        self, element: ElementId, in_from: ElementId, in_vc: int, header: Header
+    ) -> SimDecision:
+        d = self.logic.decide(element, in_from, header)
+        return SimDecision(
+            outputs=tuple((el, 0) for el in d.outputs),
+            rc=d.rc,
+            serialize=d.serialize,
+            drop=d.drop,
+        )

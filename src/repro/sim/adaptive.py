@@ -1,0 +1,112 @@
+"""Adaptive routing on the MD crossbar: the related-work comparator.
+
+The paper's Section 1 cites the adaptive-routing literature (Linder/Harden,
+Duato, Glass/Ni, Dally/Aoki, ...) as the other road to fault tolerance and
+performance; the SR2201 deliberately chose deterministic dimension-order
+routing plus the detour facility.  This module implements the road not
+taken so the trade-off is measurable: a **minimal fully-adaptive router**
+built with Duato's methodology --
+
+* two virtual channels per physical channel;
+* VC 1 is the *adaptive* lane: at each router the packet may enter the
+  crossbar of **any** dimension in which it still needs to move;
+* VC 0 is the *escape* lane: strict dimension-order routing, whose channel
+  dependency graph is acyclic;
+* grant semantics are "first free of [adaptive choices..., escape]"
+  (``SimDecision.policy = "any"``), so a blocked packet always has the
+  escape path in its wait set and the escape subnetwork drains -- Duato's
+  deadlock-freedom condition.
+
+Point-to-point only: the hardware broadcast and detour facilities are the
+paper's deterministic mechanisms and stay on the deterministic adapter.
+Use ``SimConfig(num_vcs=2)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.config import RoutingConfig, make_config
+from ..core.coords import Coord
+from ..core.packet import RC, Header
+from ..sim.adapter import SimDecision
+from ..topology.base import ElementId, element_kind, ElementKind, pe, rtr
+from ..topology.mdcrossbar import MDCrossbar
+
+#: escape and adaptive virtual-channel indices
+ESCAPE_VC = 0
+ADAPTIVE_VC = 1
+
+
+class AdaptiveMDAdapter:
+    """Minimal fully-adaptive routing for point-to-point MD crossbar
+    traffic (Duato escape-channel construction)."""
+
+    required_vcs = 2
+
+    def __init__(self, topo: MDCrossbar, config: RoutingConfig | None = None) -> None:
+        self.topo = topo
+        self.config = config or make_config(topo.shape)
+        if self.config.all_faults():
+            raise ValueError(
+                "the adaptive comparator models the fault-free network; "
+                "fault tolerance is the deterministic facility's job"
+            )
+        self._sim = None
+
+    def attach(self, sim) -> None:
+        """Called by the simulator: enables the one-hop-lookahead congestion
+        heuristic (a router can see its own crossbars' output ports -- they
+        are the same LSI neighbourhood)."""
+        self._sim = sim
+
+    def _exit_busy(self, c: Coord, k: int, dest: Coord) -> bool:
+        """Is the dimension-``k`` crossbar's exit port toward ``dest``
+        currently held or backed up?"""
+        if self._sim is None:
+            return False
+        exit_coord = c[:k] + (dest[k],) + c[k + 1 :]
+        ch = self.topo.channel(self.topo.crossbar_of(c, k), rtr(exit_coord))
+        vc = self._sim._vcs[(ch.cid, ADAPTIVE_VC)]
+        return vc.owner is not None or vc.free_space <= 0
+
+    def decide(
+        self, element: ElementId, in_from: ElementId, in_vc: int, header: Header
+    ) -> SimDecision:
+        if header.rc is not RC.NORMAL:
+            raise ValueError(
+                "adaptive routing carries point-to-point traffic only "
+                f"(got RC={header.rc.name})"
+            )
+        kind = element_kind(element)
+        if kind is ElementKind.RTR:
+            return self._route_router(element[1], header)
+        if kind is ElementKind.XB:
+            return self._route_xb(element, in_vc, header)
+        raise ValueError(f"element {element} does not route packets")
+
+    def _route_router(self, c: Coord, h: Header) -> SimDecision:
+        if c == h.dest:
+            return SimDecision(outputs=((pe(c), 0),), rc=RC.NORMAL)
+        differing = [k for k in self.config.order if c[k] != h.dest[k]]
+        # one-hop lookahead: prefer dimensions whose crossbar exit toward
+        # the destination is currently idle
+        ranked = sorted(differing, key=lambda k: self._exit_busy(c, k, h.dest))
+        candidates: List[Tuple[ElementId, int]] = [
+            (self.topo.crossbar_of(c, k), ADAPTIVE_VC) for k in ranked
+        ]
+        # the escape: dimension-order on VC 0, always last in preference
+        candidates.append((self.topo.crossbar_of(c, differing[0]), ESCAPE_VC))
+        return SimDecision(outputs=tuple(candidates), rc=RC.NORMAL, policy="any")
+
+    def _route_xb(self, el: ElementId, in_vc: int, h: Header) -> SimDecision:
+        # The lane is chosen at the router for the whole RTR->XB->RTR hop;
+        # the crossbar continues on the same virtual channel.  (Letting an
+        # adaptive packet dip into the escape lane mid-hop would use escape
+        # channels out of dimension order and re-introduce the cycle the
+        # escape network exists to break.)
+        _, k, line = el
+        from ..core.coords import point_on_line
+
+        target = rtr(point_on_line(k, line, h.dest[k]))
+        return SimDecision(outputs=((target, in_vc),), rc=RC.NORMAL)

@@ -1,0 +1,62 @@
+"""Simulator configuration.
+
+The SR2201 transmits packets with cut-through routing (paper Section 3.2):
+the header flit advances as soon as its output port is free, and a blocked
+packet keeps every channel it has acquired.  ``buffer_depth`` selects the
+flavour: shallow buffers give wormhole-like behaviour (flits strung across
+the path -- required to reproduce the paper's deadlock figures), while
+``buffer_depth >= packet length`` gives virtual cut-through (a blocked
+packet collapses into one buffer and releases its upstream channels as the
+tail drains).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Switching(str, enum.Enum):
+    """Named buffer presets; both run the same flit pipeline."""
+
+    WORMHOLE = "wormhole"
+    VIRTUAL_CUT_THROUGH = "vct"
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of the cycle-driven flit-level simulator."""
+
+    #: flit capacity of each (virtual) channel's input buffer
+    buffer_depth: int = 2
+    #: virtual channels per physical channel (MD crossbar needs 1; the
+    #: torus baseline's dimension-order routing needs 2 for the dateline)
+    num_vcs: int = 1
+    #: declare deadlock after this many cycles without any flit movement
+    #: while packets are in flight
+    stall_limit: int = 1000
+    #: hard stop for a run (safety net; experiments set their own horizon)
+    max_cycles: int = 1_000_000
+    #: flits per packet used by generators that do not specify a length
+    default_packet_length: int = 4
+
+    def __post_init__(self) -> None:
+        if self.buffer_depth < 1:
+            raise ValueError("buffer_depth must be >= 1")
+        if self.num_vcs < 1:
+            raise ValueError("num_vcs must be >= 1")
+        if self.stall_limit < 1:
+            raise ValueError("stall_limit must be >= 1")
+
+    @staticmethod
+    def wormhole(**kw) -> "SimConfig":
+        """Shallow-buffer cut-through (the paper's deadlock-relevant mode)."""
+        kw.setdefault("buffer_depth", 2)
+        return SimConfig(**kw)
+
+    @staticmethod
+    def virtual_cut_through(packet_length: int = 4, **kw) -> "SimConfig":
+        """Buffers deep enough to swallow a whole blocked packet."""
+        kw.setdefault("buffer_depth", max(2, packet_length))
+        kw.setdefault("default_packet_length", packet_length)
+        return SimConfig(**kw)

@@ -1,0 +1,144 @@
+"""Fabric state of the flit-level simulator: flits in flight, virtual
+channels, switch connections and pending grant requests.
+
+The resource model mirrors cut-through hardware (paper Section 3.2):
+
+* every unidirectional channel has, per virtual channel, an input FIFO at
+  its downstream element and an *owner* -- the packet currently granted the
+  upstream output port.  The owner holds the port from header grant until
+  its tail flit has been pushed into the FIFO;
+* a switch forwards a packet through a :class:`Connection` from one input
+  (channel, vc) to one or more outputs; multicast connections move a flit
+  only when every branch has buffer space (the branches carry copies in
+  lockstep, as a crossbar broadcast does);
+* a header that cannot be granted yet is a :class:`PendingRequest`;
+  non-serialized requests *reserve* output ports progressively as they free
+  up and hold the reservations while waiting for the rest -- exactly the
+  acquire-and-hold behaviour that deadlocks the naive broadcast of the
+  paper's Fig. 5.  Serialized requests (the S-XB) are granted atomically in
+  FIFO order instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..core.packet import FlitKind, Header, Packet
+from ..topology.base import Channel, ElementId
+from .adapter import SimDecision
+
+#: (channel cid, virtual channel index)
+VCKey = Tuple[int, int]
+
+
+@dataclass
+class SimFlit:
+    """A flit in flight.  Only head flits carry a header (switches rewrite
+    the RC bit on the header as the packet moves, so each multicast branch
+    gets its own copy)."""
+
+    pid: int
+    kind: FlitKind
+    seq: int
+    header: Optional[Header] = None
+
+    @property
+    def is_head(self) -> bool:
+        return self.kind in (FlitKind.HEAD, FlitKind.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self.kind in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
+
+
+@dataclass
+class VCState:
+    """One virtual channel of one physical channel."""
+
+    channel: Channel
+    vc: int
+    capacity: int
+    buffer: Deque[SimFlit] = field(default_factory=deque)
+    #: packet granted the upstream output port, None when free
+    owner: Optional[int] = None
+
+    @property
+    def key(self) -> VCKey:
+        return (self.channel.cid, self.vc)
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - len(self.buffer)
+
+    def head(self) -> Optional[SimFlit]:
+        return self.buffer[0] if self.buffer else None
+
+    def popleft_checked(self, pid: int) -> SimFlit:
+        flit = self.buffer.popleft()
+        if flit.pid != pid:  # pragma: no cover - guards an engine invariant
+            raise AssertionError(
+                f"flit of packet {flit.pid} at head of {self.channel} "
+                f"while connection belongs to packet {pid}"
+            )
+        return flit
+
+
+@dataclass
+class Connection:
+    """An established input->outputs circuit through a switch.
+
+    ``cin`` is None for the injection pseudo-connection at a PE, whose flits
+    come from ``supply`` instead of an input buffer.
+    """
+
+    pid: int
+    element: ElementId
+    cin: Optional[VCKey]
+    couts: Tuple[VCKey, ...]
+    #: flits not yet transmitted, for injection connections only
+    supply: Optional[Deque[SimFlit]] = None
+    started_at: int = 0
+
+    @property
+    def is_injection(self) -> bool:
+        return self.cin is None
+
+
+@dataclass
+class PendingRequest:
+    """A routed header waiting for its output grant at a switch."""
+
+    pid: int
+    element: ElementId
+    cin: VCKey
+    decision: SimDecision
+    wanted: Tuple[VCKey, ...]
+    reserved: Set[VCKey] = field(default_factory=set)
+    arrived_at: int = 0
+
+    @property
+    def missing(self) -> Tuple[VCKey, ...]:
+        return tuple(k for k in self.wanted if k not in self.reserved)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+@dataclass
+class InFlightPacket:
+    """Book-keeping for one injected packet."""
+
+    packet: Packet
+    expected_deliveries: int
+    deliveries: int = 0
+    dropped: bool = False
+    #: PEs that have received this packet (used to rebase a broadcast's
+    #: expectation when a PE dies mid-spread)
+    served: set = field(default_factory=set)
+
+    @property
+    def done(self) -> bool:
+        return self.dropped or self.deliveries >= self.expected_deliveries

@@ -1,0 +1,161 @@
+"""Simulation observability: time-series sampling and event capture.
+
+:class:`SimMonitor` attaches to a :class:`~repro.sim.network.NetworkSimulator`
+as a per-cycle generator and samples occupancy counters (in-flight packets,
+buffered flits, blocked grant requests, active connections, source-queue
+depth).  The series expose congestion build-up, the serialization plateau of
+broadcast storms, and the tell-tale flatline of a deadlock.
+
+:class:`TextTrace` captures the simulator's event log (injections, grants,
+drops, completions) into a bounded buffer for post-mortem inspection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .network import NetworkSimulator
+
+
+@dataclass
+class Sample:
+    """One snapshot of the fabric."""
+
+    cycle: int
+    in_flight: int
+    buffered_flits: int
+    blocked_requests: int
+    active_connections: int
+    queued_packets: int
+
+    def row(self) -> str:
+        return (
+            f"cycle={self.cycle:<7} in_flight={self.in_flight:<4} "
+            f"buffered={self.buffered_flits:<5} blocked={self.blocked_requests:<4} "
+            f"connections={self.active_connections:<4} queued={self.queued_packets}"
+        )
+
+
+class SimMonitor:
+    """Samples fabric occupancy every ``interval`` cycles.
+
+    Attach before running::
+
+        mon = SimMonitor(sim, interval=10)
+        sim.run(...)
+        print(mon.summary())
+    """
+
+    def __init__(self, sim: NetworkSimulator, interval: int = 10) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.sim = sim
+        self.interval = interval
+        self.samples: List[Sample] = []
+        sim.add_generator(self._on_cycle)
+
+    def _on_cycle(self, sim: NetworkSimulator) -> None:
+        if sim.cycle % self.interval:
+            return
+        buffered = sum(len(vc.buffer) for vc in sim._vcs.values())
+        queued = sum(len(q) for q in sim._source_queues.values())
+        blocked = len(sim._pending) + sum(
+            len(q) for q in sim._serial_queues.values()
+        )
+        self.samples.append(
+            Sample(
+                cycle=sim.cycle,
+                in_flight=len(sim._in_flight),
+                buffered_flits=buffered,
+                blocked_requests=blocked,
+                active_connections=len(sim._connections),
+                queued_packets=queued,
+            )
+        )
+
+    # -- analysis ------------------------------------------------------------
+    def peak_in_flight(self) -> int:
+        return max((s.in_flight for s in self.samples), default=0)
+
+    def peak_buffered(self) -> int:
+        return max((s.buffered_flits for s in self.samples), default=0)
+
+    def stalled_tail(self) -> int:
+        """Number of trailing samples with blocked requests but no change
+        in buffered flits: a long tail is the signature of deadlock."""
+        n = 0
+        prev: Optional[Sample] = None
+        for s in reversed(self.samples):
+            if prev is not None and (
+                s.buffered_flits != prev.buffered_flits or s.blocked_requests == 0
+            ):
+                break
+            if s.blocked_requests > 0:
+                n += 1
+            prev = s
+        return n
+
+    def summary(self, last: int = 5) -> str:
+        lines = [
+            f"{len(self.samples)} samples every {self.interval} cycles; "
+            f"peak in-flight {self.peak_in_flight()}, "
+            f"peak buffered flits {self.peak_buffered()}"
+        ]
+        lines += ["  " + s.row() for s in self.samples[-last:]]
+        return "\n".join(lines)
+
+
+class TextTrace:
+    """Bounded capture of the simulator's event log.
+
+    Pass ``TextTrace(limit).hook`` as the simulator's ``trace`` argument::
+
+        trace = TextTrace(500)
+        sim = NetworkSimulator(adapter, config, trace=trace.hook)
+    """
+
+    def __init__(self, limit: int = 1000) -> None:
+        self.limit = limit
+        self.events: Deque[Tuple[int, str]] = deque(maxlen=limit)
+
+    def hook(self, cycle: int, message: str) -> None:
+        self.events.append((cycle, message))
+
+    def matching(self, needle: str) -> List[Tuple[int, str]]:
+        return [(c, m) for c, m in self.events if needle in m]
+
+    def dump(self, last: int = 50) -> str:
+        items = list(self.events)[-last:]
+        return "\n".join(f"[{c:>6}] {m}" for c, m in items)
+
+
+def channel_load_heatmap(
+    sim: NetworkSimulator, busy: Dict[int, int], cycles: int
+) -> str:
+    """ASCII per-PE heat of adjacent channel utilization (2D networks).
+
+    Each cell shows the mean busy fraction of the channels touching that
+    PE's router, 0-9 scaled; hotspots (e.g. the S-XB row under broadcast
+    load) stand out.
+    """
+    topo = sim.topo
+    if len(topo.shape) != 2:
+        raise ValueError("heatmap renders 2D networks only")
+    nx_, ny = topo.shape
+    rows = []
+    for y in range(ny):
+        cells = []
+        for x in range(nx_):
+            rtr_el = ("RTR", (x, y))
+            cids = [c.cid for c in topo.channels_from(rtr_el)] + [
+                c.cid for c in topo.channels_to(rtr_el)
+            ]
+            if cycles <= 0 or not cids:
+                cells.append(".")
+                continue
+            frac = sum(busy.get(cid, 0) for cid in cids) / (len(cids) * cycles)
+            cells.append(str(min(9, int(frac * 10))))
+        rows.append(" ".join(cells))
+    return "\n".join(rows)

@@ -1,0 +1,114 @@
+"""Statistics over simulation results: latency distributions, accepted
+throughput, channel utilization and latency-versus-load sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.packet import Packet
+from .network import NetworkSimulator, SimResult
+
+
+@dataclass
+class LatencyStats:
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    max: int
+    min: int
+
+    @staticmethod
+    def from_packets(packets: Sequence[Packet]) -> "LatencyStats":
+        lats = np.array(
+            [p.latency for p in packets if p.latency is not None], dtype=float
+        )
+        if lats.size == 0:
+            nan = float("nan")
+            return LatencyStats(0, nan, nan, nan, nan, 0, 0)
+        return LatencyStats(
+            count=int(lats.size),
+            mean=float(lats.mean()),
+            median=float(np.median(lats)),
+            p95=float(np.percentile(lats, 95)),
+            p99=float(np.percentile(lats, 99)),
+            max=int(lats.max()),
+            min=int(lats.min()),
+        )
+
+    def row(self) -> str:
+        return (
+            f"n={self.count:6d} mean={self.mean:8.2f} median={self.median:7.1f} "
+            f"p95={self.p95:8.1f} p99={self.p99:8.1f} max={self.max:6d}"
+        )
+
+
+@dataclass
+class ThroughputStats:
+    """Accepted throughput in flits per node per cycle over a window."""
+
+    delivered_packets: int
+    delivered_flits: int
+    cycles: int
+    nodes: int
+
+    @property
+    def flits_per_node_per_cycle(self) -> float:
+        if self.cycles == 0 or self.nodes == 0:
+            return 0.0
+        return self.delivered_flits / (self.cycles * self.nodes)
+
+    @staticmethod
+    def from_result(
+        result: SimResult, nodes: int, window: Optional[int] = None
+    ) -> "ThroughputStats":
+        cycles = window if window is not None else result.cycles
+        flits = sum(p.length for p in result.delivered)
+        return ThroughputStats(
+            delivered_packets=len(result.delivered),
+            delivered_flits=flits,
+            cycles=cycles,
+            nodes=nodes,
+        )
+
+
+def channel_utilization(
+    result: SimResult, sim: NetworkSimulator
+) -> Dict[int, float]:
+    """Busy fraction per channel cid over the run."""
+    if result.cycles == 0:
+        return {}
+    return {
+        cid: busy / result.cycles for cid, busy in result.channel_busy.items()
+    }
+
+
+def top_utilized_channels(
+    result: SimResult, sim: NetworkSimulator, k: int = 10
+) -> List[str]:
+    util = channel_utilization(result, sim)
+    chans = {c.cid: c for c in sim.topo.channels()}
+    top = sorted(util.items(), key=lambda kv: kv[1], reverse=True)[:k]
+    return [f"{chans[cid]!r}: {frac:.2%}" for cid, frac in top]
+
+
+@dataclass
+class LoadPoint:
+    """One point of a latency-versus-offered-load curve."""
+
+    offered_load: float
+    accepted_load: float
+    latency: LatencyStats
+    deadlocked: bool
+    cycles: int
+
+    def row(self) -> str:
+        return (
+            f"load={self.offered_load:5.3f} accepted={self.accepted_load:5.3f} "
+            f"{self.latency.row()}"
+            + ("  [DEADLOCK]" if self.deadlocked else "")
+        )

@@ -1,0 +1,33 @@
+"""Network topologies: the MD crossbar plus the paper's comparison points."""
+
+from .base import (
+    Channel,
+    ElementId,
+    ElementKind,
+    Topology,
+    element_kind,
+    pe,
+    rtr,
+    xb,
+)
+from .fullcrossbar import FullCrossbar
+from .hypercube import Hypercube
+from .mdcrossbar import MDCrossbar
+from .mesh import Mesh
+from .torus import Torus
+
+__all__ = [
+    "Channel",
+    "ElementId",
+    "ElementKind",
+    "FullCrossbar",
+    "Hypercube",
+    "MDCrossbar",
+    "Mesh",
+    "Topology",
+    "Torus",
+    "element_kind",
+    "pe",
+    "rtr",
+    "xb",
+]

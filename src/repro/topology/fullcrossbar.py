@@ -1,0 +1,25 @@
+"""Conventional single-crossbar network: the paper's d = 1 reference point.
+
+An ``n x n`` crossbar switch connects every PE to every other in one hop and
+is conflict free for (almost) all communication patterns (paper Section 3.1);
+it is the ideal the MD crossbar approximates at much lower switch cost.
+Implemented as the one-dimensional :class:`MDCrossbar` so that all routing
+and simulation machinery applies unchanged.
+"""
+
+from __future__ import annotations
+
+from .mdcrossbar import MDCrossbar
+
+
+class FullCrossbar(MDCrossbar):
+    """A conventional ``n x n`` crossbar network (one XB, n routers)."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("crossbar needs at least one PE")
+        super().__init__((n,))
+
+    @property
+    def n(self) -> int:
+        return self.shape[0]

@@ -1,0 +1,59 @@
+"""Binary hypercube baseline (paper Sections 1 and 3.1).
+
+The paper notes that an MD crossbar with every extent equal to 2 *is* a
+hypercube, and that a hypercube router needs ``log2(n) + 1`` ports, which
+limits the physical channel width -- the motivation for the MD crossbar's
+low-dimension design.  Nodes are addressed by binary coordinate tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.coords import Coord, all_coords, validate_coord
+from .base import ElementId, Topology, pe, rtr
+
+
+class Hypercube(Topology):
+    """A ``dims``-dimensional binary hypercube (2**dims PEs)."""
+
+    def __init__(self, dims: int) -> None:
+        if dims < 1:
+            raise ValueError("hypercube needs at least one dimension")
+        super().__init__((2,) * dims)
+        for c in all_coords(self.shape):
+            self._add_element(pe(c))
+            self._add_element(rtr(c))
+        for c in all_coords(self.shape):
+            self._add_duplex(pe(c), rtr(c))
+            for k in range(self.num_dims):
+                if c[k] == 0:
+                    nb = c[:k] + (1,) + c[k + 1 :]
+                    self._add_duplex(rtr(c), rtr(nb))
+
+    @classmethod
+    def with_nodes(cls, n: int) -> "Hypercube":
+        """Hypercube with ``n`` PEs; ``n`` must be a power of two."""
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"hypercube size must be a power of two, got {n}")
+        return cls(n.bit_length() - 1)
+
+    def router(self, coord: Coord) -> ElementId:
+        return rtr(validate_coord(coord, self.shape))
+
+    def neighbor(self, coord: Coord, dim: int) -> Coord:
+        return coord[:dim] + (1 - coord[dim],) + coord[dim + 1 :]
+
+    @property
+    def router_ports(self) -> int:
+        """PE port plus one per dimension: log2(n) + 1 (paper Section 3.1)."""
+        return self.num_dims + 1
+
+    @property
+    def diameter_hops(self) -> int:
+        return self.num_dims
+
+    @staticmethod
+    def coord_of(index: int, dims: int) -> Tuple[int, ...]:
+        """Binary coordinate tuple of node ``index`` (MSB = dimension 0)."""
+        return tuple((index >> (dims - 1 - k)) & 1 for k in range(dims))

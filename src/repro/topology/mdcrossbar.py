@@ -1,0 +1,111 @@
+"""The multi-dimensional crossbar network of the SR2201 (paper Section 3.1).
+
+Definition (paper, Section 3.1), for a d-dimensional crossbar network:
+
+(a) the number of PEs factorizes as ``n = n_0 * n_1 * ... * n_{d-1}``;
+(b) each PE corresponds to a lattice point of a d-dimensional solid, and the
+    lattice points in a line are connected by a common crossbar switch (XB)
+    providing direct connections from any input port to any output port, so
+    each PE is served by d crossbars;
+(c) each PE connects to a relay switch (router, RTR) that joins the PE with
+    its d crossbars; the router is a (d+1)x(d+1) crossbar.
+
+Degenerate cases called out by the paper: with ``d == 1`` this is a plain
+``n x n`` crossbar; with ``n_k == 2`` for all k (``d == log2 n``) the routers
+are pairwise directly connected and the network is a hypercube.
+
+Element graph produced here::
+
+    PE(c)  <->  RTR(c)                          for every lattice point c
+    RTR(c) <->  XB(k, line_of(c, k))            for every dimension k
+
+Each direction of each ``<->`` is a distinct unidirectional :class:`Channel`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.coords import (
+    Coord,
+    all_coords,
+    all_lines,
+    line_of,
+    num_lines,
+    num_nodes,
+    point_on_line,
+    validate_coord,
+)
+from .base import Channel, ElementId, Topology, pe, rtr, xb
+
+
+class MDCrossbar(Topology):
+    """A d-dimensional crossbar network of shape ``(n_0, ..., n_{d-1})``."""
+
+    def __init__(self, shape: Sequence[int]) -> None:
+        super().__init__(shape)
+        for c in all_coords(self.shape):
+            self._add_element(pe(c))
+            self._add_element(rtr(c))
+        for k in range(self.num_dims):
+            for line in all_lines(self.shape, k):
+                self._add_element(xb(k, line))
+        for c in all_coords(self.shape):
+            self._add_duplex(pe(c), rtr(c))
+            for k in range(self.num_dims):
+                self._add_duplex(rtr(c), xb(k, line_of(c, k)))
+
+    # -- MD-crossbar-specific helpers --------------------------------------
+    def router(self, coord: Coord) -> ElementId:
+        return rtr(validate_coord(coord, self.shape))
+
+    def crossbar(self, dim: int, line: Tuple[int, ...]) -> ElementId:
+        el = xb(dim, line)
+        if not self.has_element(el):
+            raise KeyError(f"no crossbar dim={dim} line={line}")
+        return el
+
+    def crossbar_of(self, coord: Coord, dim: int) -> ElementId:
+        """The dimension-``dim`` crossbar serving the PE at ``coord``."""
+        c = validate_coord(coord, self.shape)
+        return xb(dim, line_of(c, dim))
+
+    def routers_on(self, xb_el: ElementId) -> Tuple[ElementId, ...]:
+        """Routers attached to a crossbar, in increasing coordinate order."""
+        _, dim, line = xb_el
+        return tuple(
+            rtr(point_on_line(dim, line, v)) for v in range(self.shape[dim])
+        )
+
+    def xb_to_rtr(self, xb_el: ElementId, value: int) -> Channel:
+        """Channel from ``xb_el`` to the router at offset ``value`` on its line."""
+        _, dim, line = xb_el
+        return self.channel(xb_el, rtr(point_on_line(dim, line, value)))
+
+    def rtr_to_xb(self, coord: Coord, dim: int) -> Channel:
+        return self.channel(rtr(coord), self.crossbar_of(coord, dim))
+
+    # -- paper Section 3.1 structural facts --------------------------------
+    @property
+    def router_ports(self) -> int:
+        """Ports per router: one PE port plus one per dimension (d+1)."""
+        return self.num_dims + 1
+
+    @property
+    def diameter_hops(self) -> int:
+        """Maximum crossbar traversals between any two PEs (= d, or fewer if
+        some dimensions are degenerate)."""
+        return sum(1 for n in self.shape if n > 1)
+
+    def crossbar_count(self) -> int:
+        """Total number of XB switches."""
+        return sum(num_lines(self.shape, k) for k in range(self.num_dims))
+
+    def is_plain_crossbar(self) -> bool:
+        """True for the d=1 degenerate case (a conventional n x n crossbar)."""
+        return sum(1 for n in self.shape if n > 1) <= 1
+
+    def is_hypercube_equivalent(self) -> bool:
+        """True when every extent is 2, i.e. routers pair up directly
+        (paper: ``d = log2 n`` makes the MD crossbar a hypercube)."""
+        return all(n == 2 for n in self.shape) and num_nodes(self.shape) >= 2

@@ -1,0 +1,49 @@
+"""k-ary d-dimensional mesh baseline (cf. CRAY-style direct networks).
+
+Routers are wired point-to-point to their lattice neighbours; there are no
+separate crossbar switches.  Used for the paper's Section 3.1 comparison of
+conflicts, distances and channel width against the MD crossbar.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.coords import Coord, all_coords, validate_coord
+from .base import ElementId, Topology, pe, rtr
+
+
+class Mesh(Topology):
+    """d-dimensional mesh of shape ``(n_0, ..., n_{d-1})``."""
+
+    def __init__(self, shape: Sequence[int]) -> None:
+        super().__init__(shape)
+        for c in all_coords(self.shape):
+            self._add_element(pe(c))
+            self._add_element(rtr(c))
+        for c in all_coords(self.shape):
+            self._add_duplex(pe(c), rtr(c))
+            for k in range(self.num_dims):
+                if c[k] + 1 < self.shape[k]:
+                    nb = c[:k] + (c[k] + 1,) + c[k + 1 :]
+                    self._add_duplex(rtr(c), rtr(nb))
+
+    def router(self, coord: Coord) -> ElementId:
+        return rtr(validate_coord(coord, self.shape))
+
+    def neighbor(self, coord: Coord, dim: int, direction: int) -> Coord:
+        """Neighbour of ``coord`` along ``dim`` (+1 or -1); raises at edges."""
+        v = coord[dim] + direction
+        if not 0 <= v < self.shape[dim]:
+            raise ValueError(f"{coord} has no dim-{dim} neighbour at offset {direction}")
+        return coord[:dim] + (v,) + coord[dim + 1 :]
+
+    @property
+    def router_ports(self) -> int:
+        """Ports of an interior router: PE plus two per dimension."""
+        return 1 + 2 * sum(1 for n in self.shape if n > 1)
+
+    @property
+    def diameter_hops(self) -> int:
+        """Maximum router-to-router hops between two PEs."""
+        return sum(n - 1 for n in self.shape)

@@ -1,0 +1,57 @@
+"""k-ary d-dimensional torus baseline (CRAY T3D-style, paper Section 1).
+
+Like :class:`~repro.topology.mesh.Mesh` but with wrap-around links.  With
+dimension-order routing a torus needs two virtual channels per physical
+channel to stay deadlock free (the classic Dally/Seitz dateline scheme);
+the simulator honours the per-topology ``required_vcs`` attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.coords import Coord, all_coords, validate_coord
+from .base import ElementId, Topology, pe, rtr
+
+
+class Torus(Topology):
+    """d-dimensional torus of shape ``(n_0, ..., n_{d-1})``."""
+
+    #: dimension-order routing on a torus needs a dateline VC split
+    required_vcs = 2
+
+    def __init__(self, shape: Sequence[int]) -> None:
+        super().__init__(shape)
+        if any(n == 2 for n in self.shape):
+            # With extent 2 the +1 and -1 neighbours coincide; the duplex
+            # helper would create duplicate channels.  Treat extent-2 rings
+            # as single links.
+            pass
+        for c in all_coords(self.shape):
+            self._add_element(pe(c))
+            self._add_element(rtr(c))
+        for c in all_coords(self.shape):
+            self._add_duplex(pe(c), rtr(c))
+            for k in range(self.num_dims):
+                n = self.shape[k]
+                if n == 1:
+                    continue
+                nxt = c[:k] + ((c[k] + 1) % n,) + c[k + 1 :]
+                if n == 2 and c[k] == 1:
+                    continue  # the 0->1 pair already created both directions
+                self._add_duplex(rtr(c), rtr(nxt))
+
+    def router(self, coord: Coord) -> ElementId:
+        return rtr(validate_coord(coord, self.shape))
+
+    def neighbor(self, coord: Coord, dim: int, direction: int) -> Coord:
+        n = self.shape[dim]
+        return coord[:dim] + ((coord[dim] + direction) % n,) + coord[dim + 1 :]
+
+    @property
+    def router_ports(self) -> int:
+        return 1 + 2 * sum(1 for n in self.shape if n > 1)
+
+    @property
+    def diameter_hops(self) -> int:
+        return sum(n // 2 for n in self.shape)

@@ -1,0 +1,63 @@
+"""Workload generation: synthetic patterns and injection processes."""
+
+from .applications import (
+    KERNELS,
+    PhasedWorkload,
+    WorkloadResult,
+    alltoall_phases,
+    compare_topologies,
+    fft_phases,
+    stencil_phases,
+    sweep_phases,
+)
+from .generators import (
+    BernoulliInjector,
+    BroadcastInjector,
+    ScenarioScript,
+    TimedSend,
+)
+from .tracefile import TraceEntry, TraceRecorder, WorkloadTrace
+from .patterns import (
+    PATTERNS,
+    Pattern,
+    bit_complement,
+    bit_reversal,
+    get_pattern,
+    make_hotspot,
+    make_permutation,
+    neighbor,
+    shuffle,
+    tornado,
+    transpose,
+    uniform,
+)
+
+__all__ = [
+    "BernoulliInjector",
+    "KERNELS",
+    "PhasedWorkload",
+    "WorkloadResult",
+    "alltoall_phases",
+    "compare_topologies",
+    "fft_phases",
+    "stencil_phases",
+    "sweep_phases",
+    "TraceEntry",
+    "TraceRecorder",
+    "WorkloadTrace",
+    "BroadcastInjector",
+    "PATTERNS",
+    "Pattern",
+    "ScenarioScript",
+    "TimedSend",
+    "bit_complement",
+    "bit_reversal",
+    "get_pattern",
+    "make_hotspot",
+    "make_permutation",
+    "neighbor",
+    "shuffle",
+    "tornado",
+    "transpose",
+    "uniform",
+]

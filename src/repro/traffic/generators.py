@@ -1,0 +1,166 @@
+"""Traffic injection processes for the flit-level simulator.
+
+:class:`BernoulliInjector` drives open-loop random traffic at a configured
+offered load (flits per node per cycle) -- the standard workload for
+latency-versus-load curves.  :class:`BroadcastInjector` adds hardware
+broadcasts at a Poisson-like rate.  :class:`ScenarioScript` replays an exact
+timed list of packets, used by the per-figure experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.coords import Coord
+from ..core.packet import Header, Packet, RC
+from ..sim.network import NetworkSimulator
+from .patterns import Pattern, uniform
+
+
+class BernoulliInjector:
+    """Open-loop Bernoulli injection at a fixed offered load.
+
+    Each cycle, each live PE starts a new packet with probability
+    ``load / packet_length`` (so the offered load in flits/node/cycle is
+    ``load``).  Destinations come from ``pattern``.  Packets injected inside
+    the measurement window are tagged for statistics; the generator stops
+    offering traffic after ``stop_at`` so the network can drain.
+    """
+
+    def __init__(
+        self,
+        load: float,
+        packet_length: int = 4,
+        pattern: Pattern = uniform,
+        seed: int = 1,
+        start_at: int = 0,
+        stop_at: Optional[int] = None,
+        measure_from: int = 0,
+        measure_until: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("offered load must be in [0, 1] flits/node/cycle")
+        self.load = load
+        self.packet_length = packet_length
+        self.pattern = pattern
+        self.rng = np.random.default_rng(seed)
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.measure_from = measure_from
+        self.measure_until = measure_until
+        self.offered = 0
+        self.measured_pids: set = set()
+
+    @property
+    def packet_rate(self) -> float:
+        return self.load / self.packet_length
+
+    def __call__(self, sim: NetworkSimulator) -> None:
+        cycle = sim.cycle
+        if cycle < self.start_at:
+            return
+        if self.stop_at is not None and cycle >= self.stop_at:
+            return
+        shape = sim.topo.shape
+        for src in sim.live_nodes:
+            if self.rng.random() >= self.packet_rate:
+                continue
+            dest = self.pattern(src, shape, self.rng)
+            if dest == src:
+                continue
+            if dest not in sim.live_nodes:
+                continue
+            pkt = Packet(
+                Header(source=src, dest=dest), length=self.packet_length
+            )
+            sim.send(pkt)
+            self.offered += 1
+            if cycle >= self.measure_from and (
+                self.measure_until is None or cycle < self.measure_until
+            ):
+                self.measured_pids.add(pkt.pid)
+
+    def measured_packets(self, delivered: Sequence[Packet]) -> List[Packet]:
+        return [p for p in delivered if p.pid in self.measured_pids]
+
+
+class BroadcastInjector:
+    """Inject hardware broadcasts from random sources at ``rate`` per cycle
+    (network-wide).  ``naive`` selects the RC used at injection."""
+
+    def __init__(
+        self,
+        rate: float,
+        packet_length: int = 4,
+        naive: bool = False,
+        seed: int = 2,
+        start_at: int = 0,
+        stop_at: Optional[int] = None,
+    ) -> None:
+        self.rate = rate
+        self.packet_length = packet_length
+        self.rc = RC.BROADCAST if naive else RC.BROADCAST_REQUEST
+        self.rng = np.random.default_rng(seed)
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.offered = 0
+
+    def __call__(self, sim: NetworkSimulator) -> None:
+        cycle = sim.cycle
+        if cycle < self.start_at:
+            return
+        if self.stop_at is not None and cycle >= self.stop_at:
+            return
+        if self.rng.random() >= self.rate:
+            return
+        nodes = sim.live_nodes
+        src = nodes[int(self.rng.integers(0, len(nodes)))]
+        sim.send(
+            Packet(
+                Header(source=src, dest=src, rc=self.rc),
+                length=self.packet_length,
+            )
+        )
+        self.offered += 1
+
+
+@dataclass
+class TimedSend:
+    cycle: int
+    source: Coord
+    dest: Coord
+    rc: RC = RC.NORMAL
+    length: int = 4
+
+
+@dataclass
+class ScenarioScript:
+    """An exact, reproducible injection schedule (for the figure replays)."""
+
+    sends: List[TimedSend] = field(default_factory=list)
+    packets: List[Packet] = field(default_factory=list)
+
+    def p2p(self, cycle: int, source: Coord, dest: Coord, length: int = 4) -> "ScenarioScript":
+        self.sends.append(TimedSend(cycle, source, dest, RC.NORMAL, length))
+        return self
+
+    def broadcast(
+        self, cycle: int, source: Coord, length: int = 4, naive: bool = False
+    ) -> "ScenarioScript":
+        rc = RC.BROADCAST if naive else RC.BROADCAST_REQUEST
+        self.sends.append(TimedSend(cycle, source, source, rc, length))
+        return self
+
+    def install(self, sim: NetworkSimulator) -> List[Packet]:
+        """Schedule every send on the simulator; returns the packets."""
+        self.packets = []
+        for s in sorted(self.sends, key=lambda s: s.cycle):
+            pkt = Packet(
+                Header(source=s.source, dest=s.dest, rc=s.rc), length=s.length
+            )
+            sim.send(pkt, at_cycle=s.cycle)
+            self.packets.append(pkt)
+        return self.packets

@@ -1,0 +1,160 @@
+"""Workload traces: record, serialize and replay exact injection schedules.
+
+A trace is a list of timed sends (cycle, source, dest, RC, length) stored
+as JSON lines -- the portable form of a workload, so an experiment run on
+one machine can be replayed bit-identically on another, attached to a bug
+report, or diffed.  :class:`TraceRecorder` captures everything a simulator
+injects; :func:`load_trace` / :meth:`WorkloadTrace.install` replay it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from ..core.coords import Coord
+from ..core.packet import Header, Packet, RC
+from ..sim.network import NetworkSimulator
+
+#: trace format version written into the header line
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One injected packet."""
+
+    cycle: int
+    source: Coord
+    dest: Coord
+    rc: int
+    length: int
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "cycle": self.cycle,
+                "src": list(self.source),
+                "dst": list(self.dest),
+                "rc": self.rc,
+                "len": self.length,
+            },
+            separators=(",", ":"),
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "TraceEntry":
+        d = json.loads(line)
+        return TraceEntry(
+            cycle=int(d["cycle"]),
+            source=tuple(d["src"]),
+            dest=tuple(d["dst"]),
+            rc=int(d["rc"]),
+            length=int(d["len"]),
+        )
+
+
+@dataclass
+class WorkloadTrace:
+    """An ordered collection of trace entries plus the network shape."""
+
+    shape: tuple
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def add(
+        self,
+        cycle: int,
+        source: Coord,
+        dest: Coord,
+        rc: RC = RC.NORMAL,
+        length: int = 4,
+    ) -> None:
+        self.entries.append(
+            TraceEntry(cycle, tuple(source), tuple(dest), int(rc), length)
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        p = Path(path)
+        with p.open("w") as fh:
+            fh.write(
+                json.dumps(
+                    {"version": TRACE_VERSION, "shape": list(self.shape)},
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            for e in sorted(self.entries, key=lambda e: e.cycle):
+                fh.write(e.to_json() + "\n")
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "WorkloadTrace":
+        p = Path(path)
+        with p.open() as fh:
+            header = json.loads(fh.readline())
+            if header.get("version") != TRACE_VERSION:
+                raise ValueError(
+                    f"unsupported trace version {header.get('version')!r}"
+                )
+            trace = WorkloadTrace(shape=tuple(header["shape"]))
+            for line in fh:
+                line = line.strip()
+                if line:
+                    trace.entries.append(TraceEntry.from_json(line))
+        return trace
+
+    # -- replay ----------------------------------------------------------------
+    def install(self, sim: NetworkSimulator) -> List[Packet]:
+        """Schedule every entry on a simulator; returns the packets."""
+        if tuple(sim.topo.shape) != tuple(self.shape):
+            raise ValueError(
+                f"trace recorded on shape {self.shape}, simulator has "
+                f"{sim.topo.shape}"
+            )
+        packets = []
+        for e in sorted(self.entries, key=lambda e: e.cycle):
+            pkt = Packet(
+                Header(source=e.source, dest=e.dest, rc=RC(e.rc)),
+                length=e.length,
+            )
+            sim.send(pkt, at_cycle=e.cycle)
+            packets.append(pkt)
+        return packets
+
+
+class TraceRecorder:
+    """Record every packet a simulator injects.
+
+    Wraps the simulator's ``send`` method::
+
+        rec = TraceRecorder(sim)
+        ... run any generators/scenarios ...
+        rec.trace.save("workload.jsonl")
+    """
+
+    def __init__(self, sim: NetworkSimulator) -> None:
+        self.sim = sim
+        self.trace = WorkloadTrace(shape=tuple(sim.topo.shape))
+        self._orig_send = sim.send
+        sim.send = self._send  # type: ignore[method-assign]
+
+    def _send(self, packet: Packet, at_cycle: Optional[int] = None) -> None:
+        cycle = at_cycle if at_cycle is not None else self.sim.cycle
+        self.trace.add(
+            cycle=cycle,
+            source=packet.source,
+            dest=packet.dest,
+            rc=packet.header.rc,
+            length=packet.length,
+        )
+        self._orig_send(packet, at_cycle)
+
+    def detach(self) -> WorkloadTrace:
+        """Stop recording and return the trace."""
+        self.sim.send = self._orig_send  # type: ignore[method-assign]
+        return self.trace

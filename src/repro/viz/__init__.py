@@ -1,0 +1,17 @@
+"""Text rendering of networks, routes and figures."""
+
+from .ascii_grid import (
+    render_grid,
+    render_rc_legend,
+    render_route,
+    render_route_grid,
+    render_tree,
+)
+
+__all__ = [
+    "render_grid",
+    "render_rc_legend",
+    "render_route",
+    "render_route_grid",
+    "render_tree",
+]

@@ -1,0 +1,151 @@
+"""ASCII rendering of 2D crossbar networks and routes.
+
+The example scripts replay the paper's figures and print them in the same
+spirit: the 2D lattice of PEs with its X- and Y-dimension crossbars, routes
+overlaid hop by hop.  Rendering is text-only so it works anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.coords import Coord
+from ..core.packet import RC
+from ..core.routes import RouteTree
+from ..topology.base import ElementId, element_kind, ElementKind
+from ..topology.mdcrossbar import MDCrossbar
+
+_RC_MARK = {
+    RC.NORMAL: "n",
+    RC.BROADCAST_REQUEST: "q",
+    RC.BROADCAST: "b",
+    RC.DETOUR: "d",
+}
+
+
+def render_grid(
+    topo: MDCrossbar,
+    highlight_pes: Sequence[Coord] = (),
+    faulty: Optional[ElementId] = None,
+    sxb_line: Optional[Tuple[int, ...]] = None,
+    dxb_line: Optional[Tuple[int, ...]] = None,
+) -> str:
+    """Draw a 2D crossbar network.
+
+    Rows are Y values (dimension 1), columns X values (dimension 0); each
+    cell shows the PE with its router, ``##`` marks highlighted PEs, ``XX``
+    the faulty element.  The S-XB/D-XB rows are labelled on the right.
+    """
+    if topo.num_dims != 2:
+        raise ValueError("render_grid draws 2D networks only")
+    nx, ny = topo.shape
+    lines: List[str] = []
+    header = "      " + "".join(f"  x={x:<4}" for x in range(nx))
+    lines.append(header)
+    for y in range(ny):
+        cells = []
+        for x in range(nx):
+            tag = f"{x},{y}"
+            if (x, y) in highlight_pes:
+                cell = f"[#{tag}#]"
+            elif faulty == ("RTR", (x, y)):
+                cell = f"[X{tag}X]"
+            else:
+                cell = f"[ {tag} ]"
+            cells.append(f"{cell:<8}")
+        label = f"y={y:<3}"
+        row = f"{label} " + "".join(cells)
+        marks = []
+        if faulty is not None and faulty[0] == "XB" and faulty[1] == 0 and faulty[2] == (y,):
+            marks.append("X-XB FAULTY")
+        if sxb_line == (y,):
+            marks.append("<- S-XB row")
+        if dxb_line == (y,) and dxb_line != sxb_line:
+            marks.append("<- D-XB row")
+        elif dxb_line == (y,) and dxb_line == sxb_line and sxb_line is not None:
+            marks[-1] = "<- S-XB = D-XB row"
+        if marks:
+            row += "   " + " ".join(marks)
+        lines.append(row)
+    col_marks = []
+    if faulty is not None and faulty[0] == "XB" and faulty[1] == 1:
+        col_marks.append(f"Y-XB at x={faulty[2][0]} FAULTY")
+    if col_marks:
+        lines.append("      " + "; ".join(col_marks))
+    return "\n".join(lines)
+
+
+def _fmt_element(el: ElementId) -> str:
+    kind = element_kind(el)
+    if kind is ElementKind.PE:
+        return f"PE{el[1]}"
+    if kind is ElementKind.RTR:
+        return f"RTR{el[1]}"
+    dim = "XY Z"[el[1]] if el[1] < 3 else str(el[1])
+    return f"{dim}-XB{el[2]}"
+
+
+def render_route(tree: RouteTree, dest: Coord) -> str:
+    """One path of a route tree as ``PE(0,0) -n-> RTR(0,0) -d-> ...`` where
+    the arrow letter is the RC bit carried on that hop (n/q/b/d)."""
+    chans = tree.path_to(dest)
+    parts = [_fmt_element(chans[0].src)]
+    for c in chans:
+        parts.append(f"-{_RC_MARK[tree.rc_on[c]]}-> {_fmt_element(c.dst)}")
+    return " ".join(parts)
+
+
+def render_tree(tree: RouteTree, max_lines: int = 64) -> str:
+    """The whole route tree, indented by depth."""
+    lines: List[str] = [f"flow {tree.flow}:"]
+
+    def walk(chan, depth: int) -> None:
+        if len(lines) > max_lines:
+            return
+        mark = _RC_MARK[tree.rc_on[chan]]
+        lines.append(
+            "  " * depth + f"-{mark}-> {_fmt_element(chan.dst)}"
+        )
+        for child in tree.children[chan]:
+            walk(child, depth + 1)
+
+    lines.append(f"  {_fmt_element(tree.root.src)}")
+    walk(tree.root, 1)
+    if len(lines) > max_lines:
+        lines = lines[:max_lines] + ["  ... (truncated)"]
+    return "\n".join(lines)
+
+
+def render_route_grid(
+    topo: MDCrossbar, tree: RouteTree, dest: Coord
+) -> str:
+    """Overlay one route on the 2D grid: each visited PE/router cell shows
+    its step number along the path (0 = source)."""
+    if topo.num_dims != 2:
+        raise ValueError("render_route_grid draws 2D networks only")
+    steps: Dict[Coord, int] = {}
+    order = 0
+    for el in tree.elements_to(dest):
+        if element_kind(el) is ElementKind.RTR and el[1] not in steps:
+            steps[el[1]] = order
+            order += 1
+    nx, ny = topo.shape
+    lines = ["      " + "".join(f"  x={x:<4}" for x in range(nx))]
+    for y in range(ny):
+        cells = []
+        for x in range(nx):
+            if (x, y) in steps:
+                cells.append(f"[ {steps[(x, y)]:^3} ]")
+            else:
+                cells.append("[  .  ]")
+            cells[-1] = f"{cells[-1]:<8}"
+        lines.append(f"y={y:<3} " + "".join(cells))
+    lines.append("(numbers: router visit order along the route; . = untouched)")
+    return "\n".join(lines)
+
+
+def render_rc_legend() -> str:
+    return (
+        "route-change (RC) bit legend: "
+        + ", ".join(f"{m}={rc.name.lower()}" for rc, m in _RC_MARK.items())
+    )

@@ -1,0 +1,78 @@
+"""Unit tests for the static conflict analysis (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    measure_conflicts,
+    permutation_conflict_comparison,
+    random_permutation_pairs,
+    summarize_conflicts,
+)
+
+
+class TestPermutationPairs:
+    def test_is_permutation(self):
+        rng = np.random.default_rng(0)
+        pairs = random_permutation_pairs((4, 4), rng)
+        srcs = [s for s, _ in pairs]
+        dsts = [t for _, t in pairs]
+        assert len(set(srcs)) == len(srcs)
+        assert len(set(dsts)) == len(dsts)
+
+    def test_no_self_pairs(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            assert all(s != t for s, t in random_permutation_pairs((4, 4), rng))
+
+
+class TestMeasure:
+    def test_disjoint_routes_conflict_free(self):
+        stats = measure_conflicts(
+            "toy", lambda s, t: [hash((s, t)) % (1 << 30)], [((0,), (1,)), ((2,), (3,))]
+        )
+        assert stats.conflict_free
+        assert stats.max_channel_load == 1
+
+    def test_shared_channel_counted(self):
+        stats = measure_conflicts(
+            "toy", lambda s, t: [42], [((0,), (1,)), ((2,), (3,))]
+        )
+        assert not stats.conflict_free
+        assert stats.max_channel_load == 2
+        assert stats.conflicted_channels == 1
+        assert stats.conflicted_transfers == 2
+
+    def test_row_renders(self):
+        stats = measure_conflicts("toy", lambda s, t: [1], [((0,), (1,))])
+        assert "toy" in stats.row()
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return permutation_conflict_comparison((4, 4), samples=8, seed=3)
+
+    def test_all_topologies_present(self, results):
+        assert set(results) == {"md-crossbar", "mesh", "torus"}
+        assert all(len(v) == 8 for v in results.values())
+
+    def test_paper_claim_fewer_conflicts_than_mesh(self, results):
+        summary = summarize_conflicts(results)
+        assert (
+            summary["md-crossbar"]["mean_conflicted_channels"]
+            < summary["mesh"]["mean_conflicted_channels"]
+        )
+
+    def test_paper_claim_fewer_conflicts_than_torus(self, results):
+        summary = summarize_conflicts(results)
+        assert (
+            summary["md-crossbar"]["mean_conflicted_channels"]
+            < summary["torus"]["mean_conflicted_channels"]
+        )
+
+    def test_hypercube_included_on_request(self):
+        results = permutation_conflict_comparison(
+            (4, 4), samples=2, include=("md-crossbar", "hypercube")
+        )
+        assert set(results) == {"md-crossbar", "hypercube"}

@@ -1,0 +1,88 @@
+"""Unit tests for the pin-budget channel-width model (Section 3.1)."""
+
+import pytest
+
+from repro.analysis import (
+    channel_budget_table,
+    crossover_message_size,
+    diameter_hops,
+    router_ports,
+    scaling_series,
+)
+
+
+class TestPorts:
+    def test_md_crossbar_d_plus_1(self):
+        assert router_ports("md-crossbar", 256, dims=2) == 3
+        assert router_ports("md-crossbar", 2048, dims=3) == 4
+
+    def test_hypercube_log_n_plus_1(self):
+        assert router_ports("hypercube", 256) == 9
+        assert router_ports("hypercube", 1024) == 11
+
+    def test_mesh_2d_plus_1(self):
+        assert router_ports("mesh", 64, dims=2) == 5
+        assert router_ports("torus", 64, dims=3) == 7
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            router_ports("butterfly", 64)
+
+
+class TestDiameters:
+    def test_md_crossbar_d(self):
+        assert diameter_hops("md-crossbar", 1024, dims=2) == 2
+
+    def test_mesh(self):
+        assert diameter_hops("mesh", 64, dims=2) == 14
+
+    def test_hypercube(self):
+        assert diameter_hops("hypercube", 256) == 8
+
+
+class TestBudgets:
+    def test_width_inverse_to_ports(self):
+        table = channel_budget_table(256, pin_budget=60)
+        assert table["md-crossbar"].width_bytes == 20
+        assert table["hypercube"].width_bytes == pytest.approx(60 / 9)
+
+    def test_paper_claim_channel_width(self):
+        """Section 3.1: the MD crossbar's channels can be as wide as a
+        mesh's, while the hypercube's are squeezed."""
+        table = channel_budget_table(1024)
+        assert table["md-crossbar"].width_bytes > table["hypercube"].width_bytes
+        assert table["md-crossbar"].width_bytes >= table["mesh"].width_bytes
+
+    def test_large_messages_favour_md_crossbar(self):
+        table = channel_budget_table(1024)
+        md, hc = table["md-crossbar"], table["hypercube"]
+        assert md.zero_load_cycles(1 << 16) < hc.zero_load_cycles(1 << 16)
+
+    def test_crossover_exists(self):
+        table = channel_budget_table(1024)
+        size = crossover_message_size(table["md-crossbar"], table["hypercube"])
+        assert size != -1
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            channel_budget_table(100)
+
+    def test_row_renders(self):
+        table = channel_budget_table(64)
+        assert "ports" in table["mesh"].row()
+
+
+class TestScalingSeries:
+    def test_shapes(self):
+        series = scaling_series(sizes=(16, 64))
+        assert [n for n, _ in series] == [16, 64]
+        assert "md-crossbar" in series[0][1]
+
+    def test_md_crossbar_latency_flat_across_sizes(self):
+        """The MD crossbar's diameter stays d as the machine grows; the
+        mesh's grows with the side length."""
+        series = scaling_series(sizes=(16, 256), message_bytes=64)
+        md16, md256 = series[0][1]["md-crossbar"], series[1][1]["md-crossbar"]
+        mesh16, mesh256 = series[0][1]["mesh"], series[1][1]["mesh"]
+        assert md256 - md16 == 0
+        assert mesh256 > mesh16

@@ -1,0 +1,73 @@
+"""Unit tests for conflict-free topology embeddings (Section 3.1)."""
+
+import pytest
+
+from repro.analysis import check_all_embeddings, check_embedding, snake_order
+from repro.analysis.embedding import (
+    binary_tree_edges,
+    hypercube_phases,
+    mesh_phases,
+    ring_phases,
+)
+from repro.core.coords import all_coords, hop_distance
+
+
+class TestSnakeOrder:
+    def test_covers_all(self):
+        order = snake_order((4, 3))
+        assert sorted(order) == sorted(all_coords((4, 3)))
+
+    def test_consecutive_adjacent(self):
+        order = snake_order((4, 3))
+        for a, b in zip(order, order[1:]):
+            assert hop_distance(a, b) == 1
+            assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+
+class TestPhases:
+    def test_ring_two_phases_cover_all_edges(self):
+        phases = ring_phases((4, 3))
+        assert len(phases) == 2
+        assert sum(len(p) for p in phases) == 12
+
+    def test_mesh_phases_cover_grid(self):
+        phases = mesh_phases((4, 3))
+        total = sum(len(p) for p in phases)
+        assert total == 2 * (3 * 3 + 2 * 4)
+
+    def test_hypercube_phases_power_of_two(self):
+        phases = hypercube_phases((4, 4))
+        assert len(phases) == 4
+        assert all(len(p) == 16 for p in phases)
+
+    def test_hypercube_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            hypercube_phases((4, 3))
+
+    def test_tree_edges_axis_aligned(self):
+        for _, (p, c) in binary_tree_edges((8, 8)):
+            assert sum(1 for a, b in zip(p, c) if a != b) == 1
+
+    def test_tree_nodes_distinct(self):
+        edges = binary_tree_edges((8, 8))
+        nodes = {p for _, (p, _) in edges} | {c for _, (_, c) in edges}
+        children = [c for _, (_, c) in edges]
+        assert len(children) == len(set(children))  # one parent each
+        assert len(nodes) >= 8
+
+
+class TestConflictFreedom:
+    @pytest.mark.parametrize("guest", ["ring", "mesh", "binary_tree"])
+    @pytest.mark.parametrize("shape", [(4, 3), (4, 4), (6, 5)])
+    def test_guests_conflict_free(self, guest, shape):
+        report = check_embedding(shape, guest)
+        assert report.conflict_free, report.row()
+
+    @pytest.mark.parametrize("shape", [(4, 4), (8, 4)])
+    def test_hypercube_conflict_free(self, shape):
+        assert check_embedding(shape, "hypercube").conflict_free
+
+    def test_check_all_skips_hypercube_when_not_pow2(self):
+        out = check_all_embeddings((4, 3))
+        assert "hypercube" not in out
+        assert all(r.conflict_free for r in out.values())

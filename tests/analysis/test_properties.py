@@ -1,0 +1,94 @@
+"""Unit tests for the structural property analysis (Section 3.1)."""
+
+import pytest
+
+from repro.analysis import (
+    comparison_table,
+    crosspoint_count,
+    profile,
+    verify_md_crossbar_distances,
+)
+from repro.analysis.properties import (
+    hypercube_distance,
+    mesh_distance,
+    torus_distance,
+)
+from repro.topology import Hypercube, MDCrossbar, Mesh, Torus
+
+
+class TestDistances:
+    def test_mesh_distance(self):
+        assert mesh_distance((0, 0), (3, 2)) == 5
+
+    def test_torus_distance_wraps(self):
+        assert torus_distance((0, 0), (3, 0), (4, 4)) == 1
+
+    def test_hypercube_distance(self):
+        assert hypercube_distance((0, 1, 0), (1, 1, 1)) == 2
+
+    def test_md_crossbar_claim_holds(self):
+        assert verify_md_crossbar_distances((4, 3))
+        assert verify_md_crossbar_distances((3, 3, 3))
+
+
+class TestProfiles:
+    def test_md_crossbar_diameter_d(self):
+        p = profile(MDCrossbar((4, 4)))
+        assert p.diameter_hops == 2
+        assert p.router_ports == 3
+
+    def test_mesh_profile(self):
+        p = profile(Mesh((4, 4)))
+        assert p.diameter_hops == 6
+        assert p.router_ports == 5
+
+    def test_torus_profile(self):
+        p = profile(Torus((4, 4)))
+        assert p.diameter_hops == 4
+
+    def test_hypercube_profile(self):
+        p = profile(Hypercube(4))
+        assert p.diameter_hops == 4
+        assert p.router_ports == 5
+
+    def test_avg_le_diameter(self):
+        for topo in (MDCrossbar((4, 3)), Mesh((4, 3)), Torus((4, 3))):
+            p = profile(topo)
+            assert p.avg_hops <= p.diameter_hops
+
+    def test_row_renders(self):
+        assert "diameter" in profile(Mesh((3, 3))).row()
+
+
+class TestCrosspoints:
+    def test_plain_crossbar_quadratic(self):
+        # one n x n crossbar: n^2 crosspoints, plus n 2x2 routers
+        topo = MDCrossbar((8,))
+        assert crosspoint_count(topo) == 64 + 8 * 4
+
+    def test_md_crossbar_cheaper_than_full_crossbar_at_scale(self):
+        md = crosspoint_count(MDCrossbar((16, 16)))
+        full = crosspoint_count(MDCrossbar((256,)))
+        assert md < full
+
+
+class TestComparisonTable:
+    def test_all_five_topologies(self):
+        table = comparison_table(64)
+        assert set(table) == {"md-crossbar", "mesh", "torus", "hypercube", "crossbar"}
+        assert all(p.num_pes == 64 for p in table.values())
+
+    def test_md_crossbar_wins_distance_vs_mesh_torus(self):
+        table = comparison_table(64)
+        md = table["md-crossbar"]
+        assert md.diameter_hops < table["mesh"].diameter_hops
+        assert md.diameter_hops < table["torus"].diameter_hops
+        assert md.avg_hops < table["torus"].avg_hops
+
+    def test_md_crossbar_fewer_ports_than_hypercube(self):
+        table = comparison_table(256)
+        assert table["md-crossbar"].router_ports < table["hypercube"].router_ports
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            comparison_table(60)

@@ -1,0 +1,56 @@
+"""Unit tests for the reliability (MTTF) model."""
+
+import pytest
+
+from repro.analysis.reliability import (
+    mttf_comparison,
+    mttf_no_facility,
+    mttf_single_fault_facility,
+    simulate_extended_facility,
+)
+
+
+class TestAnalytic:
+    def test_no_facility(self):
+        assert mttf_no_facility(10, rate=1.0) == pytest.approx(0.1)
+
+    def test_rate_scales(self):
+        assert mttf_no_facility(10, rate=2.0) == pytest.approx(0.05)
+
+    def test_single_fault_facility_adds_second_gap(self):
+        v = mttf_single_fault_facility(10)
+        assert v == pytest.approx(0.1 + 1 / 9)
+
+    def test_facility_always_helps(self):
+        for n in (5, 19, 100):
+            assert mttf_single_fault_facility(n) > mttf_no_facility(n)
+
+
+class TestMonteCarlo:
+    def test_extended_beats_single_fault(self):
+        est = simulate_extended_facility((4, 3), samples=150, seed=3)
+        assert est.mean > mttf_single_fault_facility(19)
+        assert est.mean_faults_survived >= 1.0
+
+    def test_reproducible(self):
+        a = simulate_extended_facility((4, 3), samples=50, seed=5)
+        b = simulate_extended_facility((4, 3), samples=50, seed=5)
+        assert a.mean == b.mean
+
+    def test_max_faults_caps_survival(self):
+        est = simulate_extended_facility((4, 3), samples=50, seed=7, max_faults=1)
+        assert est.mean_faults_survived <= 1.0
+
+    def test_std_error_positive(self):
+        est = simulate_extended_facility((4, 3), samples=50, seed=9)
+        assert est.std_error > 0
+
+
+class TestComparison:
+    def test_rows_and_ordering(self):
+        cmp = mttf_comparison((4, 3), samples=80, seed=11)
+        assert cmp.num_switches == 19
+        assert cmp.no_facility < cmp.single_fault < cmp.extended.mean
+        rows = cmp.rows()
+        assert any("paper facility" in r for r in rows)
+        assert any("extended" in r for r in rows)

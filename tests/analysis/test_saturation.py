@@ -1,0 +1,69 @@
+"""Unit tests for the bottleneck saturation model."""
+
+import pytest
+
+from repro.analysis import (
+    channel_route_counts,
+    estimate_saturation,
+    saturation_comparison,
+)
+from repro.core.coords import num_nodes
+
+
+class TestRouteCounts:
+    def test_total_channel_crossings(self):
+        counts, chans = channel_route_counts("md-crossbar", (3, 3))
+        n = 9
+        # every route starts with an injection and ends with an ejection
+        inj = sum(k for cid, k in counts.items() if chans[cid].src[0] == "PE")
+        ej = sum(k for cid, k in counts.items() if chans[cid].dst[0] == "PE")
+        assert inj == ej == n * (n - 1)
+
+    def test_mesh_counts(self):
+        counts, chans = channel_route_counts("mesh", (3, 3))
+        assert max(counts.values()) > 0
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            channel_route_counts("ring", (4,))
+
+
+class TestSaturation:
+    def test_md_crossbar_perfectly_balanced(self):
+        """Dimension-order routing on the MD crossbar spreads uniform
+        traffic evenly: every fabric channel carries the same number of
+        routes -- the structural form of 'few network conflicts'."""
+        est = estimate_saturation("md-crossbar", (8, 8))
+        assert est.max_routes_per_channel == pytest.approx(
+            est.mean_routes_per_channel
+        )
+
+    def test_ordering_matches_paper(self):
+        ests = {e.name: e for e in saturation_comparison((8, 8))}
+        assert (
+            ests["md-crossbar"].saturation_load
+            > ests["torus"].saturation_load
+            > ests["mesh"].saturation_load
+        )
+
+    def test_mesh_bottleneck_is_bisection_link(self):
+        est = estimate_saturation("mesh", (8, 8))
+        src, dst = est.bottleneck_channel.src, est.bottleneck_channel.dst
+        # a link crossing the middle of some row/column
+        a, b = src[1], dst[1]
+        k = 0 if a[0] != b[0] else 1
+        assert {a[k], b[k]} == {3, 4}
+
+    def test_saturation_capped_at_one(self):
+        est = estimate_saturation("md-crossbar", (2, 2))
+        assert est.saturation_load <= 1.0
+
+    def test_row_renders(self):
+        assert "r_sat" in estimate_saturation("torus", (4, 4)).row()
+
+    def test_predicts_simulated_ordering(self):
+        """The analytic bound must agree with the measured E8 ordering:
+        mesh saturates first, the MD crossbar last."""
+        ests = {e.name: e for e in saturation_comparison((8, 8))}
+        assert ests["mesh"].saturation_load == pytest.approx(0.5)
+        assert ests["md-crossbar"].saturation_load == 1.0

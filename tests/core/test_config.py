@@ -1,0 +1,171 @@
+"""Unit tests for routing-facility configuration and placement rules."""
+
+import pytest
+
+from repro.core import Fault
+from repro.core.config import (
+    BroadcastMode,
+    ConfigError,
+    DetourScheme,
+    RoutingConfig,
+    make_config,
+    select_order,
+    select_sxb_line,
+)
+
+
+class TestDefaults:
+    def test_identity_order(self):
+        cfg = make_config((4, 3))
+        assert cfg.order == (0, 1)
+        assert cfg.first_dim == 0
+
+    def test_default_sxb_all_zero(self):
+        assert make_config((4, 3)).sxb_line == (0,)
+        assert make_config((3, 3, 3)).sxb_line == (0, 0)
+
+    def test_safe_scheme_unifies_dxb(self):
+        cfg = make_config((4, 3))
+        assert cfg.detour_scheme is DetourScheme.SAFE
+        assert cfg.dxb_line == cfg.sxb_line
+
+    def test_naive_scheme_distinct_dxb(self):
+        cfg = make_config((4, 3), detour_scheme=DetourScheme.NAIVE)
+        assert cfg.dxb_line != cfg.sxb_line
+
+    def test_serialized_broadcast_default(self):
+        assert make_config((4, 3)).broadcast_mode is BroadcastMode.SERIALIZED
+
+
+class TestOrderSelection:
+    def test_no_fault_identity(self):
+        assert select_order((4, 3), None) == (0, 1)
+
+    def test_router_fault_keeps_identity(self):
+        assert select_order((4, 3), Fault.router((1, 1))) == (0, 1)
+
+    def test_xb_fault_rotates_its_dim_first(self):
+        # faulty Y-XB forces Y-first routing (paper Sec. 3.2: "the network
+        # hardware can change the routing order")
+        assert select_order((4, 3), Fault.crossbar(1, (2,))) == (1, 0)
+
+    def test_xb_fault_3d(self):
+        assert select_order((3, 3, 3), Fault.crossbar(2, (1, 1))) == (2, 0, 1)
+
+    def test_xb_fault_first_dim_identity(self):
+        assert select_order((4, 3), Fault.crossbar(0, (1,))) == (0, 1)
+
+
+class TestSxbSelection:
+    def test_avoids_faulty_router_row(self):
+        # faulty router at y=0: the S-XB must leave row 0 (rule R2)
+        line = select_sxb_line((4, 3), (0, 1), Fault.router((2, 0)))
+        assert line != (0,)
+
+    def test_no_fault_keeps_preference(self):
+        assert select_sxb_line((4, 3), (0, 1), None, preferred=(2,)) == (2,)
+
+    def test_bad_preference_rejected(self):
+        with pytest.raises(ConfigError):
+            select_sxb_line((4, 3), (0, 1), None, preferred=(9,))
+
+    def test_avoids_faulty_sxb_candidate(self):
+        line = select_sxb_line((4, 3), (0, 1), Fault.crossbar(0, (0,)))
+        assert line != (0,)
+
+    def test_3d_avoids_both_coords(self):
+        f = Fault.router((1, 0, 0))
+        line = select_sxb_line((3, 3, 3), (0, 1, 2), f)
+        assert line[0] != 0 and line[1] != 0
+
+    def test_too_small_network_raises(self):
+        # a 2x1 network cannot satisfy R2 for a router fault in y... the
+        # single Y value (extent 1) is skipped, but extent-2 dims force
+        # the other value
+        line = select_sxb_line((2, 2), (0, 1), Fault.router((0, 1)))
+        assert line == (0,)
+
+
+class TestValidation:
+    def test_order_must_be_permutation(self):
+        with pytest.raises(ConfigError):
+            RoutingConfig(
+                shape=(4, 3), order=(0, 0), sxb_line=(0,), dxb_line=(0,)
+            ).validated()
+
+    def test_line_arity_checked(self):
+        with pytest.raises(ConfigError):
+            RoutingConfig(
+                shape=(4, 3), order=(0, 1), sxb_line=(0, 0), dxb_line=(0,)
+            ).validated()
+
+    def test_line_range_checked(self):
+        with pytest.raises(ConfigError):
+            RoutingConfig(
+                shape=(4, 3), order=(0, 1), sxb_line=(5,), dxb_line=(0,)
+            ).validated()
+
+    def test_safe_requires_same_lines(self):
+        with pytest.raises(ConfigError):
+            RoutingConfig(
+                shape=(4, 3),
+                order=(0, 1),
+                sxb_line=(0,),
+                dxb_line=(1,),
+                detour_scheme=DetourScheme.SAFE,
+            ).validated()
+
+    def test_r1_xb_fault_dim_must_be_first(self):
+        with pytest.raises(ConfigError, match="R1"):
+            make_config((4, 3), fault=Fault.crossbar(1, (2,)), order=(0, 1))
+
+    def test_r2_sxb_must_avoid_fault_row(self):
+        with pytest.raises(ConfigError, match="R2"):
+            make_config((4, 3), fault=Fault.router((2, 0)), sxb_line=(0,))
+
+    def test_r2_sxb_must_not_be_faulty_xb(self):
+        with pytest.raises(ConfigError, match="R2"):
+            make_config((4, 3), fault=Fault.crossbar(0, (1,)), sxb_line=(1,))
+
+    def test_explicit_valid_config_accepted(self):
+        cfg = make_config(
+            (4, 3), fault=Fault.router((2, 0)), sxb_line=(1,), dxb_line=(1,)
+        )
+        assert cfg.sxb_line == (1,)
+
+
+class TestDerivedViews:
+    def test_position(self):
+        cfg = make_config((3, 3, 3), order=(2, 0, 1))
+        assert cfg.position(2) == 0
+        assert cfg.position(1) == 2
+
+    def test_dims_after(self):
+        cfg = make_config((3, 3, 3), order=(2, 0, 1))
+        assert cfg.dims_after(2) == (0, 1)
+        assert cfg.dims_after(1) == ()
+
+    def test_line_coord_2d(self):
+        cfg = make_config((4, 3), sxb_line=(2,))
+        assert cfg.line_coord(cfg.sxb_line, 1) == 2
+
+    def test_line_coord_first_dim_rejected(self):
+        cfg = make_config((4, 3))
+        with pytest.raises(ValueError):
+            cfg.line_coord(cfg.sxb_line, 0)
+
+    def test_line_coord_3d_mapping(self):
+        cfg = make_config((3, 4, 5), order=(1, 0, 2), sxb_line=(2, 3))
+        # line key covers dims (0, 2) in increasing order
+        assert cfg.line_coord(cfg.sxb_line, 0) == 2
+        assert cfg.line_coord(cfg.sxb_line, 2) == 3
+
+    def test_sxb_element(self):
+        cfg = make_config((4, 3), sxb_line=(1,))
+        assert cfg.sxb_element == ("XB", 0, (1,))
+
+    def test_with_fault_rederives(self):
+        cfg = make_config((4, 3))
+        cfg2 = cfg.with_fault(Fault.router((0, 0)))
+        assert cfg2.sxb_line != (0,)
+        assert cfg2.broadcast_mode is cfg.broadcast_mode

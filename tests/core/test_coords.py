@@ -1,0 +1,133 @@
+"""Unit tests for coordinate arithmetic."""
+
+import pytest
+
+from repro.core.coords import (
+    all_coords,
+    all_lines,
+    coord_from_index,
+    differing_dims,
+    hop_distance,
+    lexicographic_index,
+    line_of,
+    num_lines,
+    num_nodes,
+    point_on_line,
+    validate_coord,
+    validate_shape,
+)
+
+
+class TestValidateShape:
+    def test_accepts_tuple(self):
+        assert validate_shape((4, 3)) == (4, 3)
+
+    def test_accepts_list(self):
+        assert validate_shape([2, 2, 2]) == (2, 2, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_shape(())
+
+    def test_rejects_zero_extent(self):
+        with pytest.raises(ValueError):
+            validate_shape((4, 0))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_shape((-1,))
+
+    def test_allows_degenerate_extent(self):
+        assert validate_shape((1, 5)) == (1, 5)
+
+
+class TestValidateCoord:
+    def test_in_range(self):
+        assert validate_coord((3, 2), (4, 3)) == (3, 2)
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            validate_coord((1, 1, 1), (4, 3))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_coord((4, 0), (4, 3))
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            validate_coord((-1, 0), (4, 3))
+
+
+class TestEnumeration:
+    def test_all_coords_count(self):
+        assert len(list(all_coords((4, 3)))) == 12
+
+    def test_all_coords_order_dim0_slowest(self):
+        cs = list(all_coords((2, 2)))
+        assert cs == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_num_nodes(self):
+        assert num_nodes((16, 16, 8)) == 2048
+
+    def test_num_lines(self):
+        # 4x3: 3 X-lines (one per y) and 4 Y-lines (one per x)
+        assert num_lines((4, 3), 0) == 3
+        assert num_lines((4, 3), 1) == 4
+
+    def test_all_lines(self):
+        assert sorted(all_lines((4, 3), 0)) == [(0,), (1,), (2,)]
+        assert sorted(all_lines((4, 3), 1)) == [(0,), (1,), (2,), (3,)]
+
+    def test_all_lines_3d(self):
+        lines = list(all_lines((2, 3, 4), 1))
+        assert len(lines) == 8
+        assert (1, 3) in lines
+
+
+class TestLines:
+    def test_line_of_removes_dim(self):
+        assert line_of((2, 1, 3), 1) == (2, 3)
+
+    def test_point_on_line_inverse(self):
+        c = (2, 1, 3)
+        for k in range(3):
+            assert point_on_line(k, line_of(c, k), c[k]) == c
+
+    def test_point_on_line_values(self):
+        assert point_on_line(0, (7,), 3) == (3, 7)
+        assert point_on_line(1, (5,), 2) == (5, 2)
+
+
+class TestDistances:
+    def test_differing_dims(self):
+        assert differing_dims((0, 0, 0), (1, 0, 2)) == (0, 2)
+
+    def test_hop_distance_same(self):
+        assert hop_distance((1, 1), (1, 1)) == 0
+
+    def test_hop_distance_max_is_d(self):
+        assert hop_distance((0, 0, 0), (1, 2, 3)) == 3
+
+    def test_one_hop_on_shared_line(self):
+        # paper: PEs on the same crossbar communicate in one hop
+        assert hop_distance((0, 2), (3, 2)) == 1
+
+
+class TestIndexing:
+    def test_roundtrip(self):
+        shape = (4, 3, 2)
+        for i in range(num_nodes(shape)):
+            assert lexicographic_index(coord_from_index(i, shape), shape) == i
+
+    def test_row_major(self):
+        assert lexicographic_index((0, 0), (4, 3)) == 0
+        assert lexicographic_index((0, 1), (4, 3)) == 1
+        assert lexicographic_index((1, 0), (4, 3)) == 3
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            coord_from_index(12, (4, 3))
+
+    def test_index_negative(self):
+        with pytest.raises(ValueError):
+            coord_from_index(-1, (4, 3))

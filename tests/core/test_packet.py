@@ -1,0 +1,109 @@
+"""Unit tests for the packet / header / flit model (paper Figs. 3-4)."""
+
+import pytest
+
+from repro.core.packet import RC, Flit, FlitKind, Header, Packet, make_flits
+
+
+class TestRC:
+    def test_values_match_paper_fig4(self):
+        assert RC.NORMAL == 0
+        assert RC.BROADCAST_REQUEST == 1
+        assert RC.BROADCAST == 2
+        assert RC.DETOUR == 3
+
+    def test_two_bits_suffice(self):
+        assert all(0 <= rc <= 3 for rc in RC)
+
+
+class TestHeader:
+    def test_with_rc_copies(self):
+        h = Header(source=(0, 0), dest=(2, 1))
+        h2 = h.with_rc(RC.DETOUR)
+        assert h.rc is RC.NORMAL
+        assert h2.rc is RC.DETOUR
+        assert h2.dest == h.dest
+
+    def test_frozen(self):
+        h = Header(source=(0, 0), dest=(1, 1))
+        with pytest.raises(AttributeError):
+            h.rc = RC.BROADCAST  # type: ignore[misc]
+
+    @pytest.mark.parametrize("rc", list(RC))
+    def test_encode_decode_roundtrip(self, rc):
+        shape = (4, 3)
+        h = Header(source=(3, 1), dest=(2, 2), rc=rc)
+        assert Header.decode(h.encode(shape), shape) == h
+
+    def test_encode_decode_3d(self):
+        shape = (16, 16, 8)
+        h = Header(source=(15, 0, 7), dest=(0, 15, 3), rc=RC.BROADCAST)
+        assert Header.decode(h.encode(shape), shape) == h
+
+    def test_encode_rc_in_low_bits(self):
+        shape = (4, 3)
+        h = Header(source=(0, 0), dest=(0, 0), rc=RC.DETOUR)
+        assert h.encode(shape) & 0b11 == 3
+
+
+class TestPacket:
+    def test_defaults(self):
+        p = Packet(Header(source=(0, 0), dest=(1, 0)))
+        assert p.length == 4
+        assert p.injected_at is None and p.delivered_at is None
+
+    def test_unique_pids(self):
+        a = Packet(Header(source=(0, 0), dest=(1, 0)))
+        b = Packet(Header(source=(0, 0), dest=(1, 0)))
+        assert a.pid != b.pid
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            Packet(Header(source=(0, 0), dest=(1, 0)), length=0)
+
+    def test_is_broadcast(self):
+        p = Packet(Header(source=(0, 0), dest=(0, 0), rc=RC.BROADCAST_REQUEST))
+        assert p.is_broadcast
+        q = Packet(Header(source=(0, 0), dest=(1, 0)))
+        assert not q.is_broadcast
+
+    def test_latency(self):
+        p = Packet(Header(source=(0, 0), dest=(1, 0)))
+        assert p.latency is None
+        p.injected_at, p.delivered_at = 5, 17
+        assert p.latency == 12
+
+    def test_flit_kinds_multi(self):
+        p = Packet(Header(source=(0, 0), dest=(1, 0)), length=4)
+        kinds = p.flit_kinds()
+        assert kinds[0] is FlitKind.HEAD
+        assert kinds[-1] is FlitKind.TAIL
+        assert all(k is FlitKind.BODY for k in kinds[1:-1])
+
+    def test_flit_kinds_single(self):
+        p = Packet(Header(source=(0, 0), dest=(1, 0)), length=1)
+        assert p.flit_kinds() == (FlitKind.HEAD_TAIL,)
+
+    def test_flit_kinds_two(self):
+        p = Packet(Header(source=(0, 0), dest=(1, 0)), length=2)
+        assert p.flit_kinds() == (FlitKind.HEAD, FlitKind.TAIL)
+
+
+class TestFlits:
+    def test_make_flits_count_and_seq(self):
+        p = Packet(Header(source=(0, 0), dest=(1, 0)), length=5)
+        flits = make_flits(p)
+        assert len(flits) == 5
+        assert [f.seq for f in flits] == list(range(5))
+
+    def test_head_tail_predicates(self):
+        p = Packet(Header(source=(0, 0), dest=(1, 0)), length=3)
+        flits = make_flits(p)
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert not flits[1].is_head and not flits[1].is_tail
+
+    def test_single_flit_is_head_and_tail(self):
+        p = Packet(Header(source=(0, 0), dest=(1, 0)), length=1)
+        (f,) = make_flits(p)
+        assert f.is_head and f.is_tail

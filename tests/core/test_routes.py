@@ -1,0 +1,219 @@
+"""Unit tests for static route computation (trees, paths, RC traces)."""
+
+import pytest
+
+from repro.core import (
+    Broadcast,
+    Fault,
+    RC,
+    Unicast,
+    compute_route,
+    make_config,
+    route_all_broadcasts,
+    route_all_unicasts,
+)
+from repro.core.dimension_order import (
+    expected_normal_elements,
+    expected_request_leg_elements,
+    expected_xb_hops,
+)
+from repro.core.routes import RouteLoopError
+from repro.core.switch_logic import UnreachableDestinationError
+from repro.topology import MDCrossbar
+from tests.conftest import make_logic
+
+
+class TestUnicastRoutes:
+    def test_matches_oracle_everywhere_43(self, topo43, logic43):
+        for tree in route_all_unicasts(topo43, logic43):
+            flow = tree.flow
+            assert tree.elements_to(flow.dest) == expected_normal_elements(
+                logic43.config, flow.source, flow.dest
+            )
+
+    def test_matches_oracle_3d(self, topo333, logic333):
+        for tree in route_all_unicasts(topo333, logic333):
+            flow = tree.flow
+            assert tree.elements_to(flow.dest) == expected_normal_elements(
+                logic333.config, flow.source, flow.dest
+            )
+
+    def test_xb_hops_bounded_by_d(self, topo43, logic43):
+        for tree in route_all_unicasts(topo43, logic43):
+            assert tree.xb_hops_to(tree.flow.dest) <= 2
+
+    def test_xb_hops_equal_differing_dims(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Unicast((0, 1), (3, 1)))
+        assert t.xb_hops_to((3, 1)) == expected_xb_hops((0, 1), (3, 1)) == 1
+
+    def test_rc_stays_normal(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Unicast((0, 0), (2, 2)))
+        assert all(rc is RC.NORMAL for rc in t.rc_trace_to((2, 2)))
+
+    def test_self_send(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Unicast((1, 1), (1, 1)))
+        assert t.elements_to((1, 1)) == (
+            ("PE", (1, 1)), ("RTR", (1, 1)), ("PE", (1, 1))
+        )
+
+    def test_delivered_set(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Unicast((0, 0), (2, 2)))
+        assert t.delivered == {(2, 2)}
+
+    def test_path_to_unknown_dest_raises(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Unicast((0, 0), (2, 2)))
+        with pytest.raises(KeyError):
+            t.path_to((3, 0))
+
+
+class TestDetourRoutes:
+    def test_fig8_shape(self, topo43, logic43_faulty_rtr):
+        """The paper's Fig. 8 walkthrough: deflect at the X-XB, travel to
+        the D-XB via a detour router, reset, resume X-Y."""
+        cfg = logic43_faulty_rtr.config
+        t = compute_route(topo43, logic43_faulty_rtr, Unicast((0, 0), (2, 2)))
+        els = t.elements_to((2, 2))
+        assert ("RTR", (2, 0)) not in els  # the fault is avoided
+        assert cfg.dxb_element in els  # the packet passes the D-XB
+        assert els[-1] == ("PE", (2, 2))
+
+    def test_rc_trace_normal_detour_normal(self, topo43, logic43_faulty_rtr):
+        t = compute_route(topo43, logic43_faulty_rtr, Unicast((0, 0), (2, 2)))
+        trace = t.rc_trace_to((2, 2))
+        # the paper: "The packet leaves no trace of the detour routing
+        # behind" -- RC returns to NORMAL after the D-XB
+        kinds = [rc for rc in trace]
+        assert kinds[0] is RC.NORMAL
+        assert RC.DETOUR in kinds
+        assert kinds[-1] is RC.NORMAL
+        # once back to NORMAL it never flips again
+        last_detour = max(i for i, rc in enumerate(kinds) if rc is RC.DETOUR)
+        assert all(rc is RC.NORMAL for rc in kinds[last_detour + 1 :])
+
+    def test_unaffected_pairs_use_normal_route(self, topo43, logic43_faulty_rtr):
+        # (0,1) -> (1,1): route never meets the fault at (2,0)
+        t = compute_route(topo43, logic43_faulty_rtr, Unicast((0, 1), (1, 1)))
+        assert t.elements_to((1, 1)) == expected_normal_elements(
+            logic43_faulty_rtr.config, (0, 1), (1, 1)
+        )
+
+    def test_all_healthy_pairs_delivered_with_router_fault(self, topo43):
+        logic = make_logic(topo43, fault=Fault.router((1, 1)))
+        trees = route_all_unicasts(topo43, logic)
+        assert len(trees) == 11 * 10
+        for t in trees:
+            assert t.flow.dest in t.delivered
+            assert ("RTR", (1, 1)) not in t.elements_to(t.flow.dest)
+
+    def test_all_healthy_pairs_delivered_with_xb_fault(self, topo43):
+        logic = make_logic(topo43, fault=Fault.crossbar(0, (1,)))
+        for t in route_all_unicasts(topo43, logic):
+            els = t.elements_to(t.flow.dest)
+            assert ("XB", 0, (1,)) not in els
+            assert t.flow.dest in t.delivered
+
+    def test_last_dim_xb_fault_order_rotation(self, topo43):
+        # faulty Y-XB: order becomes Y-X and every pair still routes
+        logic = make_logic(topo43, fault=Fault.crossbar(1, (2,)))
+        assert logic.config.order == (1, 0)
+        for t in route_all_unicasts(topo43, logic):
+            els = t.elements_to(t.flow.dest)
+            assert ("XB", 1, (2,)) not in els
+            assert t.flow.dest in t.delivered
+
+    def test_3d_router_fault_full_coverage(self, topo333):
+        logic = make_logic(topo333, fault=Fault.router((1, 1, 1)))
+        for t in route_all_unicasts(topo333, logic):
+            els = t.elements_to(t.flow.dest)
+            assert ("RTR", (1, 1, 1)) not in els
+            assert t.flow.dest in t.delivered
+
+    def test_faulty_endpoint_rejected(self, topo43, logic43_faulty_rtr):
+        with pytest.raises(UnreachableDestinationError):
+            compute_route(topo43, logic43_faulty_rtr, Unicast((2, 0), (0, 0)))
+        with pytest.raises(UnreachableDestinationError):
+            compute_route(topo43, logic43_faulty_rtr, Unicast((0, 0), (2, 0)))
+
+
+class TestBroadcastRoutes:
+    def test_covers_all_pes_exactly_once(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Broadcast((2, 1)))
+        assert t.delivered == set(topo43.node_coords())
+        # exactly one ejection channel per PE
+        ej = [c for c in t.channels() if c.dst[0] == "PE"]
+        assert len(ej) == topo43.num_nodes
+
+    def test_yxy_routing_shape(self, topo43, logic43):
+        """Paper: 'the broadcast routing becomes Y-X-Y routing'."""
+        t = compute_route(topo43, logic43, Broadcast((2, 2)))
+        path = t.elements_to((3, 1))
+        kinds = [el[0] for el in path]
+        xbs = [el for el in path if el[0] == "XB"]
+        assert [x[1] for x in xbs] == [1, 0, 1]  # Y then X (S-XB) then Y
+
+    def test_request_leg_matches_oracle(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Broadcast((2, 2)))
+        leg = expected_request_leg_elements(logic43.config, (2, 2))
+        path = t.elements_to((3, 1))
+        assert path[: len(leg)] == leg
+
+    def test_source_on_sxb_row_enters_directly(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Broadcast((1, 0)))
+        path = t.elements_to((1, 0))
+        assert path[2] == logic43.config.sxb_element
+
+    def test_serialize_entry_recorded(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Broadcast((0, 1)))
+        assert len(t.serialize_entries) == 1
+        assert t.serialize_entries[0].dst == logic43.config.sxb_element
+
+    def test_all_sources(self, topo43, logic43):
+        for t in route_all_broadcasts(topo43, logic43):
+            assert t.delivered == set(topo43.node_coords())
+
+    def test_3d_coverage(self, topo333, logic333):
+        t = compute_route(topo333, logic333, Broadcast((2, 1, 0)))
+        assert t.delivered == set(topo333.node_coords())
+
+    def test_naive_mode_covers_all(self, topo43, logic43_naive_broadcast):
+        t = compute_route(
+            topo43, logic43_naive_broadcast, Broadcast((2, 1), RC.BROADCAST)
+        )
+        assert t.delivered == set(topo43.node_coords())
+        assert t.serialize_entries == []
+
+    def test_naive_mode_xy_shape(self, topo43, logic43_naive_broadcast):
+        t = compute_route(
+            topo43, logic43_naive_broadcast, Broadcast((2, 1), RC.BROADCAST)
+        )
+        path = t.elements_to((0, 2))
+        xbs = [el[1] for el in path if el[0] == "XB"]
+        assert xbs == [0, 1]  # X then Y, no S-XB pass
+
+    def test_broadcast_with_fault_skips_dead_pe(self, topo43):
+        logic = make_logic(topo43, fault=Fault.router((2, 0)))
+        t = compute_route(topo43, logic, Broadcast((0, 1)))
+        expected = set(topo43.node_coords()) - {(2, 0)}
+        assert t.delivered == expected
+
+    def test_broadcast_tree_channel_count(self, topo43, logic43):
+        # source on S-XB row: no request leg beyond inj + entry
+        t = compute_route(topo43, logic43, Broadcast((0, 0)))
+        # inj, R->S-XB, 4 XR, 4 ej on row 0, 4 RY, 8 YR, 8 ej
+        assert t.num_channels == 1 + 1 + 4 + 4 + 4 + 8 + 8
+
+
+class TestTreeAccessors:
+    def test_ancestors_of_root_empty(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Unicast((0, 0), (1, 0)))
+        assert t.ancestors(t.root) == ()
+
+    def test_ancestors_ordering(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Unicast((0, 0), (2, 2)))
+        chans = t.path_to((2, 2))
+        anc = t.ancestors(chans[-1])
+        assert anc == tuple(reversed(chans[:-1]))
+
+    def test_loop_guard_raises_on_tiny_budget(self, topo43, logic43):
+        with pytest.raises(RouteLoopError):
+            compute_route(topo43, logic43, Broadcast((2, 2)), max_steps=2)

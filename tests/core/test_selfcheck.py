@@ -1,0 +1,65 @@
+"""Unit tests for the cross-layer consistency audit."""
+
+import pytest
+
+from repro.core import Fault
+from repro.core.config import BroadcastMode, DetourScheme
+from repro.core.selfcheck import self_check
+from tests.conftest import make_logic
+
+
+class TestSelfCheck:
+    def test_fault_free_healthy(self, topo43, logic43):
+        report = self_check(topo43, logic43)
+        assert report.healthy
+        assert len(report.checks) == 4
+        assert all("ok" in r for r in report.rows())
+
+    def test_faulted_safe_healthy(self, topo43, logic43_faulty_rtr):
+        report = self_check(topo43, logic43_faulty_rtr)
+        assert report.healthy
+
+    def test_naive_scheme_consistent(self, topo43, logic43_naive_detour):
+        # hazardous configs are still *consistent*: the CDG reports a
+        # hazard AND no certificate exists
+        report = self_check(topo43, logic43_naive_detour)
+        assert report.healthy
+        cdg_check = report.checks[2]
+        assert "deadlock_free=False" in cdg_check.detail
+        assert "no certificate" in cdg_check.detail
+
+    def test_3d_healthy(self, topo333, logic333):
+        report = self_check(topo333, logic333, simulate_samples=3)
+        assert report.healthy
+
+    def test_xb_fault_healthy(self, topo43):
+        logic = make_logic(topo43, fault=Fault.crossbar(1, (2,)))
+        report = self_check(topo43, logic)
+        assert report.healthy
+
+    def test_multifault_healthy(self, topo43):
+        logic = make_logic(
+            topo43, faults=(Fault.router((1, 0)), Fault.router((3, 2)))
+        )
+        report = self_check(topo43, logic)
+        assert report.healthy
+
+    def test_rows_render(self, topo43, logic43):
+        report = self_check(topo43, logic43)
+        assert any("oracle" in r for r in report.rows())
+
+
+class TestDoctorCLI:
+    def test_doctor_healthy(self, capsys):
+        from repro.cli import main
+
+        rc = main(["doctor", "--shape", "3x3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "healthy" in out
+
+    def test_doctor_with_fault(self, capsys):
+        from repro.cli import main
+
+        rc = main(["doctor", "--shape", "4x3", "--fault", "rtr:1,1"])
+        assert rc == 0

@@ -1,0 +1,89 @@
+"""Integration tests: the paper's mechanisms generalized to three
+dimensions, as deployed on the real (3D) SR2201."""
+
+import pytest
+
+from repro.core import (
+    Broadcast,
+    Fault,
+    Header,
+    Packet,
+    RC,
+    Unicast,
+    analyze_deadlock_freedom,
+    compute_route,
+)
+from repro.core.config import DetourScheme
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from tests.conftest import make_logic
+
+SHAPE = (3, 3, 3)
+
+
+class TestBroadcast3D:
+    def test_routing_is_zyxyz(self, topo333, logic333):
+        """The 2D Y-X-Y generalizes: request walks reverse order (Z then
+        Y), the S-XB spreads X, then Y, then Z."""
+        tree = compute_route(topo333, logic333, Broadcast((2, 2, 2)))
+        path = tree.elements_to((1, 1, 1))
+        dims = [el[1] for el in path if el[0] == "XB"]
+        assert dims == [2, 1, 0, 1, 2]
+
+    def test_simulated_3d_broadcast_storm(self, topo333):
+        sim = NetworkSimulator(
+            MDCrossbarAdapter(make_logic(topo333)), SimConfig(stall_limit=500)
+        )
+        for src in [(0, 0, 0), (2, 2, 2), (1, 2, 0)]:
+            sim.send(
+                Packet(Header(source=src, dest=src, rc=RC.BROADCAST_REQUEST), length=6)
+            )
+        res = sim.run(max_cycles=20_000)
+        assert not res.deadlocked
+        assert len(res.delivered) == 3
+
+
+class TestDetour3D:
+    @pytest.mark.parametrize(
+        "fault_coord", [(1, 1, 1), (2, 0, 0), (0, 2, 1)], ids=str
+    )
+    def test_detour_reaches_everything(self, topo333, fault_coord):
+        logic = make_logic(topo333, fault=Fault.router(fault_coord))
+        live = [c for c in topo333.node_coords() if c != fault_coord]
+        for s in live[::5]:
+            for t in live[::7]:
+                if s != t:
+                    tree = compute_route(topo333, logic, Unicast(s, t))
+                    assert t in tree.delivered
+                    assert ("RTR", fault_coord) not in tree.elements_to(t)
+
+    def test_mid_route_deflection(self, topo333):
+        """A fault at the second turn router: the deflection happens at a
+        non-first-dimension crossbar, and the packet still arrives via the
+        D-XB with RC reset."""
+        logic = make_logic(topo333, fault=Fault.router((2, 2, 0)))
+        cfg = logic.config
+        # route (0,0,0) -> (2,2,2) normally turns at (2,0,0) then (2,2,0)
+        tree = compute_route(topo333, logic, Unicast((0, 0, 0), (2, 2, 2)))
+        els = tree.elements_to((2, 2, 2))
+        assert ("RTR", (2, 2, 0)) not in els
+        assert cfg.dxb_element in els
+        assert tree.rc_trace_to((2, 2, 2))[-1] is RC.NORMAL
+
+    def test_fig9_fig10_in_3d(self, topo333):
+        fault = Fault.router((1, 1, 1))
+        naive = make_logic(topo333, fault=fault, detour_scheme=DetourScheme.NAIVE)
+        safe = make_logic(topo333, fault=fault)
+        assert not analyze_deadlock_freedom(topo333, naive).deadlock_free
+        assert analyze_deadlock_freedom(topo333, safe).deadlock_free
+
+    def test_simulated_mixed_traffic_3d_with_fault(self, topo333):
+        logic = make_logic(topo333, fault=Fault.router((1, 1, 1)))
+        sim = NetworkSimulator(MDCrossbarAdapter(logic), SimConfig(stall_limit=500))
+        sim.send(
+            Packet(Header(source=(2, 2, 2), dest=(2, 2, 2), rc=RC.BROADCAST_REQUEST), length=6)
+        )
+        sim.send(Packet(Header(source=(0, 0, 0), dest=(1, 1, 2)), length=6), at_cycle=1)
+        sim.send(Packet(Header(source=(0, 1, 1), dest=(2, 1, 1)), length=6), at_cycle=2)
+        res = sim.run(max_cycles=20_000)
+        assert not res.deadlocked
+        assert len(res.delivered) == 3

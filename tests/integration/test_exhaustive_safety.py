@@ -1,0 +1,77 @@
+"""Exhaustive safety census (experiment E13).
+
+The paper's Section 5 guarantee is checked for *every* single-fault
+location (all routers, all crossbars) on the running-example network, and
+the naive scheme's hazard census is taken alongside: the safe scheme must
+be clean everywhere, the naive scheme must be hazardous wherever a distinct
+D-XB exists.
+"""
+
+import pytest
+
+from repro.core import Fault, analyze_deadlock_freedom, make_config, SwitchLogic
+from repro.core.config import ConfigError, DetourScheme
+from repro.core.coords import all_coords, all_lines
+from repro.topology import MDCrossbar
+
+SHAPE = (4, 3)
+
+
+def all_single_faults(shape):
+    for c in all_coords(shape):
+        yield Fault.router(c)
+    for dim in range(len(shape)):
+        for line in all_lines(shape, dim):
+            yield Fault.crossbar(dim, line)
+
+
+@pytest.mark.parametrize(
+    "fault", list(all_single_faults(SHAPE)), ids=str
+)
+def test_safe_scheme_clean_for_every_fault(fault):
+    topo = MDCrossbar(SHAPE)
+    logic = SwitchLogic(topo, make_config(SHAPE, fault=fault))
+    res = analyze_deadlock_freedom(topo, logic)
+    assert res.deadlock_free, f"{fault}: {res.hazard and res.hazard.describe()}"
+
+
+@pytest.mark.parametrize(
+    "fault", list(all_single_faults(SHAPE)), ids=str
+)
+def test_naive_scheme_hazardous_for_every_fault(fault):
+    topo = MDCrossbar(SHAPE)
+    try:
+        cfg = make_config(SHAPE, fault=fault, detour_scheme=DetourScheme.NAIVE)
+    except ConfigError:
+        pytest.skip("no distinct D-XB available")
+    logic = SwitchLogic(topo, cfg)
+    res = analyze_deadlock_freedom(topo, logic)
+    assert not res.deadlock_free, str(fault)
+
+
+def test_safe_scheme_clean_for_every_sxb_choice():
+    topo = MDCrossbar(SHAPE)
+    fault = Fault.router((2, 0))
+    clean = 0
+    for y in range(SHAPE[1]):
+        try:
+            cfg = make_config(SHAPE, fault=fault, sxb_line=(y,))
+        except ConfigError:
+            continue  # rule R2 excludes the fault's row
+        logic = SwitchLogic(topo, cfg)
+        assert analyze_deadlock_freedom(topo, logic).deadlock_free, y
+        clean += 1
+    assert clean == 2  # rows 1 and 2 admissible, row 0 excluded
+
+
+def test_3d_census_sampled():
+    shape = (3, 3, 2)
+    topo = MDCrossbar(shape)
+    for fault in [
+        Fault.router((1, 1, 1)),
+        Fault.router((0, 2, 0)),
+        Fault.crossbar(0, (1, 1)),
+        Fault.crossbar(2, (2, 2)),
+    ]:
+        logic = SwitchLogic(topo, make_config(shape, fault=fault))
+        assert analyze_deadlock_freedom(topo, logic).deadlock_free, str(fault)

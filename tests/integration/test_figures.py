@@ -1,0 +1,205 @@
+"""Integration tests replaying every figure of the paper end to end.
+
+Each test is the executable form of one figure's walkthrough; the benchmark
+suite (benchmarks/bench_e0*.py) times the same scenarios and prints the
+reported rows.
+"""
+
+import pytest
+
+from repro.core import (
+    Broadcast,
+    Fault,
+    Header,
+    Packet,
+    RC,
+    Unicast,
+    analyze_deadlock_freedom,
+    compute_route,
+)
+from repro.core.config import BroadcastMode, DetourScheme
+from repro.core.dimension_order import expected_normal_elements
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.topology import MDCrossbar
+from tests.conftest import make_logic
+
+
+def make_sim(topo, sim_config=None, **kw):
+    return NetworkSimulator(
+        MDCrossbarAdapter(make_logic(topo, **kw)),
+        sim_config or SimConfig(stall_limit=300),
+    )
+
+
+class TestFig2Structure:
+    """Fig. 2: the 4x3 two-dimensional crossbar network."""
+
+    def test_four_by_three_inventory(self, topo43):
+        assert topo43.num_nodes == 12
+        xbs = [e for e in topo43.elements() if e[0] == "XB"]
+        assert sum(1 for e in xbs if e[1] == 0) == 3  # X-XBs, one per row
+        assert sum(1 for e in xbs if e[1] == 1) == 4  # Y-XBs, one per column
+
+    def test_two_hops_suffice(self, topo43, logic43):
+        for s in topo43.node_coords():
+            for t in topo43.node_coords():
+                if s != t:
+                    tree = compute_route(topo43, logic43, Unicast(s, t))
+                    assert tree.xb_hops_to(t) <= 2
+
+
+class TestFig3Fig4PacketFormat:
+    """Figs. 3-4: receiving address per dimension + the RC bit."""
+
+    def test_rc_meanings(self):
+        assert [rc.value for rc in RC] == [0, 1, 2, 3]
+
+    def test_address_effective_only_when_normal(self, topo43, logic43):
+        # a broadcast-request packet routes to the S-XB regardless of the
+        # receiving address field
+        from repro.topology import pe, rtr, xb
+
+        h_a = Header(source=(1, 2), dest=(3, 1), rc=RC.BROADCAST_REQUEST)
+        h_b = Header(source=(1, 2), dest=(0, 0), rc=RC.BROADCAST_REQUEST)
+        d_a = logic43.decide(rtr((1, 2)), pe((1, 2)), h_a)
+        d_b = logic43.decide(rtr((1, 2)), pe((1, 2)), h_b)
+        assert d_a.outputs == d_b.outputs
+
+
+class TestFig5BroadcastDeadlock:
+    """Fig. 5: two naive broadcasts deadlock on the Y crossbars."""
+
+    def test_static_hazard(self, topo43):
+        logic = make_logic(topo43, broadcast_mode=BroadcastMode.NAIVE)
+        res = analyze_deadlock_freedom(topo43, logic, include_unicasts=False)
+        assert not res.deadlock_free
+
+    def test_dynamic_deadlock(self, topo43):
+        sim = make_sim(topo43, broadcast_mode=BroadcastMode.NAIVE)
+        for src in [(2, 1), (3, 2)]:
+            sim.send(Packet(Header(source=src, dest=src, rc=RC.BROADCAST), length=6))
+        res = sim.run(max_cycles=5000)
+        assert res.deadlocked
+        # the cyclic wait involves both broadcasts
+        assert len(set(res.deadlock.cycle_pids)) >= 2
+
+
+class TestFig6SerializedBroadcast:
+    """Fig. 6: broadcasts serialize at the S-XB and complete."""
+
+    def test_routing_is_y_x_y(self, topo43, logic43):
+        tree = compute_route(topo43, logic43, Broadcast((2, 2)))
+        xbs = [el[1] for el in tree.elements_to((3, 1)) if el[0] == "XB"]
+        assert xbs == [1, 0, 1]
+
+    def test_second_broadcast_waits_then_completes(self, topo43):
+        sim = make_sim(topo43)
+        a = Packet(Header(source=(2, 1), dest=(2, 1), rc=RC.BROADCAST_REQUEST), length=6)
+        b = Packet(Header(source=(3, 2), dest=(3, 2), rc=RC.BROADCAST_REQUEST), length=6)
+        sim.send(a)
+        sim.send(b)
+        res = sim.run(max_cycles=5000)
+        assert not res.deadlocked
+        assert len(res.delivered) == 2
+
+    def test_static_freedom(self, topo43, logic43):
+        assert analyze_deadlock_freedom(topo43, logic43).deadlock_free
+
+
+class TestFig7Fig8DetourRouting:
+    """Figs. 7-8: the hardware detour path selection facility."""
+
+    def test_paper_walkthrough(self, topo43):
+        """Fig. 8 step by step, in our coordinates: PE(0,0) -> PE(2,2)
+        with RTR(2,0) faulty."""
+        logic = make_logic(topo43, fault=Fault.router((2, 0)))
+        cfg = logic.config
+        tree = compute_route(topo43, logic, Unicast((0, 0), (2, 2)))
+        els = tree.elements_to((2, 2))
+        # step 1: via own router into the X-XB of the source row
+        assert els[1] == ("RTR", (0, 0)) and els[2] == ("XB", 0, (0,))
+        # step 2: deflected to a detour router (not the faulty column)
+        assert els[3][0] == "RTR" and els[3][1][0] != 2
+        # step 3: detour router to its Y-XB
+        assert els[4][0] == "XB" and els[4][1] == 1
+        # step 4: to the D-XB
+        assert cfg.dxb_element in els
+        # step 5: RC reset, dimension-order to the destination
+        assert els[-1] == ("PE", (2, 2))
+        trace = tree.rc_trace_to((2, 2))
+        assert trace[-1] is RC.NORMAL and RC.DETOUR in trace
+
+    def test_no_trace_left_behind(self, topo43):
+        """Paper: 'The packet leaves no trace of the detour routing
+        behind' -- after the D-XB the suffix equals a normal route."""
+        logic = make_logic(topo43, fault=Fault.router((2, 0)))
+        cfg = logic.config
+        tree = compute_route(topo43, logic, Unicast((0, 0), (2, 2)))
+        els = list(tree.elements_to((2, 2)))
+        i = els.index(cfg.dxb_element)
+        y = cfg.line_coord(cfg.dxb_line, 1)
+        resumed = expected_normal_elements(cfg, (2, y), (2, 2))
+        # the post-D-XB suffix: D-XB -> RTR(2, y) -> ... -> PE(2,2)
+        assert tuple(els[i + 1 :]) == resumed[1:]
+
+    def test_broadcast_substitution_when_sxb_row_hit(self, topo43):
+        """Fig. 7 case (b): the S-XB substitutes when the fault touches it."""
+        logic = make_logic(topo43, fault=Fault.router((1, 0)))
+        assert logic.config.sxb_line != (0,)
+        tree = compute_route(topo43, logic, Broadcast((0, 1)))
+        assert tree.delivered == set(topo43.node_coords()) - {(1, 0)}
+
+
+class TestFig9CombinedDeadlock:
+    """Fig. 9: naive detour + broadcast deadlock."""
+
+    def test_static_hazard(self, topo43):
+        logic = make_logic(
+            topo43, fault=Fault.router((2, 0)), detour_scheme=DetourScheme.NAIVE
+        )
+        assert not analyze_deadlock_freedom(topo43, logic).deadlock_free
+
+    def test_dynamic_deadlock_between_detour_and_broadcast(self, topo43):
+        sim = make_sim(
+            topo43, fault=Fault.router((2, 0)), detour_scheme=DetourScheme.NAIVE
+        )
+        sim.send(
+            Packet(Header(source=(3, 2), dest=(3, 2), rc=RC.BROADCAST_REQUEST), length=6),
+            at_cycle=0,
+        )
+        sim.send(Packet(Header(source=(0, 0), dest=(2, 2)), length=6), at_cycle=1)
+        sim.send(Packet(Header(source=(1, 0), dest=(3, 1)), length=6), at_cycle=1)
+        sim.send(Packet(Header(source=(0, 1), dest=(1, 2)), length=6), at_cycle=2)
+        res = sim.run(max_cycles=5000)
+        assert res.deadlocked
+
+
+class TestFig10DeadlockFreeScheme:
+    """Fig. 10 / Section 5: D-XB = S-XB serializes both non-dimension-order
+    flows and removes the cyclic wait."""
+
+    def test_dxb_equals_sxb(self, topo43):
+        logic = make_logic(topo43, fault=Fault.router((2, 0)))
+        assert logic.config.dxb_line == logic.config.sxb_line
+
+    def test_detour_passes_through_sxb(self, topo43):
+        logic = make_logic(topo43, fault=Fault.router((2, 0)))
+        tree = compute_route(topo43, logic, Unicast((0, 0), (2, 2)))
+        assert logic.config.sxb_element in tree.elements_to((2, 2))
+
+    def test_same_workload_completes(self, topo43):
+        sim = make_sim(topo43, fault=Fault.router((2, 0)))
+        sim.send(
+            Packet(Header(source=(3, 2), dest=(3, 2), rc=RC.BROADCAST_REQUEST), length=6),
+            at_cycle=0,
+        )
+        sim.send(Packet(Header(source=(0, 0), dest=(2, 2)), length=6), at_cycle=1)
+        sim.send(Packet(Header(source=(1, 0), dest=(3, 1)), length=6), at_cycle=1)
+        sim.send(Packet(Header(source=(0, 1), dest=(1, 2)), length=6), at_cycle=2)
+        res = sim.run(max_cycles=5000)
+        assert not res.deadlocked
+        assert len(res.delivered) == 4
+
+    def test_static_freedom(self, topo43):
+        logic = make_logic(topo43, fault=Fault.router((2, 0)))
+        assert analyze_deadlock_freedom(topo43, logic).deadlock_free

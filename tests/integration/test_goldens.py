@@ -1,0 +1,53 @@
+"""Golden regression tests: the exact route strings of the paper's worked
+examples, pinned so any future change to the switch logic that alters a
+figure's path fails loudly."""
+
+from repro.core import Broadcast, Fault, Unicast, compute_route
+from repro.viz import render_route
+from tests.conftest import make_logic
+
+
+class TestGoldenRoutes:
+    def test_normal_xy_route(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Unicast((0, 0), (2, 2)))
+        assert render_route(t, (2, 2)) == (
+            "PE(0, 0) -n-> RTR(0, 0) -n-> X-XB(0,) -n-> RTR(2, 0) "
+            "-n-> Y-XB(2,) -n-> RTR(2, 2) -n-> PE(2, 2)"
+        )
+
+    def test_fig6_broadcast_route(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Broadcast((2, 2)))
+        assert render_route(t, (3, 1)) == (
+            "PE(2, 2) -q-> RTR(2, 2) -q-> Y-XB(2,) -q-> RTR(2, 0) "
+            "-q-> X-XB(0,) -b-> RTR(3, 0) -b-> Y-XB(3,) -b-> RTR(3, 1) "
+            "-b-> PE(3, 1)"
+        )
+
+    def test_fig8_fig10_detour_route(self, topo43):
+        logic = make_logic(topo43, fault=Fault.router((2, 0)))
+        t = compute_route(topo43, logic, Unicast((0, 0), (2, 2)))
+        assert render_route(t, (2, 2)) == (
+            "PE(0, 0) -n-> RTR(0, 0) -n-> X-XB(0,) -d-> RTR(1, 0) "
+            "-d-> Y-XB(1,) -d-> RTR(1, 1) -d-> X-XB(1,) -n-> RTR(2, 1) "
+            "-n-> Y-XB(2,) -n-> RTR(2, 2) -n-> PE(2, 2)"
+        )
+
+    def test_source_row_xb_fault_detour(self, topo43):
+        logic = make_logic(topo43, fault=Fault.crossbar(0, (0,)))
+        t = compute_route(topo43, logic, Unicast((1, 0), (3, 0)))
+        # the packet is injected NORMAL; the source router flips RC to
+        # detour because its own X-XB is the faulty one
+        assert render_route(t, (3, 0)) == (
+            "PE(1, 0) -n-> RTR(1, 0) -d-> Y-XB(1,) -d-> RTR(1, 1) "
+            "-d-> X-XB(1,) -n-> RTR(3, 1) -n-> Y-XB(3,) -n-> RTR(3, 0) "
+            "-n-> PE(3, 0)"
+        )
+
+    def test_rotated_order_route(self, topo43):
+        # faulty Y-XB forces Y-X order
+        logic = make_logic(topo43, fault=Fault.crossbar(1, (2,)))
+        t = compute_route(topo43, logic, Unicast((0, 0), (3, 2)))
+        assert render_route(t, (3, 2)) == (
+            "PE(0, 0) -n-> RTR(0, 0) -n-> Y-XB(0,) -n-> RTR(0, 2) "
+            "-n-> X-XB(2,) -n-> RTR(3, 2) -n-> PE(3, 2)"
+        )

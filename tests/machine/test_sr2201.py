@@ -1,0 +1,102 @@
+"""Unit tests for the SR2201 machine model."""
+
+import math
+
+import pytest
+
+from repro.core import Fault
+from repro.machine import SR2201, STANDARD_CONFIGS, units
+
+
+class TestUnits:
+    def test_flit_bytes_consistent(self):
+        # 150 MHz x flit bytes = 300 MB/s (paper Section 2)
+        assert units.FLIT_BYTES * units.CLOCK_HZ == units.LINK_BANDWIDTH_BYTES_PER_S
+
+    def test_cycles_seconds_roundtrip(self):
+        assert units.seconds_to_cycles(units.cycles_to_seconds(1234)) == pytest.approx(1234)
+
+    def test_cycles_to_us(self):
+        assert units.cycles_to_us(150) == pytest.approx(1.0)
+
+    def test_bytes_to_flits_rounds_up(self):
+        assert units.bytes_to_flits(1) == 1
+        assert units.bytes_to_flits(2) == 1
+        assert units.bytes_to_flits(3) == 2
+
+    def test_bytes_to_flits_min_one(self):
+        assert units.bytes_to_flits(0) == 1
+
+    def test_flits_to_bytes(self):
+        assert units.flits_to_bytes(8) == 16
+
+
+class TestConfigs:
+    def test_standard_sizes(self):
+        from repro.core.coords import num_nodes
+
+        for name, shape in STANDARD_CONFIGS.items():
+            n = int(name.split("/")[1])
+            assert num_nodes(shape) == n
+
+    def test_max_is_2048(self):
+        m = SR2201.named("SR2201/2048")
+        assert m.num_pes == 2048
+        assert m.shape == (16, 16, 8)
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ValueError):
+            SR2201((32, 16, 8))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            SR2201.named("SR2201/512")
+
+    def test_peak_mflops(self):
+        m = SR2201.named("SR2201/64")
+        assert m.peak_mflops == 64 * 300
+
+
+class TestAnalyticModel:
+    def test_transfer_cycles_monotone_in_size(self):
+        m = SR2201.named("SR2201/64")
+        small = m.transfer_cycles((0, 0, 0), (3, 3, 3), 64)
+        big = m.transfer_cycles((0, 0, 0), (3, 3, 3), 4096)
+        assert big > small
+
+    def test_transfer_cycles_monotone_in_distance(self):
+        m = SR2201.named("SR2201/64")
+        near = m.transfer_cycles((0, 0, 0), (1, 0, 0), 256)
+        far = m.transfer_cycles((0, 0, 0), (1, 1, 1), 256)
+        assert far > near
+
+    def test_effective_bandwidth_approaches_link_rate(self):
+        m = SR2201.named("SR2201/64")
+        bw = m.effective_bandwidth_mb_s((0, 0, 0), (3, 3, 3), 1 << 20)
+        assert 0.9 * 300 < bw <= 300
+
+    def test_analytic_close_to_simulated(self):
+        m = SR2201((4, 3))
+        nbytes = 128
+        analytic = m.transfer_cycles((0, 0), (2, 2), nbytes)
+        res = m.simulate_transfer((0, 0), (2, 2), nbytes)
+        sim_lat = res.delivered[0].latency
+        assert abs(sim_lat - analytic) <= 0.25 * analytic
+
+    def test_describe(self):
+        m = SR2201.named("SR2201/8")
+        s = m.describe()
+        assert "8 PEs" in s and "300" in s
+
+
+class TestSimulatedModel:
+    def test_simulate_broadcast(self):
+        m = SR2201((4, 3))
+        res = m.simulate_broadcast((1, 2), 64)
+        assert len(res.delivered) == 1
+
+    def test_faulted_machine(self):
+        m = SR2201((4, 3), fault=Fault.router((2, 0)))
+        res = m.simulate_transfer((0, 0), (2, 2), 64)
+        assert len(res.delivered) == 1
+        assert "fault" in m.describe()

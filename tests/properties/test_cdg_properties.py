@@ -1,0 +1,61 @@
+"""Property-based tests for the deadlock analysis: the paper's Section 5
+guarantee over randomly drawn shapes, fault locations and S-XB choices."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Fault, analyze_deadlock_freedom, make_config, SwitchLogic
+from repro.core.config import ConfigError, DetourScheme
+from repro.core.coords import all_coords, num_nodes
+from repro.topology import MDCrossbar
+
+small_2d = st.tuples(st.integers(2, 4), st.integers(2, 4))
+
+
+@st.composite
+def shape_and_fault(draw):
+    shape = draw(small_2d)
+    coords = list(all_coords(shape))
+    return shape, draw(st.sampled_from(coords))
+
+
+@given(shape_and_fault())
+@settings(max_examples=25, deadline=None)
+def test_safe_scheme_always_deadlock_free(data):
+    shape, f = data
+    topo = MDCrossbar(shape)
+    logic = SwitchLogic(topo, make_config(shape, fault=Fault.router(f)))
+    assert analyze_deadlock_freedom(topo, logic).deadlock_free
+
+
+@given(shape_and_fault())
+@settings(max_examples=15, deadline=None)
+def test_detour_alone_deadlock_free_even_naive(data):
+    shape, f = data
+    topo = MDCrossbar(shape)
+    try:
+        cfg = make_config(
+            shape, fault=Fault.router(f), detour_scheme=DetourScheme.NAIVE
+        )
+    except ConfigError:
+        return  # too small for a distinct D-XB
+    logic = SwitchLogic(topo, cfg)
+    res = analyze_deadlock_freedom(topo, logic, include_broadcasts=False)
+    assert res.deadlock_free
+
+
+@given(small_2d, st.integers(0, 10))
+@settings(max_examples=20, deadline=None)
+def test_sxb_position_irrelevant_for_safety(shape, salt):
+    topo = MDCrossbar(shape)
+    lines = sorted({(y,) for y in range(shape[1])})
+    line = lines[salt % len(lines)]
+    logic = SwitchLogic(topo, make_config(shape, sxb_line=line))
+    assert analyze_deadlock_freedom(topo, logic).deadlock_free
+
+
+@given(st.tuples(st.integers(2, 3), st.integers(2, 3), st.integers(2, 3)))
+@settings(max_examples=8, deadline=None)
+def test_3d_serialized_safe(shape):
+    topo = MDCrossbar(shape)
+    logic = SwitchLogic(topo, make_config(shape))
+    assert analyze_deadlock_freedom(topo, logic).deadlock_free

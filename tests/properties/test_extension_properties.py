@@ -1,0 +1,102 @@
+"""Property-based tests for the extensions: multi-fault tolerance,
+ordering certificates and adaptive routing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Fault, SwitchLogic, analyze_deadlock_freedom, make_config
+from repro.core.config import ConfigError
+from repro.core.coords import all_coords
+from repro.core.multifault import analyze_fault_set
+from repro.core.ordering import CertificateError, build_certificate
+from repro.sim import AdaptiveMDAdapter, NetworkSimulator, SimConfig
+from repro.core.packet import Header, Packet
+from repro.topology import MDCrossbar
+
+SHAPE = (4, 3)
+COORDS = list(all_coords(SHAPE))
+
+
+@st.composite
+def fault_sets(draw):
+    k = draw(st.integers(1, 3))
+    coords = draw(
+        st.lists(st.sampled_from(COORDS), min_size=k, max_size=k, unique=True)
+    )
+    return tuple(Fault.router(c) for c in coords)
+
+
+@given(fault_sets())
+@settings(max_examples=30, deadline=None)
+def test_feasible_router_fault_sets_fully_tolerated(faults):
+    """Whenever the generalized rules admit a configuration, every healthy
+    pair routes -- the extension never half-works."""
+    topo = MDCrossbar(SHAPE)
+    report = analyze_fault_set(topo, faults, check_deadlock=False)
+    if report.feasible:
+        assert report.routed_pairs == report.total_pairs
+        assert report.failed_pairs == ()
+
+
+@given(fault_sets())
+@settings(max_examples=15, deadline=None)
+def test_feasible_sets_deadlock_free_and_certifiable(faults):
+    topo = MDCrossbar(SHAPE)
+    try:
+        cfg = make_config(SHAPE, faults=faults)
+    except ConfigError:
+        return
+    logic = SwitchLogic(topo, cfg)
+    assert analyze_deadlock_freedom(topo, logic).deadlock_free
+    cert = build_certificate(topo, logic)
+    assert cert.num_flows_verified > 0
+
+
+@st.composite
+def adaptive_workloads(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(COORDS),
+                st.sampled_from(COORDS),
+                st.integers(1, 6),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+
+
+@given(adaptive_workloads())
+@settings(max_examples=25, deadline=None)
+def test_adaptive_routing_conserves_and_never_deadlocks(workload):
+    topo = MDCrossbar(SHAPE)
+    sim = NetworkSimulator(
+        AdaptiveMDAdapter(topo), SimConfig(num_vcs=2, stall_limit=500)
+    )
+    sent = 0
+    for s, t, length in workload:
+        if s == t:
+            continue
+        sim.send(Packet(Header(source=s, dest=t), length=length))
+        sent += 1
+    res = sim.run(max_cycles=50_000)
+    assert not res.deadlocked
+    assert len(res.delivered) == sent
+
+
+@given(adaptive_workloads())
+@settings(max_examples=15, deadline=None)
+def test_adaptive_latency_at_least_zero_load(workload):
+    from repro.core.coords import hop_distance
+
+    topo = MDCrossbar(SHAPE)
+    sim = NetworkSimulator(
+        AdaptiveMDAdapter(topo), SimConfig(num_vcs=2, stall_limit=500)
+    )
+    for s, t, length in workload:
+        if s != t:
+            sim.send(Packet(Header(source=s, dest=t), length=length))
+    res = sim.run(max_cycles=50_000)
+    for p in res.delivered:
+        min_cycles = (2 + 2 * hop_distance(p.source, p.dest)) + p.length - 1
+        assert p.latency >= min_cycles

@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for the routing invariants.
+
+These cover the core guarantees over randomly drawn shapes, endpoints and
+fault locations:
+
+* dimension-order routes visit each dimension at most once and reach the
+  destination in at most d crossbar hops;
+* broadcasts cover every live PE exactly once regardless of shape/source;
+* detour routes avoid the fault, pass the D-XB and reach the destination;
+* the RC trace always ends NORMAL (the packet "leaves no trace").
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Broadcast,
+    Fault,
+    RC,
+    Unicast,
+    compute_route,
+    make_config,
+    SwitchLogic,
+)
+from repro.core.coords import all_coords, hop_distance, num_nodes
+from repro.core.dimension_order import expected_normal_elements
+from repro.topology import MDCrossbar
+
+# keep networks small enough for fast exhaustive route walks
+shapes = st.lists(st.integers(2, 5), min_size=1, max_size=3).map(tuple).filter(
+    lambda s: num_nodes(s) <= 64
+)
+
+
+@st.composite
+def shape_and_two_coords(draw):
+    shape = draw(shapes)
+    coords = list(all_coords(shape))
+    s = draw(st.sampled_from(coords))
+    t = draw(st.sampled_from(coords))
+    return shape, s, t
+
+
+@st.composite
+def shape_and_coord(draw):
+    shape = draw(shapes)
+    coords = list(all_coords(shape))
+    return shape, draw(st.sampled_from(coords))
+
+
+@st.composite
+def shape_fault_and_pair(draw):
+    shape = draw(shapes.filter(lambda s: len(s) >= 2 and num_nodes(s) >= 8))
+    coords = list(all_coords(shape))
+    f = draw(st.sampled_from(coords))
+    rest = [c for c in coords if c != f]
+    s = draw(st.sampled_from(rest))
+    t = draw(st.sampled_from([c for c in rest if c != s]))
+    return shape, f, s, t
+
+
+def make(shape, **kw):
+    topo = MDCrossbar(shape)
+    return topo, SwitchLogic(topo, make_config(shape, **kw))
+
+
+@given(shape_and_two_coords())
+@settings(max_examples=120, deadline=None)
+def test_normal_route_matches_oracle(data):
+    shape, s, t = data
+    if s == t:
+        return
+    topo, logic = make(shape)
+    tree = compute_route(topo, logic, Unicast(s, t))
+    assert tree.elements_to(t) == expected_normal_elements(logic.config, s, t)
+
+
+@given(shape_and_two_coords())
+@settings(max_examples=120, deadline=None)
+def test_normal_route_hops_bounded(data):
+    shape, s, t = data
+    if s == t:
+        return
+    topo, logic = make(shape)
+    tree = compute_route(topo, logic, Unicast(s, t))
+    assert tree.xb_hops_to(t) == hop_distance(s, t) <= len(shape)
+
+
+@given(shape_and_coord())
+@settings(max_examples=80, deadline=None)
+def test_broadcast_covers_all_exactly_once(data):
+    shape, src = data
+    topo, logic = make(shape)
+    tree = compute_route(topo, logic, Broadcast(src))
+    assert tree.delivered == set(all_coords(shape))
+    ej = [c for c in tree.channels() if c.dst[0] == "PE"]
+    assert len(ej) == num_nodes(shape)
+
+
+@given(shape_and_coord())
+@settings(max_examples=60, deadline=None)
+def test_broadcast_rc_sequence_legal(data):
+    """RC may go 1 -> 2 exactly once (at the S-XB) and never back."""
+    shape, src = data
+    topo, logic = make(shape)
+    tree = compute_route(topo, logic, Broadcast(src))
+    for dest in (min(all_coords(shape)), max(all_coords(shape))):
+        trace = tree.rc_trace_to(dest)
+        seen_spread = False
+        for rc in trace:
+            if rc is RC.BROADCAST:
+                seen_spread = True
+            if seen_spread:
+                assert rc is RC.BROADCAST
+        assert trace[-1] is RC.BROADCAST
+
+
+@given(shape_fault_and_pair())
+@settings(max_examples=120, deadline=None)
+def test_detour_routes_avoid_fault_and_arrive(data):
+    shape, f, s, t = data
+    topo, logic = make(shape, fault=Fault.router(f))
+    tree = compute_route(topo, logic, Unicast(s, t))
+    els = tree.elements_to(t)
+    assert ("RTR", f) not in els
+    assert t in tree.delivered
+    assert tree.rc_trace_to(t)[-1] is RC.NORMAL
+
+
+@given(shape_fault_and_pair())
+@settings(max_examples=80, deadline=None)
+def test_detour_visits_each_channel_once(data):
+    # compute_route raises RouteLoopError on revisits; reaching here with a
+    # finished tree is the assertion
+    shape, f, s, t = data
+    topo, logic = make(shape, fault=Fault.router(f))
+    tree = compute_route(topo, logic, Unicast(s, t))
+    cids = [c.cid for c in tree.channels()]
+    assert len(cids) == len(set(cids))
+
+
+@given(shape_fault_and_pair())
+@settings(max_examples=60, deadline=None)
+def test_faulted_broadcast_covers_live_pes(data):
+    shape, f, s, _t = data
+    topo, logic = make(shape, fault=Fault.router(f))
+    tree = compute_route(topo, logic, Broadcast(s))
+    assert tree.delivered == set(all_coords(shape)) - {f}
+
+
+@given(shapes, st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_config_auto_selection_always_valid(shape, salt):
+    coords = list(all_coords(shape))
+    f = coords[salt % len(coords)]
+    cfg = make_config(shape, fault=Fault.router(f))
+    assert cfg.validated() is cfg

@@ -1,0 +1,143 @@
+"""Property-based tests for the flit-level simulator.
+
+Invariants checked over random workloads:
+
+* conservation: every offered packet is delivered exactly once (or dropped
+  with a dead destination), never duplicated or lost;
+* simulated latency is never below the static zero-load bound;
+* the simulator is deterministic: identical workloads give identical
+  results;
+* simulated paths obey the same invariants as static routes (fault never
+  delivers to a dead PE).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Fault, Header, Packet, RC
+from repro.core.coords import all_coords
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from tests.conftest import make_logic
+from repro.topology import MDCrossbar
+
+SHAPE = (3, 3)
+COORDS = list(all_coords(SHAPE))
+
+workloads = st.lists(
+    st.tuples(
+        st.sampled_from(COORDS),
+        st.sampled_from(COORDS),
+        st.integers(1, 6),  # length
+        st.integers(0, 10),  # injection cycle
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run_workload(workload, **logic_kw):
+    topo = MDCrossbar(SHAPE)
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(make_logic(topo, **logic_kw)), SimConfig()
+    )
+    pkts = []
+    for s, t, length, cycle in workload:
+        p = Packet(Header(source=s, dest=t), length=length)
+        sim.send(p, at_cycle=cycle)
+        pkts.append(p)
+    res = sim.run(max_cycles=50_000)
+    return pkts, res
+
+
+@given(workloads)
+@settings(max_examples=40, deadline=None)
+def test_conservation(workload):
+    pkts, res = run_workload(workload)
+    assert not res.deadlocked
+    assert len(res.delivered) == len(pkts)
+    assert sorted(p.pid for p in res.delivered) == sorted(p.pid for p in pkts)
+
+
+@given(workloads)
+@settings(max_examples=30, deadline=None)
+def test_latency_at_least_zero_load(workload):
+    from repro.core.coords import hop_distance
+
+    pkts, res = run_workload(workload)
+    for p in res.delivered:
+        # elements traversed = 2 + 2 * xb_hops; one cycle per flit hop at
+        # minimum, plus the payload tail
+        min_cycles = (2 + 2 * hop_distance(p.source, p.dest)) + p.length - 1
+        assert p.latency >= min_cycles
+
+
+@given(workloads)
+@settings(max_examples=20, deadline=None)
+def test_determinism(workload):
+    _, res1 = run_workload(workload)
+    _, res2 = run_workload(workload)
+    assert res1.cycles == res2.cycles
+    assert res1.flit_moves == res2.flit_moves
+    lat1 = sorted((p.source, p.dest, p.latency) for p in res1.delivered)
+    lat2 = sorted((p.source, p.dest, p.latency) for p in res2.delivered)
+    assert lat1 == lat2
+
+
+@given(workloads)
+@settings(max_examples=25, deadline=None)
+def test_fault_conservation_with_drops(workload):
+    fault = (1, 1)
+    topo = MDCrossbar(SHAPE)
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(make_logic(topo, fault=Fault.router(fault))),
+        SimConfig(),
+    )
+    sent = 0
+    to_dead = 0
+    for s, t, length, cycle in workload:
+        if s == fault:
+            continue
+        p = Packet(Header(source=s, dest=t), length=length)
+        sim.send(p, at_cycle=cycle)
+        sent += 1
+        if t == fault:
+            to_dead += 1
+    res = sim.run(max_cycles=50_000)
+    assert not res.deadlocked
+    assert len(res.delivered) == sent - to_dead
+    assert len(res.dropped) == to_dead
+
+
+@given(st.lists(st.sampled_from(COORDS), min_size=1, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_broadcast_storm_always_completes(sources):
+    topo = MDCrossbar(SHAPE)
+    sim = NetworkSimulator(MDCrossbarAdapter(make_logic(topo)), SimConfig())
+    for src in sources:
+        sim.send(
+            Packet(Header(source=src, dest=src, rc=RC.BROADCAST_REQUEST), length=4)
+        )
+    res = sim.run(max_cycles=100_000)
+    assert not res.deadlocked
+    assert len(res.delivered) == len(sources)
+
+
+@given(workloads)
+@settings(max_examples=25, deadline=None)
+def test_single_packet_idle_latency_exact(workload):
+    """With an idle network, simulated latency equals the static route
+    length plus payload streaming exactly: latency = channels + flits.
+    This pins the simulator to the static switch-logic routes."""
+    from repro.core import SwitchLogic, Unicast, compute_route, make_config
+
+    s, t, length, _ = workload[0]
+    if s == t:
+        return
+    topo = MDCrossbar(SHAPE)
+    logic = make_logic(topo)
+    sim = NetworkSimulator(MDCrossbarAdapter(logic), SimConfig())
+    pkt = Packet(Header(source=s, dest=t), length=length)
+    sim.send(pkt)
+    res = sim.run()
+    tree = compute_route(topo, logic, Unicast(s, t))
+    num_channels = len(tree.path_to(t))
+    assert pkt.latency == num_channels + length

@@ -1,0 +1,73 @@
+"""Property-based tests for workload machinery: trace round-trips,
+application phases and collectives over random inputs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import BinomialBroadcast
+from repro.core.coords import all_coords, num_nodes
+from repro.core.packet import RC
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.topology import MDCrossbar
+from repro.traffic import TraceEntry, WorkloadTrace
+from repro.traffic.applications import KERNELS
+from tests.conftest import make_logic
+
+SHAPE = (4, 3)
+COORDS = list(all_coords(SHAPE))
+
+entries = st.builds(
+    TraceEntry,
+    cycle=st.integers(0, 500),
+    source=st.sampled_from(COORDS),
+    dest=st.sampled_from(COORDS),
+    rc=st.sampled_from([int(RC.NORMAL), int(RC.BROADCAST_REQUEST)]),
+    length=st.integers(1, 16),
+)
+
+
+@given(st.lists(entries, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_trace_save_load_roundtrip(tmp_entries):
+    import io
+    import json
+
+    t = WorkloadTrace(shape=SHAPE, entries=list(tmp_entries))
+    # round-trip through the JSONL text form without touching disk
+    lines = [e.to_json() for e in t.entries]
+    back = [TraceEntry.from_json(l) for l in lines]
+    assert back == t.entries
+    for l in lines:
+        json.loads(l)  # every line is standalone JSON
+
+
+@given(
+    st.sampled_from(sorted(KERNELS)),
+    st.tuples(st.integers(2, 4), st.integers(2, 4)),
+)
+@settings(max_examples=30, deadline=None)
+def test_kernel_phases_are_valid_transfers(kernel, shape):
+    if kernel == "fft" and num_nodes(shape) & (num_nodes(shape) - 1):
+        return
+    for phase in KERNELS[kernel](shape):
+        srcs = [s for s, _ in phase]
+        dsts = [t for _, t in phase]
+        assert len(set(srcs)) == len(srcs)
+        assert len(set(dsts)) == len(dsts)
+        for s, t in phase:
+            assert all(0 <= v < n for v, n in zip(s, shape))
+            assert all(0 <= v < n for v, n in zip(t, shape))
+            assert s != t
+
+
+@given(st.sampled_from(COORDS), st.integers(0, 40))
+@settings(max_examples=20, deadline=None)
+def test_binomial_broadcast_any_root_any_overhead(root, overhead):
+    topo = MDCrossbar(SHAPE)
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(make_logic(topo)), SimConfig(stall_limit=2000)
+    )
+    col = BinomialBroadcast(sim, root, sw_overhead=overhead)
+    while not col.result.done and sim.cycle < 100_000:
+        sim.step()
+    assert col.result.done
+    assert col.result.messages_sent == len(COORDS) - 1

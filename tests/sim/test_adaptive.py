@@ -1,0 +1,153 @@
+"""Simulator tests for the adaptive-routing comparator (Duato escape VCs)."""
+
+import pytest
+
+from repro.core import Fault, Header, Packet, RC, make_config
+from repro.sim import (
+    ADAPTIVE_VC,
+    AdaptiveMDAdapter,
+    ESCAPE_VC,
+    NetworkSimulator,
+    SimConfig,
+)
+from repro.topology import MDCrossbar, pe, rtr, xb
+
+
+def make_sim(shape=(4, 4), stall_limit=1000):
+    topo = MDCrossbar(shape)
+    return (
+        topo,
+        NetworkSimulator(
+            AdaptiveMDAdapter(topo), SimConfig(num_vcs=2, stall_limit=stall_limit)
+        ),
+    )
+
+
+def p2p(src, dst, length=4):
+    return Packet(Header(source=src, dest=dst), length=length)
+
+
+class TestDecisions:
+    def test_router_offers_all_dims_plus_escape(self):
+        topo = MDCrossbar((4, 4))
+        ad = AdaptiveMDAdapter(topo)
+        d = ad.decide(rtr((0, 0)), pe((0, 0)), 0, Header(source=(0, 0), dest=(2, 2)))
+        assert d.policy == "any"
+        assert len(d.outputs) == 3
+        assert d.outputs[-1][1] == ESCAPE_VC
+        assert {o[1] for o in d.outputs[:-1]} == {ADAPTIVE_VC}
+
+    def test_single_dim_still_has_escape(self):
+        topo = MDCrossbar((4, 4))
+        ad = AdaptiveMDAdapter(topo)
+        d = ad.decide(rtr((0, 0)), pe((0, 0)), 0, Header(source=(0, 0), dest=(2, 0)))
+        assert len(d.outputs) == 2
+
+    def test_xb_keeps_lane(self):
+        topo = MDCrossbar((4, 4))
+        ad = AdaptiveMDAdapter(topo)
+        for vc in (ESCAPE_VC, ADAPTIVE_VC):
+            d = ad.decide(
+                xb(0, (0,)), rtr((0, 0)), vc, Header(source=(0, 0), dest=(2, 2))
+            )
+            assert d.outputs == ((rtr((2, 0)), vc),)
+            assert d.policy == "all"
+
+    def test_delivery_at_destination(self):
+        topo = MDCrossbar((4, 4))
+        ad = AdaptiveMDAdapter(topo)
+        d = ad.decide(rtr((2, 2)), xb(1, (2,)), 1, Header(source=(0, 0), dest=(2, 2)))
+        assert d.outputs == ((pe((2, 2)), 0),)
+
+    def test_rejects_broadcast(self):
+        topo = MDCrossbar((4, 4))
+        ad = AdaptiveMDAdapter(topo)
+        with pytest.raises(ValueError):
+            ad.decide(
+                rtr((0, 0)), pe((0, 0)), 0,
+                Header(source=(0, 0), dest=(0, 0), rc=RC.BROADCAST_REQUEST),
+            )
+
+    def test_rejects_faulted_config(self):
+        topo = MDCrossbar((4, 3))
+        with pytest.raises(ValueError):
+            AdaptiveMDAdapter(topo, make_config((4, 3), fault=Fault.router((2, 0))))
+
+
+class TestSimulation:
+    def test_single_transfer(self):
+        _, sim = make_sim()
+        sim.send(p2p((0, 0), (3, 3)))
+        res = sim.run()
+        assert len(res.delivered) == 1
+
+    def test_all_pairs(self):
+        topo, sim = make_sim((3, 3))
+        n = 0
+        for s in topo.node_coords():
+            for t in topo.node_coords():
+                if s != t:
+                    sim.send(p2p(s, t))
+                    n += 1
+        res = sim.run()
+        assert len(res.delivered) == n
+        assert not res.deadlocked
+
+    def test_adversarial_transpose_no_deadlock(self):
+        topo, sim = make_sim((4, 4), stall_limit=500)
+        for s in topo.node_coords():
+            t = (s[1], s[0])
+            if s != t:
+                sim.send(p2p(s, t, length=8))
+        res = sim.run(max_cycles=20_000)
+        assert not res.deadlocked
+        assert res.in_flight_at_end == 0
+
+    def test_transpose_faster_than_deterministic(self):
+        from repro.core import SwitchLogic
+        from repro.sim import MDCrossbarAdapter
+
+        shape = (8, 8)
+        topo = MDCrossbar(shape)
+
+        def run(adapter, vcs):
+            sim = NetworkSimulator(adapter, SimConfig(num_vcs=vcs, stall_limit=2000))
+            for rep in range(4):  # sustained pressure on the diagonal routers
+                for s in topo.node_coords():
+                    t = (s[1], s[0])
+                    if s != t:
+                        sim.send(p2p(s, t, length=8))
+            res = sim.run(max_cycles=50_000)
+            assert not res.deadlocked
+            return res.cycles
+
+        # full transpose permutation: every diagonal turn router saturates
+        det = run(MDCrossbarAdapter(SwitchLogic(topo, make_config(shape))), 1)
+        ada = run(AdaptiveMDAdapter(topo), 2)
+        assert ada < det
+
+    def test_uniform_not_worse(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).parents[2] / "benchmarks"))
+        from sweep_utils import run_load_point
+
+        from repro.core import SwitchLogic
+        from repro.sim import MDCrossbarAdapter
+
+        topo = MDCrossbar((4, 4))
+        det = run_load_point(
+            lambda: NetworkSimulator(
+                MDCrossbarAdapter(SwitchLogic(topo, make_config((4, 4)))),
+                SimConfig(stall_limit=2000),
+            ),
+            0.3, warmup=100, window=200, drain=2000,
+        )
+        ada = run_load_point(
+            lambda: NetworkSimulator(
+                AdaptiveMDAdapter(topo), SimConfig(num_vcs=2, stall_limit=2000)
+            ),
+            0.3, warmup=100, window=200, drain=2000,
+        )
+        assert ada.latency.mean <= 1.2 * det.latency.mean

@@ -1,0 +1,146 @@
+"""Unit tests for the software collectives (broadcast fallback, barrier)."""
+
+import pytest
+
+from repro.collectives import (
+    BinomialBroadcast,
+    DisseminationBarrier,
+    LinearBroadcast,
+)
+from repro.core import Fault, Header, Packet, RC
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from tests.conftest import make_logic
+
+
+def make_sim(topo, **kw):
+    return NetworkSimulator(
+        MDCrossbarAdapter(make_logic(topo, **kw)), SimConfig(stall_limit=2000)
+    )
+
+
+def run_until(sim, result, horizon=50_000):
+    while not result.done and sim.cycle < horizon:
+        sim.step()
+    return result
+
+
+class TestLinearBroadcast:
+    def test_completes_and_counts_messages(self, topo43):
+        sim = make_sim(topo43)
+        col = LinearBroadcast(sim, (1, 1))
+        run_until(sim, col.result)
+        assert col.result.done
+        assert col.result.messages_sent == 11
+
+    def test_duration_scales_with_nodes(self):
+        from repro.topology import MDCrossbar
+
+        durations = {}
+        for shape in [(2, 2), (4, 3)]:
+            topo = MDCrossbar(shape)
+            sim = make_sim(topo)
+            col = LinearBroadcast(sim, (0, 0))
+            run_until(sim, col.result)
+            durations[shape] = col.result.duration
+        assert durations[(4, 3)] > durations[(2, 2)]
+
+
+class TestBinomialBroadcast:
+    def test_completes(self, topo43):
+        sim = make_sim(topo43)
+        col = BinomialBroadcast(sim, (1, 1))
+        run_until(sim, col.result)
+        assert col.result.done
+        assert col.result.messages_sent == 11
+
+    def test_faster_than_linear(self, topo43):
+        sim = make_sim(topo43)
+        lin = LinearBroadcast(sim, (1, 1))
+        run_until(sim, lin.result)
+        sim2 = make_sim(topo43)
+        bino = BinomialBroadcast(sim2, (1, 1))
+        run_until(sim2, bino.result)
+        assert bino.result.duration < lin.result.duration
+
+    def test_slower_than_hardware(self, topo43):
+        sim = make_sim(topo43)
+        bino = BinomialBroadcast(sim, (1, 1), packet_length=8)
+        run_until(sim, bino.result)
+        sim2 = make_sim(topo43)
+        pkt = Packet(
+            Header(source=(1, 1), dest=(1, 1), rc=RC.BROADCAST_REQUEST), length=8
+        )
+        sim2.send(pkt)
+        sim2.run()
+        assert pkt.latency < bino.result.duration
+
+    def test_works_with_fault(self, topo43):
+        sim = make_sim(topo43, fault=Fault.router((2, 0)))
+        col = BinomialBroadcast(sim, (0, 1))
+        run_until(sim, col.result)
+        assert col.result.done
+        assert col.result.messages_sent == 10  # 11 live PEs
+
+    def test_bad_root_rejected(self, topo43):
+        sim = make_sim(topo43, fault=Fault.router((2, 0)))
+        with pytest.raises(ValueError):
+            BinomialBroadcast(sim, (2, 0))
+
+    def test_zero_overhead_allowed(self, topo43):
+        sim = make_sim(topo43)
+        col = BinomialBroadcast(sim, (0, 0), sw_overhead=0)
+        run_until(sim, col.result)
+        assert col.result.done
+
+
+class TestDisseminationBarrier:
+    def test_completes(self, topo43):
+        sim = make_sim(topo43)
+        bar = DisseminationBarrier(sim)
+        run_until(sim, bar.result)
+        assert bar.result.done
+        assert bar.rounds == 4  # ceil(log2 12)
+        assert bar.result.messages_sent == 12 * 4
+
+    def test_rounds_for_power_of_two(self, topo44):
+        sim = make_sim(topo44)
+        bar = DisseminationBarrier(sim)
+        run_until(sim, bar.result)
+        assert bar.rounds == 4  # log2 16
+        assert bar.result.done
+
+    def test_duration_logarithmic_flavour(self):
+        from repro.topology import MDCrossbar
+
+        d = {}
+        for shape in [(2, 2), (4, 4)]:
+            topo = MDCrossbar(shape)
+            sim = make_sim(topo)
+            bar = DisseminationBarrier(sim, sw_overhead=10)
+            run_until(sim, bar.result)
+            d[shape] = bar.result.duration
+        # 4x (nodes) costs ~2x (rounds), far from 4x
+        assert d[(4, 4)] < 3 * d[(2, 2)]
+
+
+class TestDeliveryListener:
+    def test_listener_fires_per_recipient(self, topo43):
+        sim = make_sim(topo43)
+        seen = []
+        sim.add_delivery_listener(lambda p, c, cyc: seen.append((p.pid, c)))
+        pkt = Packet(
+            Header(source=(0, 0), dest=(0, 0), rc=RC.BROADCAST_REQUEST), length=4
+        )
+        sim.send(pkt)
+        sim.run()
+        assert len(seen) == 12
+        assert {c for _, c in seen} == set(topo43.node_coords())
+
+    def test_listener_ignores_foreign_packets(self, topo43):
+        sim = make_sim(topo43)
+        col = BinomialBroadcast(sim, (0, 0))
+        # unrelated traffic must not confuse the collective
+        sim.send(Packet(Header(source=(3, 2), dest=(0, 1)), length=4))
+        run_until(sim, col.result)
+        assert col.result.done
+        assert col.result.messages_sent == 11

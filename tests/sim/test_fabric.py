@@ -1,0 +1,80 @@
+"""Unit tests for the fabric state containers."""
+
+import pytest
+
+from repro.core.packet import FlitKind
+from repro.sim.fabric import InFlightPacket, PendingRequest, SimFlit, VCState
+from repro.sim.adapter import SimDecision
+from repro.core.packet import RC, Header, Packet
+from repro.topology import MDCrossbar
+
+
+@pytest.fixture()
+def vc(topo43):
+    ch = topo43.channels()[0]
+    return VCState(channel=ch, vc=0, capacity=2)
+
+
+class TestVCState:
+    def test_free_space(self, vc):
+        assert vc.free_space == 2
+        vc.buffer.append(SimFlit(pid=1, kind=FlitKind.HEAD, seq=0))
+        assert vc.free_space == 1
+
+    def test_head(self, vc):
+        assert vc.head() is None
+        f = SimFlit(pid=1, kind=FlitKind.HEAD, seq=0)
+        vc.buffer.append(f)
+        assert vc.head() is f
+
+    def test_popleft_checked_ok(self, vc):
+        vc.buffer.append(SimFlit(pid=7, kind=FlitKind.TAIL, seq=3))
+        f = vc.popleft_checked(7)
+        assert f.seq == 3
+
+    def test_popleft_checked_wrong_pid(self, vc):
+        vc.buffer.append(SimFlit(pid=7, kind=FlitKind.TAIL, seq=3))
+        with pytest.raises(AssertionError):
+            vc.popleft_checked(8)
+
+    def test_key(self, vc):
+        assert vc.key == (vc.channel.cid, 0)
+
+
+class TestSimFlit:
+    def test_head_tail_flags(self):
+        assert SimFlit(pid=0, kind=FlitKind.HEAD_TAIL, seq=0).is_head
+        assert SimFlit(pid=0, kind=FlitKind.HEAD_TAIL, seq=0).is_tail
+        assert not SimFlit(pid=0, kind=FlitKind.BODY, seq=1).is_head
+
+
+class TestPendingRequest:
+    def test_missing_and_complete(self):
+        req = PendingRequest(
+            pid=1,
+            element=("XB", 0, (0,)),
+            cin=(0, 0),
+            decision=SimDecision(outputs=(), rc=RC.NORMAL),
+            wanted=((1, 0), (2, 0)),
+        )
+        assert req.missing == ((1, 0), (2, 0))
+        assert not req.complete
+        req.reserved.add((1, 0))
+        assert req.missing == ((2, 0),)
+        req.reserved.add((2, 0))
+        assert req.complete
+
+
+class TestInFlightPacket:
+    def test_done_by_deliveries(self):
+        pkt = Packet(Header(source=(0, 0), dest=(1, 0)))
+        inf = InFlightPacket(packet=pkt, expected_deliveries=2)
+        assert not inf.done
+        inf.deliveries = 2
+        assert inf.done
+
+    def test_done_by_drop(self):
+        pkt = Packet(Header(source=(0, 0), dest=(1, 0)))
+        inf = InFlightPacket(packet=pkt, expected_deliveries=2)
+        inf.dropped = True
+        assert inf.done

@@ -1,0 +1,128 @@
+"""Simulator tests: dynamic deadlock detection and the Fig. 9 / Fig. 10
+scenarios."""
+
+import pytest
+
+from repro.core import Fault, Header, Packet, RC
+from repro.core.config import DetourScheme
+from repro.sim import (
+    DeadlockError,
+    MDCrossbarAdapter,
+    NetworkSimulator,
+    SimConfig,
+)
+from tests.conftest import make_logic
+
+
+def make_sim(topo, sim_config=None, **logic_kw):
+    return NetworkSimulator(
+        MDCrossbarAdapter(make_logic(topo, **logic_kw)),
+        sim_config or SimConfig(stall_limit=200),
+    )
+
+
+def fig9_workload(sim, length=6):
+    """Broadcast + detoured p2p + filler, timed to interleave (the timing
+    was found by the search in benchmarks/bench_e06; deterministic)."""
+    sim.send(
+        Packet(Header(source=(3, 2), dest=(3, 2), rc=RC.BROADCAST_REQUEST), length=length),
+        at_cycle=0,
+    )
+    sim.send(Packet(Header(source=(0, 0), dest=(2, 2)), length=length), at_cycle=1)
+    sim.send(Packet(Header(source=(1, 0), dest=(3, 1)), length=length), at_cycle=1)
+    sim.send(Packet(Header(source=(0, 1), dest=(1, 2)), length=length), at_cycle=2)
+
+
+class TestFig9Fig10:
+    def test_naive_detour_deadlocks(self, topo43):
+        sim = make_sim(
+            topo43,
+            fault=Fault.router((2, 0)),
+            detour_scheme=DetourScheme.NAIVE,
+        )
+        fig9_workload(sim)
+        res = sim.run(max_cycles=5000)
+        assert res.deadlocked
+
+    def test_safe_scheme_completes_same_workload(self, topo43):
+        sim = make_sim(topo43, fault=Fault.router((2, 0)))
+        fig9_workload(sim)
+        res = sim.run(max_cycles=5000)
+        assert not res.deadlocked
+        assert len(res.delivered) == 4
+
+    def test_safe_scheme_all_timings(self, topo43):
+        """Fig. 10's guarantee is timing-independent: sweep offsets."""
+        for t_bc in range(0, 8, 2):
+            for t_p2p in range(0, 8, 2):
+                sim = make_sim(topo43, fault=Fault.router((2, 0)))
+                sim.send(
+                    Packet(
+                        Header(source=(3, 2), dest=(3, 2), rc=RC.BROADCAST_REQUEST),
+                        length=6,
+                    ),
+                    at_cycle=t_bc,
+                )
+                sim.send(
+                    Packet(Header(source=(0, 0), dest=(2, 2)), length=6),
+                    at_cycle=t_p2p,
+                )
+                res = sim.run(max_cycles=5000)
+                assert not res.deadlocked, (t_bc, t_p2p)
+                assert len(res.delivered) == 2
+
+
+class TestDetection:
+    def test_report_contents(self, topo43):
+        from repro.core.config import BroadcastMode
+
+        sim = make_sim(topo43, broadcast_mode=BroadcastMode.NAIVE)
+        for src in [(2, 1), (3, 2)]:
+            sim.send(
+                Packet(Header(source=src, dest=src, rc=RC.BROADCAST), length=6)
+            )
+        res = sim.run(max_cycles=5000)
+        assert res.deadlocked
+        rep = res.deadlock
+        assert rep.cycle > 0
+        assert rep.blocked_pids
+        assert "deadlock" in rep.describe()
+        for pid in rep.cycle_pids:
+            assert pid in rep.waits
+
+    def test_raise_on_deadlock(self, topo43):
+        from repro.core.config import BroadcastMode
+
+        sim = make_sim(topo43, broadcast_mode=BroadcastMode.NAIVE)
+        for src in [(2, 1), (3, 2)]:
+            sim.send(
+                Packet(Header(source=src, dest=src, rc=RC.BROADCAST), length=6)
+            )
+        with pytest.raises(DeadlockError):
+            sim.run(max_cycles=5000, raise_on_deadlock=True)
+
+    def test_no_false_positive_under_heavy_load(self, topo43):
+        """Long queues are not deadlock: the watchdog must stay quiet while
+        progress continues."""
+        sim = make_sim(topo43, SimConfig(stall_limit=50))
+        for s in topo43.node_coords():
+            for t in topo43.node_coords():
+                if s != t:
+                    sim.send(Packet(Header(source=s, dest=t), length=8))
+        res = sim.run()
+        assert not res.deadlocked
+        assert len(res.delivered) == 12 * 11
+
+    def test_stall_limit_configurable(self, topo43):
+        from repro.core.config import BroadcastMode
+
+        sim = make_sim(
+            topo43, SimConfig(stall_limit=40), broadcast_mode=BroadcastMode.NAIVE
+        )
+        for src in [(2, 1), (3, 2)]:
+            sim.send(
+                Packet(Header(source=src, dest=src, rc=RC.BROADCAST), length=6)
+            )
+        res = sim.run(max_cycles=2000)
+        assert res.deadlocked
+        assert res.deadlock.cycle < 300

@@ -1,0 +1,106 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.core import Header, Packet
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.sim.stats import (
+    LatencyStats,
+    LoadPoint,
+    ThroughputStats,
+    channel_utilization,
+    top_utilized_channels,
+)
+from tests.conftest import make_logic
+
+
+def delivered_packet(lat, length=4):
+    p = Packet(Header(source=(0, 0), dest=(1, 0)), length=length)
+    p.injected_at = 0
+    p.delivered_at = lat
+    return p
+
+
+class TestLatencyStats:
+    def test_basic(self):
+        stats = LatencyStats.from_packets([delivered_packet(l) for l in (10, 20, 30)])
+        assert stats.count == 3
+        assert stats.mean == 20
+        assert stats.median == 20
+        assert stats.min == 10 and stats.max == 30
+
+    def test_percentiles_ordered(self):
+        stats = LatencyStats.from_packets(
+            [delivered_packet(l) for l in range(1, 101)]
+        )
+        assert stats.median <= stats.p95 <= stats.p99 <= stats.max
+
+    def test_empty(self):
+        stats = LatencyStats.from_packets([])
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+
+    def test_skips_undelivered(self):
+        undelivered = Packet(Header(source=(0, 0), dest=(1, 0)))
+        stats = LatencyStats.from_packets([undelivered, delivered_packet(5)])
+        assert stats.count == 1
+
+    def test_row(self):
+        assert "mean" in LatencyStats.from_packets([delivered_packet(5)]).row()
+
+
+class TestThroughputStats:
+    def test_flits_per_node_per_cycle(self):
+        t = ThroughputStats(
+            delivered_packets=10, delivered_flits=40, cycles=100, nodes=4
+        )
+        assert t.flits_per_node_per_cycle == pytest.approx(0.1)
+
+    def test_zero_cycles(self):
+        t = ThroughputStats(0, 0, 0, 4)
+        assert t.flits_per_node_per_cycle == 0.0
+
+    def test_from_result(self, topo43):
+        sim = NetworkSimulator(MDCrossbarAdapter(make_logic(topo43)), SimConfig())
+        sim.send(Packet(Header(source=(0, 0), dest=(3, 2)), length=5))
+        res = sim.run()
+        t = ThroughputStats.from_result(res, nodes=12)
+        assert t.delivered_packets == 1
+        assert t.delivered_flits == 5
+
+
+class TestUtilization:
+    def test_fractions_bounded(self, topo43):
+        sim = NetworkSimulator(MDCrossbarAdapter(make_logic(topo43)), SimConfig())
+        sim.send(Packet(Header(source=(0, 0), dest=(3, 2)), length=8))
+        res = sim.run()
+        util = channel_utilization(res, sim)
+        assert util
+        assert all(0 < v <= 1 for v in util.values())
+
+    def test_top_channels(self, topo43):
+        sim = NetworkSimulator(MDCrossbarAdapter(make_logic(topo43)), SimConfig())
+        sim.send(Packet(Header(source=(0, 0), dest=(3, 2)), length=8))
+        res = sim.run()
+        top = top_utilized_channels(res, sim, k=3)
+        assert len(top) == 3
+        assert all("%" in line for line in top)
+
+    def test_empty_run(self, topo43):
+        sim = NetworkSimulator(MDCrossbarAdapter(make_logic(topo43)), SimConfig())
+        res = sim.run(max_cycles=0, until_drained=False)
+        assert channel_utilization(res, sim) == {}
+
+
+class TestLoadPoint:
+    def test_row_flags_deadlock(self):
+        lp = LoadPoint(
+            offered_load=0.2,
+            accepted_load=0.18,
+            latency=LatencyStats.from_packets([delivered_packet(9)]),
+            deadlocked=True,
+            cycles=100,
+        )
+        assert "DEADLOCK" in lp.row()

@@ -1,0 +1,175 @@
+"""Unit tests for the ``python -m repro`` command-line tools."""
+
+import pytest
+
+from repro.cli import main, parse_coord, parse_fault, parse_shape
+
+
+class TestParsers:
+    def test_shape(self):
+        assert parse_shape("4x3") == (4, 3)
+        assert parse_shape("16X16x8") == (16, 16, 8)
+
+    def test_shape_bad(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_shape("4by3")
+
+    def test_coord(self):
+        assert parse_coord("2,0") == (2, 0)
+        assert parse_coord("1,2,3") == (1, 2, 3)
+
+    def test_fault_router(self):
+        f = parse_fault("rtr:2,0")
+        assert f.coord == (2, 0)
+
+    def test_fault_xb(self):
+        f = parse_fault("xb:0:1")
+        assert f.dim == 0 and f.line == (1,)
+
+    def test_fault_bad(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_fault("link:3")
+
+
+class TestCommands:
+    def test_route(self, capsys):
+        rc = main(["route", "--shape", "4x3", "--src", "0,0", "--dst", "2,2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PE(0, 0)" in out and "PE(2, 2)" in out
+
+    def test_route_with_fault_detours(self, capsys):
+        rc = main(
+            ["route", "--shape", "4x3", "--src", "0,0", "--dst", "2,2",
+             "--fault", "rtr:2,0"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "-d->" in out
+
+    def test_route_broadcast(self, capsys):
+        rc = main(["route", "--shape", "4x3", "--src", "1,1", "--bcast"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "12 PEs covered" in out
+
+    def test_route_missing_dst(self, capsys):
+        rc = main(["route", "--shape", "4x3", "--src", "0,0"])
+        assert rc == 2
+
+    def test_check_safe(self, capsys):
+        rc = main(["check", "--shape", "4x3", "--fault", "rtr:2,0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "deadlock free: True" in out
+        assert "certificate" in out
+
+    def test_check_naive_fails(self, capsys):
+        rc = main(
+            ["check", "--shape", "4x3", "--fault", "rtr:2,0", "--scheme", "naive"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "deadlock free: False" in out
+
+    def test_census_single(self, capsys):
+        rc = main(["census", "--shape", "3x2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "TOLERATED" in out
+
+    def test_census_pairs(self, capsys):
+        rc = main(["census", "--shape", "3x2", "--pairs", "--max-sets", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault sets analysed" in out
+
+    def test_simulate(self, capsys):
+        rc = main(
+            ["simulate", "--shape", "4x3", "--load", "0.2", "--cycles", "200"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "latency:" in out
+
+    def test_figures(self, capsys):
+        rc = main(["figures"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("as the paper predicts") == 4
+
+    def test_machine(self, capsys):
+        rc = main(["machine", "--config", "SR2201/64"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "64 PEs" in out
+
+    def test_machine_all(self, capsys):
+        rc = main(["machine"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2048 PEs" in out
+
+    def test_error_path(self, capsys):
+        rc = main(["machine", "--config", "SR2201/512"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_infeasible_config_reported(self, capsys):
+        rc = main(
+            ["check", "--shape", "4x3", "--fault", "xb:0:0", "--fault", "xb:1:1"]
+        )
+        assert rc == 2
+        assert "R1" in capsys.readouterr().err
+
+
+class TestExtendedCommands:
+    def test_kernels(self, capsys):
+        rc = main(["kernels", "--shape", "3x3", "--kernel", "stencil",
+                   "--topology", "md-crossbar"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stencil" in out
+
+    def test_kernels_skips_invalid(self, capsys):
+        rc = main(["kernels", "--shape", "4x3", "--kernel", "fft",
+                   "--topology", "md-crossbar"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "skipped" in out
+
+    def test_collectives(self, capsys):
+        rc = main(["collectives", "--shape", "3x3", "--packet-length", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hardware S-XB broadcast" in out
+        assert "binomial" in out
+        assert "barrier" in out
+
+    def test_replay_roundtrip(self, capsys, tmp_path):
+        from repro.traffic import WorkloadTrace
+        from repro.core import RC
+
+        t = WorkloadTrace(shape=(4, 3))
+        t.add(0, (0, 0), (3, 2), length=4)
+        t.add(1, (1, 1), (1, 1), rc=RC.BROADCAST_REQUEST)
+        path = tmp_path / "t.jsonl"
+        t.save(path)
+        rc = main(["replay", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "replayed 2 packets" in out
+
+    def test_replay_with_fault(self, capsys, tmp_path):
+        from repro.traffic import WorkloadTrace
+
+        t = WorkloadTrace(shape=(4, 3))
+        t.add(0, (0, 0), (2, 2), length=4)
+        path = tmp_path / "t.jsonl"
+        t.save(path)
+        rc = main(["replay", str(path), "--fault", "rtr:2,0"])
+        assert rc == 0

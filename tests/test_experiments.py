@@ -1,0 +1,89 @@
+"""Unit tests for the reusable experiment harness (repro.experiments)."""
+
+import math
+
+import pytest
+
+from repro.experiments import build_network, run_load_point, saturation_load, sweep
+from repro.sim.stats import LatencyStats, LoadPoint
+from repro.traffic import transpose
+
+
+class TestBuildNetwork:
+    def test_md_crossbar_factory(self):
+        make_sim = build_network("md-crossbar", (3, 3))
+        sim = make_sim()
+        assert sim.topo.num_nodes == 9
+
+    def test_baseline_factory_sets_vcs(self):
+        make_sim = build_network("torus", (3, 3))
+        sim = make_sim()
+        assert sim.config.num_vcs == 2
+
+    def test_fresh_simulators(self):
+        make_sim = build_network("mesh", (3, 3))
+        assert make_sim() is not make_sim()
+
+
+class TestRunLoadPoint:
+    def test_basic_point(self):
+        make_sim = build_network("md-crossbar", (3, 3))
+        p = run_load_point(make_sim, 0.1, warmup=50, window=150, drain=1500)
+        assert p.offered_load == 0.1
+        assert p.latency.count > 0
+        assert not p.deadlocked
+        assert 0 < p.accepted_load <= 0.2
+
+    def test_pattern_plumbed_through(self):
+        make_sim = build_network("md-crossbar", (4, 4))
+        p = run_load_point(
+            make_sim, 0.1, pattern=transpose, warmup=50, window=150, drain=1500
+        )
+        assert p.latency.count > 0
+
+    def test_zero_load(self):
+        make_sim = build_network("md-crossbar", (3, 3))
+        p = run_load_point(make_sim, 0.0, warmup=10, window=50, drain=100)
+        assert p.latency.count == 0
+        assert p.accepted_load == 0.0
+
+
+class TestSweep:
+    def test_sweep_returns_per_load_points(self):
+        points = sweep(
+            "md-crossbar", (3, 3), [0.05, 0.15],
+            warmup=50, window=150, drain=1500,
+        )
+        assert [p.offered_load for p in points] == [0.05, 0.15]
+
+    def test_latency_monotone_under_load(self):
+        points = sweep(
+            "mesh", (4, 4), [0.05, 0.45], warmup=100, window=300, drain=3000
+        )
+        assert points[1].latency.mean > points[0].latency.mean
+
+
+class TestSaturationLoad:
+    def _pt(self, load, mean):
+        return LoadPoint(
+            offered_load=load,
+            accepted_load=load,
+            latency=LatencyStats(10, mean, mean, mean, mean, int(mean), int(mean)),
+            deadlocked=False,
+            cycles=100,
+        )
+
+    def test_detects_blowup(self):
+        pts = [self._pt(0.1, 10), self._pt(0.2, 12), self._pt(0.3, 100)]
+        assert saturation_load(pts) == 0.3
+
+    def test_none_when_flat(self):
+        pts = [self._pt(l, 10 + l) for l in (0.1, 0.2, 0.3)]
+        assert saturation_load(pts) is None
+
+    def test_empty_latency_counts_as_saturated(self):
+        pts = [
+            self._pt(0.1, 10),
+            LoadPoint(0.5, 0.0, LatencyStats.from_packets([]), False, 100),
+        ]
+        assert saturation_load(pts) == 0.5

@@ -1,0 +1,89 @@
+"""Unit tests for the element/channel graph base class."""
+
+import pytest
+
+from repro.topology import MDCrossbar, element_kind, ElementKind, pe, rtr, xb
+from repro.topology.base import Topology, channels_between
+
+
+class TestElementIds:
+    def test_constructors(self):
+        assert pe((1, 2)) == ("PE", (1, 2))
+        assert rtr((1, 2)) == ("RTR", (1, 2))
+        assert xb(0, (2,)) == ("XB", 0, (2,))
+
+    def test_element_kind(self):
+        assert element_kind(pe((0, 0))) is ElementKind.PE
+        assert element_kind(rtr((0, 0))) is ElementKind.RTR
+        assert element_kind(xb(1, (0,))) is ElementKind.XB
+
+    def test_coerces_lists(self):
+        assert pe([1, 2]) == ("PE", (1, 2))
+
+
+class TestGraphConstruction:
+    def test_duplicate_element_rejected(self):
+        t = Topology((2,))
+        t._add_element(pe((0,)))
+        with pytest.raises(ValueError):
+            t._add_element(pe((0,)))
+
+    def test_channel_endpoints_must_exist(self):
+        t = Topology((2,))
+        t._add_element(pe((0,)))
+        with pytest.raises(ValueError):
+            t._add_channel(pe((0,)), pe((1,)))
+
+    def test_duplicate_channel_rejected(self):
+        t = Topology((2,))
+        t._add_element(pe((0,)))
+        t._add_element(rtr((0,)))
+        t._add_channel(pe((0,)), rtr((0,)))
+        with pytest.raises(ValueError):
+            t._add_channel(pe((0,)), rtr((0,)))
+
+    def test_cids_dense(self, topo43):
+        cids = [c.cid for c in topo43.channels()]
+        assert cids == list(range(len(cids)))
+
+
+class TestQueries:
+    def test_channel_lookup(self, topo43):
+        c = topo43.channel(pe((0, 0)), rtr((0, 0)))
+        assert c.src == pe((0, 0)) and c.dst == rtr((0, 0))
+
+    def test_missing_channel_raises(self, topo43):
+        with pytest.raises(KeyError):
+            topo43.channel(pe((0, 0)), pe((1, 0)))
+
+    def test_has_channel(self, topo43):
+        assert topo43.has_channel(pe((0, 0)), rtr((0, 0)))
+        assert not topo43.has_channel(pe((0, 0)), rtr((1, 0)))
+
+    def test_channels_from_to_consistent(self, topo43):
+        for el in topo43.elements():
+            for c in topo43.channels_from(el):
+                assert c.src == el
+            for c in topo43.channels_to(el):
+                assert c.dst == el
+
+    def test_injection_ejection(self, topo43):
+        inj = topo43.injection_channel((1, 2))
+        ej = topo43.ejection_channel((1, 2))
+        assert inj.src == pe((1, 2)) and inj.dst == rtr((1, 2))
+        assert ej.src == rtr((1, 2)) and ej.dst == pe((1, 2))
+
+    def test_node_coords(self, topo43):
+        assert len(topo43.node_coords()) == 12
+        assert topo43.num_nodes == 12
+
+    def test_switch_elements_excludes_pes(self, topo43):
+        assert all(el[0] != "PE" for el in topo43.switch_elements())
+
+    def test_describe_mentions_counts(self, topo43):
+        s = topo43.describe()
+        assert "12 PE" in s and "12 RTR" in s and "7 XB" in s
+
+    def test_channels_between(self, topo43):
+        sub = channels_between(topo43, [pe((0, 0)), rtr((0, 0))])
+        assert len(sub) == 2

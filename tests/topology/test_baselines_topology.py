@@ -1,0 +1,101 @@
+"""Unit tests for the baseline topologies (mesh / torus / hypercube)."""
+
+import pytest
+
+from repro.topology import Hypercube, Mesh, Torus, pe, rtr
+
+
+class TestMesh:
+    def test_counts(self):
+        m = Mesh((4, 3))
+        els = m.elements()
+        assert sum(1 for e in els if e[0] == "PE") == 12
+        assert sum(1 for e in els if e[0] == "RTR") == 12
+        # duplex links: 12 PE links + (3*3 + 4*2) grid links
+        assert m.num_channels == 2 * 12 + 2 * (3 * 3 + 2 * 4)
+
+    def test_interior_degree(self):
+        m = Mesh((3, 3))
+        fan_in, fan_out = m.element_degree(rtr((1, 1)))
+        assert fan_in == fan_out == 5  # PE + 4 neighbours
+
+    def test_corner_degree(self):
+        m = Mesh((3, 3))
+        fan_in, _ = m.element_degree(rtr((0, 0)))
+        assert fan_in == 3
+
+    def test_neighbor(self):
+        m = Mesh((4, 3))
+        assert m.neighbor((1, 1), 0, +1) == (2, 1)
+        assert m.neighbor((1, 1), 1, -1) == (1, 0)
+
+    def test_neighbor_out_of_range(self):
+        m = Mesh((4, 3))
+        with pytest.raises(ValueError):
+            m.neighbor((3, 1), 0, +1)
+
+    def test_diameter(self):
+        assert Mesh((4, 3)).diameter_hops == 5
+        assert Mesh((8, 8)).diameter_hops == 14
+
+
+class TestTorus:
+    def test_wrap_channels_exist(self):
+        t = Torus((4, 3))
+        assert t.has_channel(rtr((3, 0)), rtr((0, 0)))
+        assert t.has_channel(rtr((0, 2)), rtr((0, 0)))
+
+    def test_uniform_degree(self):
+        t = Torus((4, 3))
+        for c in t.node_coords():
+            fan_in, fan_out = t.element_degree(rtr(c))
+            assert fan_in == fan_out == 5
+
+    def test_extent2_no_duplicate_links(self):
+        t = Torus((2, 3))
+        # extent-2 rings collapse to single duplex links
+        assert t.has_channel(rtr((0, 0)), rtr((1, 0)))
+        assert t.has_channel(rtr((1, 0)), rtr((0, 0)))
+
+    def test_neighbor_wraps(self):
+        t = Torus((4, 3))
+        assert t.neighbor((3, 0), 0, +1) == (0, 0)
+        assert t.neighbor((0, 0), 1, -1) == (0, 2)
+
+    def test_diameter(self):
+        assert Torus((4, 4)).diameter_hops == 4
+        assert Torus((8, 8)).diameter_hops == 8
+
+    def test_requires_two_vcs(self):
+        assert Torus.required_vcs == 2
+
+
+class TestHypercube:
+    def test_with_nodes(self):
+        h = Hypercube.with_nodes(16)
+        assert h.num_nodes == 16
+        assert h.num_dims == 4
+
+    def test_with_nodes_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            Hypercube.with_nodes(12)
+
+    def test_degree_log_n_plus_1(self):
+        h = Hypercube(4)
+        fan_in, _ = h.element_degree(rtr((0, 0, 0, 0)))
+        assert fan_in == 5
+        assert h.router_ports == 5
+
+    def test_neighbor_flips_bit(self):
+        h = Hypercube(3)
+        assert h.neighbor((0, 1, 0), 0) == (1, 1, 0)
+
+    def test_diameter(self):
+        assert Hypercube(6).diameter_hops == 6
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+
+    def test_coord_of(self):
+        assert Hypercube.coord_of(5, 3) == (1, 0, 1)

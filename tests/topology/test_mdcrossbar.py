@@ -1,0 +1,93 @@
+"""Unit tests for the MD crossbar topology (paper Section 3.1 definition)."""
+
+import pytest
+
+from repro.core.coords import all_coords, line_of
+from repro.topology import FullCrossbar, MDCrossbar, pe, rtr, xb
+
+
+class TestConstruction:
+    def test_element_counts_43(self, topo43):
+        # 12 PEs, 12 routers, 3 X-XBs + 4 Y-XBs (paper Fig. 2)
+        els = topo43.elements()
+        assert sum(1 for e in els if e[0] == "PE") == 12
+        assert sum(1 for e in els if e[0] == "RTR") == 12
+        assert sum(1 for e in els if e[0] == "XB") == 7
+
+    def test_channel_count_43(self, topo43):
+        # each PE<->RTR pair: 2; each RTR<->XB pair (2 per PE per dim): 2*2*12
+        assert topo43.num_channels == 2 * 12 + 2 * 2 * 12
+
+    def test_every_pe_connects_d_crossbars(self, topo333):
+        for c in all_coords(topo333.shape):
+            outs = topo333.channels_from(rtr(c))
+            xbs = [ch.dst for ch in outs if ch.dst[0] == "XB"]
+            assert len(xbs) == 3
+
+    def test_router_is_d_plus_1_port(self, topo333):
+        # (d+1)x(d+1) relay switch (paper definition (c))
+        fan_in, fan_out = topo333.element_degree(rtr((1, 1, 1)))
+        assert fan_in == fan_out == 4
+        assert topo333.router_ports == 4
+
+    def test_xb_spans_full_line(self, topo43):
+        el = xb(0, (1,))
+        routers = topo43.routers_on(el)
+        assert routers == tuple(rtr((x, 1)) for x in range(4))
+
+    def test_crossbar_of(self, topo43):
+        assert topo43.crossbar_of((2, 1), 0) == xb(0, (1,))
+        assert topo43.crossbar_of((2, 1), 1) == xb(1, (2,))
+
+    def test_crossbar_lookup_raises(self, topo43):
+        with pytest.raises(KeyError):
+            topo43.crossbar(0, (9,))
+
+    def test_xb_to_rtr_channel(self, topo43):
+        ch = topo43.xb_to_rtr(xb(0, (1,)), 3)
+        assert ch.dst == rtr((3, 1))
+
+    def test_rtr_to_xb_channel(self, topo43):
+        ch = topo43.rtr_to_xb((2, 1), 1)
+        assert ch.dst == xb(1, (2,))
+
+
+class TestPaperFacts:
+    def test_diameter_is_d(self, topo333):
+        assert topo333.diameter_hops == 3
+
+    def test_diameter_skips_degenerate_dims(self):
+        assert MDCrossbar((4, 1)).diameter_hops == 1
+
+    def test_crossbar_count(self, topo43):
+        assert topo43.crossbar_count() == 7
+
+    def test_crossbar_count_2048(self):
+        topo = MDCrossbar((16, 16, 8))
+        # 16*8 + 16*8 + 16*16 lines
+        assert topo.crossbar_count() == 128 + 128 + 256
+        assert topo.num_nodes == 2048
+
+    def test_d1_is_plain_crossbar(self):
+        assert MDCrossbar((8,)).is_plain_crossbar()
+        assert not MDCrossbar((4, 3)).is_plain_crossbar()
+
+    def test_all_twos_is_hypercube(self):
+        assert MDCrossbar((2, 2, 2)).is_hypercube_equivalent()
+        assert not MDCrossbar((4, 2)).is_hypercube_equivalent()
+
+    def test_full_crossbar_subclass(self):
+        fc = FullCrossbar(6)
+        assert fc.n == 6
+        assert fc.is_plain_crossbar()
+        assert fc.crossbar_count() == 1
+        with pytest.raises(ValueError):
+            FullCrossbar(0)
+
+    def test_line_membership(self, topo43):
+        # every PE lies on exactly one line per dimension
+        for c in all_coords(topo43.shape):
+            for k in range(2):
+                assert line_of(c, k) in [
+                    e[2] for e in topo43.elements() if e[0] == "XB" and e[1] == k
+                ]

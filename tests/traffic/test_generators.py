@@ -1,0 +1,110 @@
+"""Unit tests for the injection processes."""
+
+import pytest
+
+from repro.core import RC
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.traffic import BernoulliInjector, BroadcastInjector, ScenarioScript
+from tests.conftest import make_logic
+
+
+def make_sim(topo, **kw):
+    return NetworkSimulator(MDCrossbarAdapter(make_logic(topo, **kw)), SimConfig())
+
+
+class TestBernoulliInjector:
+    def test_offered_rate_close_to_load(self, topo43):
+        sim = make_sim(topo43)
+        gen = BernoulliInjector(load=0.2, packet_length=4, seed=3, stop_at=400)
+        sim.add_generator(gen)
+        sim.run(max_cycles=1500, until_drained=False)
+        expected = 0.2 / 4 * 400 * 12
+        assert 0.7 * expected < gen.offered < 1.3 * expected
+
+    def test_all_offered_delivered_after_drain(self, topo43):
+        sim = make_sim(topo43)
+        gen = BernoulliInjector(load=0.1, seed=5, stop_at=200)
+        sim.add_generator(gen)
+        res = sim.run(max_cycles=3000, until_drained=False)
+        assert len(res.delivered) == gen.offered
+        assert res.in_flight_at_end == 0
+
+    def test_measurement_window(self, topo43):
+        sim = make_sim(topo43)
+        gen = BernoulliInjector(
+            load=0.2, seed=7, stop_at=300, measure_from=100, measure_until=200
+        )
+        sim.add_generator(gen)
+        res = sim.run(max_cycles=2000, until_drained=False)
+        measured = gen.measured_packets(res.delivered)
+        assert 0 < len(measured) < len(res.delivered)
+        assert all(100 <= p.injected_at < 200 for p in measured)
+
+    def test_zero_load_offers_nothing(self, topo43):
+        sim = make_sim(topo43)
+        gen = BernoulliInjector(load=0.0, stop_at=100)
+        sim.add_generator(gen)
+        sim.run(max_cycles=200, until_drained=False)
+        assert gen.offered == 0
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            BernoulliInjector(load=1.5)
+
+    def test_reproducible(self, topo43):
+        counts = []
+        for _ in range(2):
+            sim = make_sim(topo43)
+            gen = BernoulliInjector(load=0.3, seed=11, stop_at=150)
+            sim.add_generator(gen)
+            sim.run(max_cycles=1000, until_drained=False)
+            counts.append(gen.offered)
+        assert counts[0] == counts[1]
+
+    def test_respects_fault_dead_node(self, topo43):
+        from repro.core import Fault
+
+        sim = make_sim(topo43, fault=Fault.router((2, 0)))
+        gen = BernoulliInjector(load=0.3, seed=13, stop_at=150)
+        sim.add_generator(gen)
+        res = sim.run(max_cycles=2000, until_drained=False)
+        assert not res.deadlocked
+        for p in res.delivered:
+            assert p.source != (2, 0) and p.dest != (2, 0)
+
+
+class TestBroadcastInjector:
+    def test_broadcasts_delivered(self, topo43):
+        sim = make_sim(topo43)
+        gen = BroadcastInjector(rate=0.02, seed=1, stop_at=300)
+        sim.add_generator(gen)
+        res = sim.run(max_cycles=3000, until_drained=False)
+        assert gen.offered > 0
+        assert len(res.delivered) == gen.offered
+        assert all(p.header.rc is RC.BROADCAST_REQUEST for p in res.delivered)
+
+
+class TestScenarioScript:
+    def test_install_and_run(self, topo43):
+        sim = make_sim(topo43)
+        script = (
+            ScenarioScript()
+            .p2p(0, (0, 0), (3, 2))
+            .p2p(5, (1, 1), (2, 2))
+            .broadcast(3, (3, 0))
+        )
+        pkts = script.install(sim)
+        assert len(pkts) == 3
+        res = sim.run()
+        assert len(res.delivered) == 3
+
+    def test_injection_times_respected(self, topo43):
+        sim = make_sim(topo43)
+        script = ScenarioScript().p2p(7, (0, 0), (1, 0))
+        (pkt,) = script.install(sim)
+        sim.run()
+        assert pkt.injected_at == 7
+
+    def test_naive_broadcast_rc(self, topo43):
+        script = ScenarioScript().broadcast(0, (0, 0), naive=True)
+        assert script.sends[0].rc is RC.BROADCAST

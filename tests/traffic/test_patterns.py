@@ -1,0 +1,138 @@
+"""Unit tests for the synthetic traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.core.coords import all_coords, lexicographic_index, num_nodes
+from repro.traffic import (
+    PATTERNS,
+    bit_complement,
+    bit_reversal,
+    get_pattern,
+    make_hotspot,
+    make_permutation,
+    neighbor,
+    shuffle,
+    tornado,
+    transpose,
+    uniform,
+)
+
+SHAPE = (4, 4)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestUniform:
+    def test_never_self(self, rng):
+        for src in all_coords(SHAPE):
+            for _ in range(20):
+                assert uniform(src, SHAPE, rng) != src
+
+    def test_in_range(self, rng):
+        for _ in range(100):
+            d = uniform((0, 0), SHAPE, rng)
+            assert 0 <= d[0] < 4 and 0 <= d[1] < 4
+
+    def test_covers_all_destinations(self, rng):
+        seen = {uniform((0, 0), SHAPE, rng) for _ in range(2000)}
+        assert len(seen) == 15
+
+    def test_roughly_uniform(self, rng):
+        counts = {}
+        for _ in range(15000):
+            d = uniform((0, 0), SHAPE, rng)
+            counts[d] = counts.get(d, 0) + 1
+        freq = np.array(list(counts.values())) / 15000
+        assert abs(freq.mean() - 1 / 15) < 1e-9
+        assert freq.min() > 0.04
+
+    def test_degenerate_single_node(self, rng):
+        assert uniform((0,), (1,), rng) == (0,)
+
+
+class TestDeterministicPatterns:
+    def test_transpose(self):
+        assert transpose((1, 3), SHAPE) == (3, 1)
+
+    def test_transpose_clips_rectangular(self):
+        assert transpose((0, 2), (4, 3)) == (2, 0)
+        assert transpose((3, 0), (4, 3)) == (0, 2)  # clipped to extent
+
+    def test_bit_complement(self):
+        assert bit_complement((0, 0), SHAPE) == (3, 3)
+        assert bit_complement((1, 2), SHAPE) == (2, 1)
+
+    def test_bit_reversal_is_involution_pow2(self):
+        for src in all_coords(SHAPE):
+            assert bit_reversal(bit_reversal(src, SHAPE), SHAPE) == src
+
+    def test_shuffle_rotates_index(self):
+        src = (1, 0)  # index 4 = 0100b -> 1000b = 8
+        assert lexicographic_index(shuffle(src, SHAPE), SHAPE) == 8
+
+    def test_tornado_halfway(self):
+        assert tornado((0, 0), (8, 8)) == (3, 3)
+
+    def test_neighbor_wraps(self):
+        assert neighbor((3, 2), SHAPE) == (0, 2)
+
+    def test_patterns_stay_in_range(self):
+        for name, pat in PATTERNS.items():
+            rng = np.random.default_rng(0)
+            for src in all_coords(SHAPE):
+                d = pat(src, SHAPE, rng)
+                assert all(0 <= v < n for v, n in zip(d, SHAPE)), name
+
+
+class TestPermutationPatterns:
+    def test_bit_reversal_is_permutation(self):
+        dests = {bit_reversal(s, SHAPE) for s in all_coords(SHAPE)}
+        assert len(dests) == num_nodes(SHAPE)
+
+    def test_bit_complement_is_permutation(self):
+        dests = {bit_complement(s, SHAPE) for s in all_coords(SHAPE)}
+        assert len(dests) == num_nodes(SHAPE)
+
+    def test_make_permutation(self):
+        n = num_nodes(SHAPE)
+        mapping = [(i + 1) % n for i in range(n)]
+        pat = make_permutation(mapping)
+        assert pat((0, 0), SHAPE) == (0, 1)
+
+    def test_make_permutation_validates(self):
+        pat = make_permutation([0, 0, 1])
+        with pytest.raises(ValueError):
+            pat((0, 0), (3, 1))
+
+
+class TestHotspot:
+    def test_fraction_respected(self, rng):
+        pat = make_hotspot((0, 0), fraction=0.5)
+        hits = sum(
+            1 for _ in range(4000) if pat((3, 3), SHAPE, rng) == (0, 0)
+        )
+        assert 0.45 < hits / 4000 < 0.58
+
+    def test_hotspot_never_self(self, rng):
+        pat = make_hotspot((0, 0), fraction=1.0)
+        for _ in range(50):
+            assert pat((0, 0), SHAPE, rng) != (0, 0) or True
+            # the hotspot node itself falls back to the background pattern
+            assert pat((0, 0), SHAPE, rng) != (0, 0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            make_hotspot((0, 0), fraction=1.5)
+
+
+class TestRegistry:
+    def test_get_pattern(self):
+        assert get_pattern("uniform") is uniform
+
+    def test_unknown_pattern(self):
+        with pytest.raises(KeyError):
+            get_pattern("zipf")

@@ -1,0 +1,100 @@
+"""Unit tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.core import Broadcast, Fault, Unicast, compute_route
+from repro.viz import render_grid, render_rc_legend, render_route, render_tree
+from tests.conftest import make_logic
+
+
+class TestGrid:
+    def test_dimensions(self, topo43):
+        out = render_grid(topo43)
+        lines = out.splitlines()
+        assert len(lines) == 4  # header + 3 rows
+        assert "x=3" in lines[0]
+
+    def test_highlight(self, topo43):
+        out = render_grid(topo43, highlight_pes=[(2, 1)])
+        assert "#2,1#" in out
+
+    def test_faulty_router_marked(self, topo43):
+        out = render_grid(topo43, faulty=("RTR", (2, 0)))
+        assert "X2,0X" in out
+
+    def test_faulty_xb_marked(self, topo43):
+        out = render_grid(topo43, faulty=("XB", 0, (1,)))
+        assert "X-XB FAULTY" in out
+        out2 = render_grid(topo43, faulty=("XB", 1, (2,)))
+        assert "Y-XB at x=2 FAULTY" in out2
+
+    def test_sxb_dxb_rows_labelled(self, topo43):
+        out = render_grid(topo43, sxb_line=(0,), dxb_line=(1,))
+        assert "S-XB row" in out and "D-XB row" in out
+        out2 = render_grid(topo43, sxb_line=(1,), dxb_line=(1,))
+        assert "S-XB = D-XB row" in out2
+
+    def test_3d_rejected(self, topo333):
+        with pytest.raises(ValueError):
+            render_grid(topo333)
+
+
+class TestRoutes:
+    def test_route_string(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Unicast((0, 0), (2, 2)))
+        s = render_route(t, (2, 2))
+        assert s.startswith("PE(0, 0)")
+        assert s.endswith("PE(2, 2)")
+        assert "X-XB" in s and "Y-XB" in s
+        assert "-n->" in s
+
+    def test_detour_route_marks_rc(self, topo43):
+        logic = make_logic(topo43, fault=Fault.router((2, 0)))
+        t = compute_route(topo43, logic, Unicast((0, 0), (2, 2)))
+        s = render_route(t, (2, 2))
+        assert "-d->" in s
+
+    def test_broadcast_marks(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Broadcast((2, 2)))
+        s = render_route(t, (3, 1))
+        assert "-q->" in s and "-b->" in s
+
+    def test_tree_rendering(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Broadcast((1, 1)))
+        out = render_tree(t)
+        assert "flow" in out
+        assert out.count("PE") >= 12
+
+    def test_tree_truncation(self, topo43, logic43):
+        t = compute_route(topo43, logic43, Broadcast((1, 1)))
+        out = render_tree(t, max_lines=5)
+        assert "truncated" in out
+
+    def test_legend(self):
+        s = render_rc_legend()
+        assert "n=normal" in s and "d=detour" in s
+
+
+class TestRouteGrid:
+    def test_route_overlay(self, topo43, logic43):
+        from repro.viz import render_route_grid
+
+        t = compute_route(topo43, logic43, Unicast((0, 0), (2, 2)))
+        out = render_route_grid(topo43, t, (2, 2))
+        assert "[  0  ]" in out
+        assert out.count(".") > 4
+
+    def test_detour_overlay_has_more_steps(self, topo43):
+        from repro.viz import render_route_grid
+
+        logic = make_logic(topo43, fault=Fault.router((2, 0)))
+        t = compute_route(topo43, logic, Unicast((0, 0), (2, 2)))
+        out = render_route_grid(topo43, t, (2, 2))
+        assert "[  4  ]" in out  # five routers visited on the detour
+
+    def test_rejects_3d(self, topo333, logic333):
+        from repro.viz import render_route_grid
+
+        t = compute_route(topo333, logic333, Unicast((0, 0, 0), (1, 1, 1)))
+        with pytest.raises(ValueError):
+            render_route_grid(topo333, t, (1, 1, 1))
