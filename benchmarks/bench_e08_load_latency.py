@@ -14,15 +14,18 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from sweep_utils import saturation_load, sweep  # noqa: E402
+from sweep_utils import JOBS, saturation_load, sweep  # noqa: E402
 
 SHAPE = (8, 8)
 LOADS = [0.05, 0.10, 0.20, 0.30, 0.40]
 
 
 def run_all(shape, loads):
+    # REPRO_JOBS=N fans each curve's points out over worker processes
     return {
-        kind: sweep(kind, shape, loads, warmup=150, window=300, drain=3000)
+        kind: sweep(
+            kind, shape, loads, jobs=JOBS, warmup=150, window=300, drain=3000
+        )
         for kind in ("md-crossbar", "mesh", "torus")
     }
 
@@ -83,7 +86,7 @@ def test_e08_pattern_dependence_8x8(benchmark, report):
         for name, pat in (("bit_complement", bit_complement), ("transpose", transpose)):
             for kind in ("md-crossbar", "mesh"):
                 out[(name, kind)] = sweep(
-                    kind, SHAPE, [0.1, 0.3], pattern=pat,
+                    kind, SHAPE, [0.1, 0.3], pattern=pat, jobs=JOBS,
                     warmup=150, window=300, drain=3000,
                 )
         return out

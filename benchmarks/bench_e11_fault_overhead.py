@@ -8,28 +8,25 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 from repro.core import Fault, SwitchLogic, make_config  # noqa: E402
-from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig  # noqa: E402
 from repro.topology import MDCrossbar  # noqa: E402
-from sweep_utils import run_load_point  # noqa: E402
+from sweep_utils import JOBS, RunSpec, run_specs  # noqa: E402
 
 SHAPE = (8, 8)
 LOAD = 0.2
 FAULTS = [None, Fault.router((4, 4)), Fault.router((0, 0)), Fault.crossbar(0, (3,))]
-
-
-def run_point(fault):
-    topo = MDCrossbar(SHAPE)
-    logic = SwitchLogic(topo, make_config(SHAPE, fault=fault))
-
-    def make_sim():
-        return NetworkSimulator(MDCrossbarAdapter(logic), SimConfig(stall_limit=2000))
-
-    return run_load_point(make_sim, LOAD, warmup=150, window=300, drain=3000)
+POINT = dict(kind="md-crossbar", shape=SHAPE, load=LOAD,
+             warmup=150, window=300, drain=3000)
 
 
 def test_e11_fault_overhead(benchmark, report):
+    # one picklable spec per fault placement; REPRO_JOBS=N fans them out
+    specs = [
+        RunSpec(faults=(f,) if f else (), **POINT) for f in FAULTS
+    ]
+
     def kernel():
-        return [(f, run_point(f)) for f in FAULTS]
+        points = [r.point for r in run_specs(specs, jobs=JOBS)]
+        return list(zip(FAULTS, points))
 
     results = benchmark.pedantic(kernel, rounds=1, iterations=1)
     lines = [

@@ -6,6 +6,7 @@ Subcommands:
 * ``check``     -- deadlock analysis (tiered CDG + ordering certificate)
 * ``census``    -- single- or two-fault tolerance census
 * ``simulate``  -- run uniform traffic and print latency statistics
+* ``sweep``     -- latency-vs-load sweep over the runtime executors
 * ``figures``   -- replay the paper's Figs. 5/6/9/10 scenarios
 * ``machine``   -- describe an SR2201 configuration
 * ``kernels``   -- run application kernels across topologies
@@ -19,6 +20,7 @@ Examples::
     python -m repro check --shape 4x3 --fault rtr:2,0 --scheme naive
     python -m repro census --shape 4x3 --pairs
     python -m repro simulate --shape 8x8 --load 0.3 --cycles 600
+    python -m repro sweep --shape 8x8 --loads 0.05:0.4:8 --jobs 4 --json
     python -m repro machine --config SR2201/2048
 """
 
@@ -196,6 +198,63 @@ def cmd_simulate(args) -> int:
         print(res.deadlock.describe())
         return 1
     return 0
+
+
+def parse_loads(text: str) -> List[float]:
+    """Comma list (``0.05,0.1``) or ``start:stop:count`` linear range."""
+    try:
+        if ":" in text:
+            start_s, stop_s, count_s = text.split(":")
+            start, stop, count = float(start_s), float(stop_s), int(count_s)
+            if count < 1:
+                raise ValueError
+            if count == 1:
+                return [start]
+            step = (stop - start) / (count - 1)
+            return [start + i * step for i in range(count)]
+        return [float(v) for v in text.split(",") if v]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad loads {text!r}; use e.g. 0.05,0.1,0.2 or 0.05:0.4:8"
+        )
+
+
+def cmd_sweep(args) -> int:
+    import json as _json
+
+    from .runtime import RunSpec, run_specs, seed_replicas
+
+    specs = [
+        RunSpec(
+            kind=args.kind,
+            shape=args.shape,
+            load=load,
+            pattern=args.pattern,
+            packet_length=args.packet_length,
+            warmup=args.warmup,
+            window=args.window,
+            drain=args.drain,
+            seed=args.seed,
+            stall_limit=args.stall_limit,
+            faults=tuple(args.fault or ()),
+        )
+        for load in args.loads
+    ]
+    if args.seeds > 1:
+        specs = seed_replicas(specs, list(range(args.seed, args.seed + args.seeds)))
+    results = run_specs(specs, jobs=args.jobs)
+    if args.json:
+        print(_json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        shape_s = "x".join(map(str, args.shape))
+        print(
+            f"{args.kind} {shape_s} {args.pattern} traffic, "
+            f"{len(specs)} points, jobs={args.jobs or 1}"
+        )
+        for r in results:
+            seed_s = f" seed={r.spec.seed}" if args.seeds > 1 else ""
+            print(f"  {r.point.row()}{seed_s}")
+    return 1 if any(r.point.deadlocked for r in results) else 0
 
 
 def cmd_figures(args) -> int:
@@ -402,6 +461,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--stall-limit", type=int, default=2000)
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "sweep", help="latency-vs-load sweep (optionally parallel)"
+    )
+    p.add_argument("--kind", default="md-crossbar",
+                   help="md-crossbar or a baseline: mesh/torus/hypercube")
+    p.add_argument("--shape", type=parse_shape, default=(4, 3))
+    p.add_argument("--loads", type=parse_loads, default=[0.05, 0.1, 0.2, 0.3],
+                   help="comma list (0.05,0.1) or start:stop:count (0.05:0.4:8)")
+    p.add_argument("--pattern", default="uniform")
+    p.add_argument("--packet-length", type=int, default=4)
+    p.add_argument("--warmup", type=int, default=200)
+    p.add_argument("--window", type=int, default=500)
+    p.add_argument("--drain", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--seeds", type=int, default=1,
+                   help="replicate each point over this many seeds")
+    p.add_argument("--stall-limit", type=int, default=2000)
+    p.add_argument("--fault", type=parse_fault, action="append",
+                   help="standing fault (md-crossbar only); repeatable")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the sweep (default: serial)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable per-point results on stdout")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("figures", help="replay the paper's figures")
     p.set_defaults(fn=cmd_figures)

@@ -1,35 +1,53 @@
-"""Latency-versus-load sweep machinery.
+"""Latency-versus-load sweep machinery (the consumer layer).
 
 The standard experiment loop of interconnect evaluation: drive a network
 with Bernoulli traffic at a fixed offered load, measure latency over a
 window after warmup, let the fabric drain, and sweep the load axis.  Used
-by the E8/E11/E20/E22 benches and available to downstream users directly:
+by the E8/E11/E20/E22 benches, the ``repro sweep`` CLI and downstream
+users directly:
 
     from repro.experiments import sweep
     points = sweep("md-crossbar", (8, 8), [0.1, 0.2, 0.3])
+    points = sweep("md-crossbar", (8, 8), [0.1, 0.2, 0.3], jobs=4)
+
+Sweep points are independent fixed-seed simulations, so they fan out over
+the :mod:`repro.runtime` executors: pass ``jobs=N`` (or an explicit
+``executor=``) to run them in parallel worker processes; the merged
+results are identical to a serial run.  The experiment-level ``seed``
+parameterizes the injector RNG at every point -- sweep with several seeds
+(see :func:`repro.runtime.seed_replicas`) for independent replicas.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..baselines import make_baseline
 from ..core import SwitchLogic, make_config
 from ..sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
 from ..sim.stats import LatencyStats, LoadPoint
-from ..traffic import BernoulliInjector, Pattern, uniform
+from ..traffic import BernoulliInjector, Pattern, pattern_name, uniform
 
 
-def build_network(kind: str, shape, stall_limit: int = 2000):
-    """(simulator factory) for 'md-crossbar' or a baseline name."""
+def build_network(kind: str, shape, stall_limit: int = 2000, faults=()):
+    """(simulator factory) for 'md-crossbar' or a baseline name.
+
+    ``faults`` (MD crossbar only) pre-configures the facility with the
+    given fault set, as a standing fault would be in the hardware.
+    """
     if kind == "md-crossbar":
         from ..topology import MDCrossbar
 
         topo = MDCrossbar(shape)
-        logic = SwitchLogic(topo, make_config(shape))
+        logic = SwitchLogic(topo, make_config(shape, faults=tuple(faults)))
         adapter = MDCrossbarAdapter(logic)
         vcs = 1
     else:
+        if faults:
+            raise ValueError(
+                f"fault modelling is the MD crossbar facility's job; "
+                f"the {kind!r} baseline does not support faults"
+            )
         topo, adapter, vcs = make_baseline(kind, shape)
     return lambda: NetworkSimulator(
         adapter, SimConfig(num_vcs=vcs, stall_limit=stall_limit)
@@ -78,10 +96,45 @@ def sweep(
     shape,
     loads: Sequence[float],
     pattern: Pattern = uniform,
+    jobs: Optional[int] = None,
+    executor=None,
+    seed: int = 1,
+    stall_limit: int = 2000,
     **kw,
 ) -> List[LoadPoint]:
-    make_sim = build_network(kind, shape)
-    return [run_load_point(make_sim, load, pattern, **kw) for load in loads]
+    """Sweep the load axis; each point is an independent fixed-seed run.
+
+    ``jobs`` > 1 (or an explicit runtime ``executor``) fans the points out
+    over worker processes via :mod:`repro.runtime`; the default runs them
+    serially in-process.  Ad-hoc pattern callables (hotspot/permutation
+    closures) are not picklable and therefore always run serially.
+    """
+    name = pattern_name(pattern)
+    if name is None:
+        if jobs is not None and jobs > 1:
+            raise ValueError(
+                "parallel sweeps need a registered pattern name "
+                "(see repro.traffic.PATTERNS); ad-hoc callables cannot "
+                "cross process boundaries"
+            )
+        make_sim = build_network(kind, shape, stall_limit=stall_limit)
+        return [
+            run_load_point(make_sim, load, pattern, seed=seed, **kw)
+            for load in loads
+        ]
+
+    from ..runtime import load_sweep_specs, run_specs
+
+    specs = load_sweep_specs(
+        kind,
+        tuple(shape),
+        loads,
+        pattern=name,
+        seed=seed,
+        stall_limit=stall_limit,
+        **kw,
+    )
+    return [r.point for r in run_specs(specs, jobs=jobs, executor=executor)]
 
 
 def saturation_load(points: Sequence[LoadPoint], factor: float = 4.0) -> Optional[float]:

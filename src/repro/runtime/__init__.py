@@ -1,0 +1,38 @@
+"""The runtime layer: parallel execution of independent simulation points.
+
+Sits between the simulation engine (:mod:`repro.sim`) and the consumers
+(:mod:`repro.experiments`, the CLI, the benchmarks).  Work is described by
+picklable :class:`RunSpec`s, executed by an :class:`Executor` (serial or
+process-pool), and merged deterministically in spec order -- a parallel
+sweep returns byte-identical results to a serial one.
+"""
+
+from .executor import (
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    execute_spec,
+    make_executor,
+    run_specs,
+)
+from .spec import (
+    PointResult,
+    RunSpec,
+    fault_placement_specs,
+    load_sweep_specs,
+    seed_replicas,
+)
+
+__all__ = [
+    "Executor",
+    "PointResult",
+    "ProcessPoolExecutor",
+    "RunSpec",
+    "SerialExecutor",
+    "execute_spec",
+    "fault_placement_specs",
+    "load_sweep_specs",
+    "make_executor",
+    "run_specs",
+    "seed_replicas",
+]

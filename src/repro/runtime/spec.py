@@ -1,0 +1,208 @@
+"""Picklable run specifications for the sweep runtime.
+
+A :class:`RunSpec` is a self-contained, hashable, picklable description of
+one independent simulation point: network kind and shape, offered load,
+traffic pattern (by registry name, so it crosses process boundaries),
+fault set, measurement windows, and -- crucially for multi-seed replicas --
+the **experiment-level seed** that parameterizes every random process in
+the run.  Executing a spec builds a fresh simulator in whatever process it
+lands in; nothing live is ever pickled.
+
+Spec constructors for the standard experiment families:
+
+* :func:`load_sweep_specs`      -- one spec per offered load (Fig.-style
+  latency/load curves);
+* :func:`seed_replicas`         -- replicate specs across seeds for
+  confidence intervals;
+* :func:`fault_placement_specs` -- one spec per single-fault placement
+  (the fault-tolerance overhead enumeration).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.fault import Fault
+from ..sim.stats import LatencyStats, LoadPoint
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent sweep point, executable in any worker process."""
+
+    kind: str = "md-crossbar"
+    shape: Tuple[int, ...] = (4, 3)
+    load: float = 0.1
+    #: traffic pattern registry name (see ``repro.traffic.PATTERNS``)
+    pattern: str = "uniform"
+    packet_length: int = 4
+    warmup: int = 200
+    window: int = 500
+    drain: int = 4000
+    #: experiment-level seed: drives the injector RNG for this point
+    seed: int = 1
+    stall_limit: int = 2000
+    faults: Tuple[Fault, ...] = ()
+    #: replica index (bookkeeping for multi-seed runs)
+    replica: int = 0
+    label: str = ""
+
+    def describe(self) -> str:
+        shape_s = "x".join(map(str, self.shape))
+        bits = [f"{self.kind} {shape_s} load={self.load:g} seed={self.seed}"]
+        if self.pattern != "uniform":
+            bits.append(f"pattern={self.pattern}")
+        if self.faults:
+            bits.append(f"faults={len(self.faults)}")
+        if self.label:
+            bits.append(f"[{self.label}]")
+        return " ".join(bits)
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "shape": list(self.shape),
+            "load": self.load,
+            "pattern": self.pattern,
+            "packet_length": self.packet_length,
+            "warmup": self.warmup,
+            "window": self.window,
+            "drain": self.drain,
+            "seed": self.seed,
+            "stall_limit": self.stall_limit,
+            "faults": [str(f) for f in self.faults],
+            "replica": self.replica,
+            "label": self.label,
+        }
+
+    def execute(self) -> "PointResult":
+        """Run this spec in the current process."""
+        from ..experiments.sweeps import build_network, run_load_point
+        from ..traffic import get_pattern
+
+        start = time.perf_counter()
+        make_sim = build_network(
+            self.kind,
+            self.shape,
+            stall_limit=self.stall_limit,
+            faults=self.faults,
+        )
+        point = run_load_point(
+            make_sim,
+            self.load,
+            pattern=get_pattern(self.pattern),
+            packet_length=self.packet_length,
+            warmup=self.warmup,
+            window=self.window,
+            drain=self.drain,
+            seed=self.seed,
+        )
+        return PointResult(
+            spec=self, point=point, wall_time=time.perf_counter() - start
+        )
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """The outcome of one executed :class:`RunSpec`."""
+
+    spec: RunSpec
+    point: LoadPoint
+    #: seconds the point took in its worker process
+    wall_time: float
+
+    def to_dict(self) -> Dict:
+        lat = self.point.latency
+        return {
+            "spec": self.spec.to_dict(),
+            "offered_load": self.point.offered_load,
+            "accepted_load": self.point.accepted_load,
+            "latency": {
+                "count": lat.count,
+                "mean": lat.mean,
+                "median": lat.median,
+                "p95": lat.p95,
+                "p99": lat.p99,
+                "max": lat.max,
+                "min": lat.min,
+            },
+            "deadlocked": self.point.deadlocked,
+            "cycles": self.point.cycles,
+            "wall_time": self.wall_time,
+        }
+
+
+# --------------------------------------------------------- spec constructors
+def load_sweep_specs(
+    kind: str,
+    shape: Sequence[int],
+    loads: Sequence[float],
+    *,
+    pattern: str = "uniform",
+    seed: int = 1,
+    **kw,
+) -> List[RunSpec]:
+    """One spec per offered load (the latency-versus-load experiment)."""
+    return [
+        RunSpec(
+            kind=kind,
+            shape=tuple(shape),
+            load=load,
+            pattern=pattern,
+            seed=seed,
+            **kw,
+        )
+        for load in loads
+    ]
+
+
+def seed_replicas(
+    specs: Sequence[RunSpec], seeds: Sequence[int]
+) -> List[RunSpec]:
+    """Replicate every spec once per seed.
+
+    Replicas differ *only* in their experiment-level seed, so they are
+    statistically independent yet individually reproducible -- the fix for
+    the old sweep path, whose injectors all defaulted to the same
+    hard-coded seed.  Results come back grouped by spec, seeds in the
+    given order.
+    """
+    return [
+        replace(spec, seed=seed, replica=i)
+        for spec in specs
+        for i, seed in enumerate(seeds)
+    ]
+
+
+def fault_placement_specs(
+    kind: str,
+    shape: Sequence[int],
+    load: float,
+    *,
+    faults: Optional[Sequence[Fault]] = None,
+    seed: int = 1,
+    **kw,
+) -> List[RunSpec]:
+    """One spec per fault placement (default: every feasible single fault).
+
+    Only the MD crossbar network models the fault facility, so ``kind``
+    should be ``"md-crossbar"``.
+    """
+    if faults is None:
+        from ..core.multifault import all_single_faults
+
+        faults = all_single_faults(tuple(shape))
+    return [
+        RunSpec(
+            kind=kind,
+            shape=tuple(shape),
+            load=load,
+            seed=seed,
+            faults=(fault,),
+            label=str(fault),
+            **kw,
+        )
+        for fault in faults
+    ]

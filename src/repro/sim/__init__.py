@@ -3,6 +3,7 @@
 from .adaptive import ADAPTIVE_VC, ESCAPE_VC, AdaptiveMDAdapter
 from .adapter import MDCrossbarAdapter, RoutingAdapter, SimDecision
 from .config import SimConfig, Switching
+from .engine import PHASES, CycleEngine, HookBus, find_pid_cycle
 from .fabric import Connection, InFlightPacket, PendingRequest, SimFlit, VCState
 from .monitor import Sample, SimMonitor, TextTrace, channel_load_heatmap
 from .network import (
@@ -14,6 +15,10 @@ from .network import (
 )
 
 __all__ = [
+    "CycleEngine",
+    "HookBus",
+    "PHASES",
+    "find_pid_cycle",
     "ADAPTIVE_VC",
     "AdaptiveMDAdapter",
     "ESCAPE_VC",

@@ -60,19 +60,43 @@ class RoutingAdapter(Protocol):
 
 
 class MDCrossbarAdapter:
-    """The SR2201 network: defer to the distributed switch logic, VC 0."""
+    """The SR2201 network: defer to the distributed switch logic, VC 0.
+
+    Decisions are memoized per ``(element, input, source, dest, rc)``: the
+    switch logic is deterministic and stateless for a fixed fault
+    configuration, so under steady traffic the simulator's route phase hits
+    the cache instead of re-running the distributed rules.  Swapping
+    :attr:`logic` (an online facility reconfiguration) invalidates the
+    cache.
+    """
 
     def __init__(self, logic: SwitchLogic) -> None:
-        self.logic = logic
+        self._logic = logic
         self.topo = logic.topo
+        self._cache: dict = {}
+
+    @property
+    def logic(self) -> SwitchLogic:
+        return self._logic
+
+    @logic.setter
+    def logic(self, new_logic: SwitchLogic) -> None:
+        self._logic = new_logic
+        self._cache.clear()
 
     def decide(
         self, element: ElementId, in_from: ElementId, in_vc: int, header: Header
     ) -> SimDecision:
-        d = self.logic.decide(element, in_from, header)
-        return SimDecision(
+        key = (element, in_from, header.source, header.dest, header.rc)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        d = self._logic.decide(element, in_from, header)
+        decision = SimDecision(
             outputs=tuple((el, 0) for el in d.outputs),
             rc=d.rc,
             serialize=d.serialize,
             drop=d.drop,
         )
+        self._cache[key] = decision
+        return decision

@@ -67,7 +67,7 @@ class AdaptiveMDAdapter:
             return False
         exit_coord = c[:k] + (dest[k],) + c[k + 1 :]
         ch = self.topo.channel(self.topo.crossbar_of(c, k), rtr(exit_coord))
-        vc = self._sim._vcs[(ch.cid, ADAPTIVE_VC)]
+        vc = self._sim.vcs[(ch.cid, ADAPTIVE_VC)]
         return vc.owner is not None or vc.free_space <= 0
 
     def decide(

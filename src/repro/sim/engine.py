@@ -1,0 +1,880 @@
+"""The cycle engine: phase pipeline, fabric state and the public hook bus.
+
+This is the **engine layer** of the simulator.  :class:`CycleEngine` owns
+the fabric resource state (:mod:`repro.sim.fabric`) and executes the five
+per-cycle phases of cut-through switching:
+
+1. **eject** -- PEs drain their input buffers (a destination always sinks,
+   so ejection channels never deadlock by themselves);
+2. **route** -- header flits at buffer heads are routed by the adapter and
+   become pending grant requests;
+3. **grant** -- serialized (S-XB) requests are granted atomically in FIFO
+   order, reserving the whole crossbar; other requests reserve free output
+   ports progressively, in arrival order, and connect when complete;
+4. **transfer** -- every connection moves at most one flit, multicast
+   branches in lockstep, one flit per physical channel per cycle; a tail
+   flit releases the connection's output ports;
+5. **inject** -- queued packets at PEs take the injection channel when free.
+
+A watchdog declares deadlock when packets are in flight but nothing has
+moved for ``stall_limit`` cycles, then extracts the cyclic wait from the
+pending requests' wait-for graph -- reproducing the paper's Figs. 5 and 9
+dynamically.
+
+Instrumentation attaches through the :class:`HookBus` -- never by poking
+engine internals:
+
+* ``on_cycle_start(engine)``            -- before the eject phase of a cycle;
+* ``on_phase_end(engine, phase)``       -- after each of the five phases;
+* ``on_grant(engine, connection)``      -- a request was granted a switch;
+* ``on_deliver(packet, coord, cycle)``  -- a tail flit ejected at a PE
+  (once per recipient for broadcasts);
+* ``on_deadlock(engine, report)``       -- the stall watchdog fired;
+* ``on_log(cycle, message)``            -- the engine's event log.
+
+:class:`~repro.sim.monitor.SimMonitor`, :class:`~repro.sim.monitor.TextTrace`
+and the software collectives are all hook subscribers.  The observable
+fabric state (``vcs``, ``connections``, ``pending``, ``serial_queues``,
+``source_queues``, ``in_flight`` and the counters) is public: hooks may
+read it freely; only the engine writes it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.coords import Coord
+from ..core.packet import FlitKind, Header, Packet, RC
+from ..topology.base import Channel, ElementId, ElementKind, element_kind
+from .adapter import RoutingAdapter, SimDecision
+from .config import SimConfig
+from .fabric import (
+    Connection,
+    InFlightPacket,
+    PendingRequest,
+    SimFlit,
+    VCKey,
+    VCState,
+)
+
+#: the five phases, in execution order (the names ``on_phase_end`` reports)
+PHASES: Tuple[str, ...] = ("eject", "route", "grant", "transfer", "inject")
+
+
+class HookBus:
+    """Subscription lists for the engine's instrumentation events.
+
+    Each attribute is a plain list of callables, appended in subscription
+    order and invoked in that order.  The ``on_*`` helpers return the
+    callable so they can be used as decorators::
+
+        @sim.hooks.on_deliver
+        def saw(packet, coord, cycle): ...
+    """
+
+    __slots__ = ("cycle_start", "phase_end", "grant", "deliver", "deadlock", "log")
+
+    def __init__(self) -> None:
+        self.cycle_start: List[Callable[["CycleEngine"], None]] = []
+        self.phase_end: List[Callable[["CycleEngine", str], None]] = []
+        self.grant: List[Callable[["CycleEngine", Connection], None]] = []
+        self.deliver: List[Callable[[Packet, Coord, int], None]] = []
+        self.deadlock: List[Callable[["CycleEngine", "DeadlockReport"], None]] = []
+        self.log: List[Callable[[int, str], None]] = []
+
+    def on_cycle_start(self, fn: Callable[["CycleEngine"], None]):
+        self.cycle_start.append(fn)
+        return fn
+
+    def on_phase_end(self, fn: Callable[["CycleEngine", str], None]):
+        self.phase_end.append(fn)
+        return fn
+
+    def on_grant(self, fn: Callable[["CycleEngine", Connection], None]):
+        self.grant.append(fn)
+        return fn
+
+    def on_deliver(self, fn: Callable[[Packet, Coord, int], None]):
+        self.deliver.append(fn)
+        return fn
+
+    def on_deadlock(self, fn: Callable[["CycleEngine", "DeadlockReport"], None]):
+        self.deadlock.append(fn)
+        return fn
+
+    def on_log(self, fn: Callable[[int, str], None]):
+        self.log.append(fn)
+        return fn
+
+    def unsubscribe(self, fn) -> None:
+        """Remove ``fn`` from every event it is subscribed to."""
+        for name in self.__slots__:
+            lst = getattr(self, name)
+            while fn in lst:
+                lst.remove(fn)
+
+
+@dataclass
+class DeadlockReport:
+    """Diagnosis of a detected deadlock."""
+
+    cycle: int
+    #: packet ids forming the cyclic wait, in order
+    cycle_pids: Tuple[int, ...]
+    #: pid -> (element it is blocked at, channels it waits for, their holders)
+    waits: Dict[int, Tuple[ElementId, Tuple[Channel, ...], Tuple[int, ...]]]
+    #: every in-flight pid at detection time
+    blocked_pids: Tuple[int, ...]
+
+    def describe(self) -> str:
+        lines = [f"deadlock detected at cycle {self.cycle}; cyclic wait:"]
+        for pid in self.cycle_pids:
+            el, chans, holders = self.waits[pid]
+            chan_s = ", ".join(repr(c) for c in chans)
+            lines.append(
+                f"  packet {pid} blocked at {el} waiting for [{chan_s}] "
+                f"held by {sorted(set(holders))}"
+            )
+        return "\n".join(lines)
+
+
+class DeadlockError(RuntimeError):
+    """Raised by :meth:`CycleEngine.run` when ``raise_on_deadlock``."""
+
+    def __init__(self, report: DeadlockReport) -> None:
+        super().__init__(report.describe())
+        self.report = report
+
+
+@dataclass
+class ReconfigReport:
+    """What an online fault event cost (see ``NetworkSimulator.inject_fault``)."""
+
+    cycle: int
+    fault: object
+    lost_packets: List[Packet]
+    new_sxb_line: Tuple[int, ...]
+    new_order: Tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"cycle {self.cycle}: {self.fault}; lost {len(self.lost_packets)} "
+            f"in-transit packets; facility reconfigured "
+            f"(order {self.new_order}, S-XB line {self.new_sxb_line})"
+        )
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulation run."""
+
+    cycles: int
+    delivered: List[Packet]
+    dropped: List[Packet]
+    deadlock: Optional[DeadlockReport]
+    flit_moves: int
+    injected: int
+    #: busy cycles per channel cid (a flit crossed the physical link)
+    channel_busy: Dict[int, int]
+    in_flight_at_end: int
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.deadlock is not None
+
+    @property
+    def latencies(self) -> List[int]:
+        return [p.latency for p in self.delivered if p.latency is not None]
+
+    @property
+    def mean_latency(self) -> float:
+        lats = self.latencies
+        return sum(lats) / len(lats) if lats else float("nan")
+
+    def throughput_flits_per_cycle(self) -> float:
+        """Delivered payload flits per cycle (unicast deliveries only count
+        once; broadcast copies count per recipient)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.flit_moves / self.cycles
+
+    def fingerprint(self) -> Tuple:
+        """A compact, order-sensitive identity of the run, for parity and
+        regression tests.  Packet ids are rebased to the smallest id seen
+        so the fingerprint is stable across processes (pids are a
+        process-global counter)."""
+        pids = [p.pid for p in self.delivered + self.dropped]
+        if self.deadlock is not None:
+            pids.extend(self.deadlock.cycle_pids)
+        base = min(pids) if pids else 0
+        return (
+            self.cycles,
+            tuple(
+                (p.pid - base, p.injected_at, p.delivered_at)
+                for p in self.delivered
+            ),
+            tuple(p.pid - base for p in self.dropped),
+            None
+            if self.deadlock is None
+            else (
+                self.deadlock.cycle,
+                tuple(p - base for p in self.deadlock.cycle_pids),
+            ),
+            self.flit_moves,
+            self.injected,
+            self.in_flight_at_end,
+        )
+
+
+class CycleEngine:
+    """Phase pipeline over an adapter-routed topology.
+
+    The engine is the only writer of the fabric state; observers subscribe
+    to :attr:`hooks`.  The workload API (:meth:`send`, :meth:`add_generator`)
+    and the run loop live here too; the MD-crossbar-specific online fault
+    machinery lives on the :class:`~repro.sim.network.NetworkSimulator`
+    facade.
+    """
+
+    def __init__(
+        self,
+        adapter: RoutingAdapter,
+        config: Optional[SimConfig] = None,
+        trace: Optional[Callable[[int, str], None]] = None,
+        hooks: Optional[HookBus] = None,
+    ) -> None:
+        self.adapter = adapter
+        self.topo = adapter.topo
+        self.config = config or SimConfig()
+        self.hooks = hooks or HookBus()
+        if trace is not None:
+            # legacy event-log path; prefer hooks.on_log / TextTrace.attach
+            self.hooks.log.append(trace)
+        self.trace = trace
+        if hasattr(adapter, "attach"):
+            adapter.attach(self)
+        self.cycle = 0
+        #: virtual-channel state per (channel cid, vc index)
+        self.vcs: Dict[VCKey, VCState] = {}
+        for ch in self.topo.channels():
+            for v in range(self.config.num_vcs):
+                self.vcs[(ch.cid, v)] = VCState(
+                    channel=ch, vc=v, capacity=self.config.buffer_depth
+                )
+        # input VC keys per switch element, in deterministic order
+        self._inputs: Dict[ElementId, List[VCKey]] = {}
+        self._pe_inputs: List[Tuple[Coord, VCKey]] = []
+        for el in self.topo.elements():
+            kind = element_kind(el)
+            if kind is ElementKind.PE:
+                for ch in self.topo.channels_to(el):
+                    for v in range(self.config.num_vcs):
+                        self._pe_inputs.append((el[1], (ch.cid, v)))
+                continue
+            keys: List[VCKey] = []
+            for ch in self.topo.channels_to(el):
+                for v in range(self.config.num_vcs):
+                    keys.append((ch.cid, v))
+            self._inputs[el] = keys
+
+        #: established switch connections, keyed by (element, input VC)
+        self.connections: Dict[Tuple[ElementId, Optional[VCKey]], Connection] = {}
+        #: non-serialized grant requests, in arrival order
+        self.pending: List[PendingRequest] = []
+        self._pending_by_cin: Set[VCKey] = set()
+        #: input VC keys that may hold an unrouted header (performance:
+        #: the route phase scans this small set instead of every buffer)
+        self._route_candidates: Set[VCKey] = set()
+        #: element owning each switch-input key, precomputed
+        self._element_of_input: Dict[VCKey, ElementId] = {}
+        for el, keys in self._inputs.items():
+            for key in keys:
+                self._element_of_input[key] = el
+        #: serialized (S-XB) FIFO queues per element
+        self.serial_queues: Dict[ElementId, Deque[PendingRequest]] = {}
+        #: packets queued at each source PE, awaiting injection
+        self.source_queues: Dict[Coord, Deque[Packet]] = {
+            c: deque() for c in self.topo.node_coords()
+        }
+        self._nonempty_sources: Set[Coord] = set()
+        self._scheduled: Dict[int, List[Packet]] = {}
+        #: per-cycle traffic generator callbacks (run in the inject phase)
+        self.generators: List[Callable[["CycleEngine"], None]] = []
+        #: packets injected but not yet fully delivered, by pid
+        self.in_flight: Dict[int, InFlightPacket] = {}
+        self.delivered: List[Packet] = []
+        self.dropped: List[Packet] = []
+        self.flit_moves = 0
+        self.injected = 0
+        self.channel_busy: Dict[int, int] = {}
+        self._last_progress = 0
+        self.deadlock: Optional[DeadlockReport] = None
+        self._live_nodes = [
+            c
+            for c in self.topo.node_coords()
+            if not self._node_is_dead(c)
+        ]
+
+    # ------------------------------------------------------------- helpers
+    def _node_is_dead(self, coord: Coord) -> bool:
+        logic = getattr(self.adapter, "logic", None)
+        if logic is None:
+            return False
+        return logic.registry.router_is_faulty(coord)
+
+    @property
+    def live_nodes(self) -> Sequence[Coord]:
+        return tuple(self._live_nodes)
+
+    def log(self, msg: str) -> None:
+        """Emit an event-log line to the ``on_log`` subscribers."""
+        for fn in self.hooks.log:
+            fn(self.cycle, msg)
+
+    # --------------------------------------------------------- observability
+    def buffered_flits(self) -> int:
+        """Total flits sitting in channel buffers."""
+        return sum(len(vc.buffer) for vc in self.vcs.values())
+
+    def queued_packets(self) -> int:
+        """Packets waiting in source queues (not yet injected)."""
+        return sum(len(q) for q in self.source_queues.values())
+
+    def blocked_requests(self) -> int:
+        """Grant requests waiting for output ports (incl. serialized)."""
+        return len(self.pending) + sum(
+            len(q) for q in self.serial_queues.values()
+        )
+
+    # ------------------------------------------------------------ workload
+    def send(self, packet: Packet, at_cycle: Optional[int] = None) -> None:
+        """Queue a packet for injection at its source PE.
+
+        ``at_cycle`` defers queueing (used by the scripted figure
+        scenarios); by default the packet enters the source queue now.
+        """
+        if at_cycle is not None and at_cycle > self.cycle:
+            self._scheduled.setdefault(at_cycle, []).append(packet)
+            return
+        src = packet.source
+        if src not in self.source_queues:
+            raise ValueError(f"unknown source PE {src}")
+        if self._node_is_dead(src):
+            raise ValueError(f"source PE {src} is disconnected by the fault")
+        packet.injected_at = self.cycle if packet.injected_at is None else packet.injected_at
+        self.source_queues[src].append(packet)
+        self._nonempty_sources.add(src)
+
+    def add_generator(self, fn: Callable[["CycleEngine"], None]) -> None:
+        """Register a per-cycle traffic generator callback.
+
+        Generators *produce workload* and therefore keep the run loop alive
+        (``until_drained`` never breaks while generators are registered);
+        passive observers should subscribe to :attr:`hooks` instead.
+        """
+        self.generators.append(fn)
+
+    def add_delivery_listener(
+        self, fn: Callable[[Packet, Coord, int], None]
+    ) -> None:
+        """Register ``fn(packet, pe_coord, cycle)``, called whenever a tail
+        flit is ejected at a PE (once per recipient for broadcasts).  Used
+        by the software collectives, which react to message arrival the way
+        a PE's message handler would.  Equivalent to ``hooks.on_deliver``."""
+        self.hooks.deliver.append(fn)
+
+    def expected_deliveries(self, packet: Packet) -> int:
+        if packet.header.rc in (RC.BROADCAST_REQUEST, RC.BROADCAST):
+            return len(self._live_nodes)
+        return 1
+
+    def kill_packet(self, pid: int) -> Optional[Packet]:
+        """Remove every trace of a packet from the fabric."""
+        for key in [k for k, c in self.connections.items() if c.pid == pid]:
+            conn = self.connections.pop(key)
+            for cout in conn.couts:
+                if self.vcs[cout].owner == pid:
+                    self.vcs[cout].owner = None
+        self.pending = [r for r in self.pending if r.pid != pid]
+        for q in self.serial_queues.values():
+            for r in list(q):
+                if r.pid == pid:
+                    q.remove(r)
+        for vc in self.vcs.values():
+            if vc.owner == pid:
+                vc.owner = None
+            if any(f.pid == pid for f in vc.buffer):
+                vc.buffer = type(vc.buffer)(
+                    f for f in vc.buffer if f.pid != pid
+                )
+        self._pending_by_cin = {
+            k
+            for k in self._pending_by_cin
+            if any(r.cin == k for r in self.pending)
+            or any(
+                r.cin == k for q in self.serial_queues.values() for r in q
+            )
+        }
+        inf = self.in_flight.pop(pid, None)
+        if inf is not None:
+            self.dropped.append(inf.packet)
+            return inf.packet
+        return None
+
+    # -------------------------------------------------------------- phases
+    def phase_eject(self) -> None:
+        deliver_hooks = self.hooks.deliver
+        for coord, key in self._pe_inputs:
+            vc = self.vcs[key]
+            while vc.buffer:
+                flit = vc.buffer.popleft()
+                self.flit_moves += 1
+                self._last_progress = self.cycle
+                if flit.is_tail:
+                    inf = self.in_flight.get(flit.pid)
+                    if inf is not None:
+                        inf.deliveries += 1
+                        inf.served.add(coord)
+                        for listener in deliver_hooks:
+                            listener(inf.packet, coord, self.cycle)
+                        if inf.done:
+                            inf.packet.delivered_at = self.cycle
+                            self.delivered.append(inf.packet)
+                            del self.in_flight[flit.pid]
+                            self.log(f"packet {flit.pid} completed at PE{coord}")
+
+    def phase_route(self) -> None:
+        done: List[VCKey] = []
+        for key in list(self._route_candidates):
+            el = self._element_of_input.get(key)
+            if el is None:  # a PE input: ejection handles it
+                done.append(key)
+                continue
+            vc = self.vcs[key]
+            head = vc.head()
+            if head is None:
+                done.append(key)
+                continue
+            if not head.is_head:
+                continue  # a header queued behind another packet's flits
+            if (el, key) in self.connections or key in self._pending_by_cin:
+                continue
+            assert head.header is not None
+            try:
+                decision = self.adapter.decide(
+                    el, vc.channel.src, key[1], head.header
+                )
+            except Exception as exc:
+                from ..core.switch_logic import RoutingError
+
+                if not isinstance(exc, RoutingError):
+                    raise
+                # a packet caught mid-flight by an online facility
+                # reconfiguration can land in a state the new rules do
+                # not produce (e.g. RC=DETOUR at a crossbar that is no
+                # longer the D-XB); cut-through hardware would lose it
+                self.log(f"packet {head.pid} unroutable at {el}: {exc}")
+                self.kill_packet(head.pid)
+                continue
+            if decision.drop:
+                conn = Connection(
+                    pid=head.pid,
+                    element=el,
+                    cin=key,
+                    couts=(),
+                    started_at=self.cycle,
+                )
+                self.connections[(el, key)] = conn
+                inf = self.in_flight.get(head.pid)
+                if inf is not None:
+                    inf.dropped = True
+                self.log(f"packet {head.pid} dropped at {el}")
+                done.append(key)
+                continue
+            wanted = tuple(
+                (self.topo.channel(el, out_el).cid, out_vc)
+                for out_el, out_vc in decision.outputs
+            )
+            req = PendingRequest(
+                pid=head.pid,
+                element=el,
+                cin=key,
+                decision=decision,
+                wanted=wanted,
+                arrived_at=self.cycle,
+            )
+            self._pending_by_cin.add(key)
+            done.append(key)
+            if decision.serialize:
+                self.serial_queues.setdefault(el, deque()).append(req)
+            else:
+                self.pending.append(req)
+        for key in done:
+            self._route_candidates.discard(key)
+
+    def phase_grant(self) -> None:
+        # serialized grants first: FIFO, atomic, reserving the whole switch
+        for el, queue in self.serial_queues.items():
+            if not queue:
+                continue
+            req = queue[0]
+            if all(self.vcs[k].owner is None for k in req.wanted):
+                queue.popleft()
+                self._establish(req)
+                self.log(
+                    f"S-XB {el} grants serialized multicast to packet {req.pid}"
+                )
+        # progressive reservations, oldest request first
+        blocked = {el for el, q in self.serial_queues.items() if q}
+        remaining: List[PendingRequest] = []
+        for req in self.pending:
+            if req.element in blocked:
+                remaining.append(req)
+                continue
+            if req.decision.policy == "any":
+                # adaptive grant: take the first free candidate this cycle
+                chosen = next(
+                    (k for k in req.wanted if self.vcs[k].owner is None),
+                    None,
+                )
+                if chosen is None:
+                    remaining.append(req)
+                    continue
+                self.vcs[chosen].owner = req.pid
+                req.wanted = (chosen,)
+                req.reserved.add(chosen)
+                self._establish(req, owners_set=True)
+                continue
+            for k in req.missing:
+                vc = self.vcs[k]
+                if vc.owner is None:
+                    vc.owner = req.pid
+                    req.reserved.add(k)
+            if req.complete:
+                self._establish(req, owners_set=True)
+            else:
+                remaining.append(req)
+        self.pending = remaining
+
+    def _establish(self, req: PendingRequest, owners_set: bool = False) -> None:
+        if not owners_set:
+            for k in req.wanted:
+                self.vcs[k].owner = req.pid
+        vc_in = self.vcs[req.cin]
+        head = vc_in.head()
+        assert head is not None and head.is_head and head.pid == req.pid
+        assert head.header is not None
+        # the switch rewrites the RC bit as the header passes
+        new_header = head.header.with_rc(req.decision.rc)
+        head.header = new_header
+        conn = Connection(
+            pid=req.pid,
+            element=req.element,
+            cin=req.cin,
+            couts=req.wanted,
+            started_at=self.cycle,
+        )
+        self.connections[(req.element, req.cin)] = conn
+        self._pending_by_cin.discard(req.cin)
+        self._last_progress = self.cycle
+        for fn in self.hooks.grant:
+            fn(self, conn)
+
+    def phase_transfer(self) -> None:
+        used_links: Set[int] = set()
+        finished: List[Tuple[ElementId, Optional[VCKey]]] = []
+        for conn_key, conn in self.connections.items():
+            if conn.is_injection:
+                assert conn.supply is not None
+                flit = conn.supply[0] if conn.supply else None
+            else:
+                assert conn.cin is not None
+                flit = self.vcs[conn.cin].head()
+                if flit is not None and flit.pid != conn.pid:
+                    flit = None  # next packet's flits queued behind our tail
+            if flit is None:
+                continue
+            # all branches must accept the flit this cycle (lockstep copy)
+            ready = True
+            for k in conn.couts:
+                vc = self.vcs[k]
+                if vc.free_space <= 0 or k[0] in used_links:
+                    ready = False
+                    break
+            if not ready:
+                continue
+            if conn.is_injection:
+                conn.supply.popleft()
+            else:
+                self.vcs[conn.cin].popleft_checked(conn.pid)
+            single = len(conn.couts) == 1
+            for k in conn.couts:
+                vc = self.vcs[k]
+                if single:
+                    clone = flit  # popped: safe to move instead of copy
+                else:
+                    clone = SimFlit(
+                        pid=flit.pid,
+                        kind=flit.kind,
+                        seq=flit.seq,
+                        header=flit.header,
+                    )
+                vc.buffer.append(clone)
+                if flit.is_head:
+                    self._route_candidates.add(k)
+                used_links.add(k[0])
+                self.channel_busy[k[0]] = self.channel_busy.get(k[0], 0) + 1
+            self.flit_moves += 1
+            self._last_progress = self.cycle
+            if flit.is_tail:
+                for k in conn.couts:
+                    self.vcs[k].owner = None
+                if conn.cin is not None and self.vcs[conn.cin].buffer:
+                    self._route_candidates.add(conn.cin)
+                finished.append(conn_key)
+                if not conn.couts:  # drop connection swallowed the packet
+                    inf = self.in_flight.pop(conn.pid, None)
+                    if inf is not None:
+                        self.dropped.append(inf.packet)
+        for key in finished:
+            del self.connections[key]
+
+    def phase_inject(self) -> None:
+        due = self._scheduled.pop(self.cycle, None)
+        if due:
+            for p in due:
+                p.injected_at = self.cycle
+                self.send(p)
+        for gen in self.generators:
+            gen(self)
+        for coord in list(self._nonempty_sources):
+            queue = self.source_queues[coord]
+            if not queue:
+                self._nonempty_sources.discard(coord)
+                continue
+            inj = self.topo.injection_channel(coord)
+            key = (inj.cid, 0)
+            vc = self.vcs[key]
+            if vc.owner is not None:
+                continue
+            packet = queue.popleft()
+            if not queue:
+                self._nonempty_sources.discard(coord)
+            vc.owner = packet.pid
+            flits: Deque[SimFlit] = deque()
+            kinds = packet.flit_kinds()
+            for i, kind in enumerate(kinds):
+                flits.append(
+                    SimFlit(
+                        pid=packet.pid,
+                        kind=kind,
+                        seq=i,
+                        header=packet.header if i == 0 else None,
+                    )
+                )
+            conn = Connection(
+                pid=packet.pid,
+                element=("PE", coord),
+                cin=None,
+                couts=(key,),
+                supply=flits,
+                started_at=self.cycle,
+            )
+            self.connections[(("PE", coord), None)] = conn
+            self.in_flight[packet.pid] = InFlightPacket(
+                packet=packet,
+                expected_deliveries=self.expected_deliveries(packet),
+            )
+            self.injected += 1
+            self._last_progress = self.cycle
+            self.log(f"packet {packet.pid} injected at PE{coord}")
+
+    # -------------------------------------------------------------- driver
+    def step(self) -> None:
+        hooks = self.hooks
+        if hooks.cycle_start:
+            for fn in hooks.cycle_start:
+                fn(self)
+        if hooks.phase_end:
+            self.phase_eject()
+            for fn in hooks.phase_end:
+                fn(self, "eject")
+            self.phase_route()
+            for fn in hooks.phase_end:
+                fn(self, "route")
+            self.phase_grant()
+            for fn in hooks.phase_end:
+                fn(self, "grant")
+            self.phase_transfer()
+            for fn in hooks.phase_end:
+                fn(self, "transfer")
+            self.phase_inject()
+            for fn in hooks.phase_end:
+                fn(self, "inject")
+        else:
+            self.phase_eject()
+            self.phase_route()
+            self.phase_grant()
+            self.phase_transfer()
+            self.phase_inject()
+        self.cycle += 1
+
+    def pending_work(self) -> bool:
+        return bool(
+            self.in_flight
+            or self._scheduled
+            or any(self.source_queues.values())
+        )
+
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        until_drained: bool = True,
+        raise_on_deadlock: bool = False,
+    ) -> SimResult:
+        """Run until drained (or ``max_cycles``); returns the result.
+
+        Detects deadlock via the stall watchdog; with ``raise_on_deadlock``
+        a :class:`DeadlockError` carries the report, otherwise the result's
+        ``deadlock`` field does.
+        """
+        horizon = self.cycle + (max_cycles if max_cycles is not None else self.config.max_cycles)
+        while self.cycle < horizon:
+            if until_drained and not self.pending_work() and not self.generators:
+                break
+            self.step()
+            if (
+                self.in_flight
+                and self.cycle - self._last_progress > self.config.stall_limit
+            ):
+                if self.fabric_quiescent():
+                    # nothing is moving because nothing is left in the
+                    # fabric: an online reconfiguration orphaned these
+                    # packets' remaining deliveries.  Account them as lost.
+                    for pid in list(self.in_flight):
+                        self.log(f"packet {pid} orphaned by reconfiguration")
+                        self.kill_packet(pid)
+                    continue
+                self.deadlock = self.diagnose_deadlock()
+                for fn in self.hooks.deadlock:
+                    fn(self, self.deadlock)
+                if raise_on_deadlock:
+                    raise DeadlockError(self.deadlock)
+                break
+        return self.result()
+
+    def fabric_quiescent(self) -> bool:
+        """No connection, request or buffered flit anywhere."""
+        return (
+            not self.connections
+            and not self.pending
+            and not any(self.serial_queues.values())
+            and all(not vc.buffer for vc in self.vcs.values())
+        )
+
+    def result(self) -> SimResult:
+        return SimResult(
+            cycles=self.cycle,
+            delivered=list(self.delivered),
+            dropped=list(self.dropped),
+            deadlock=self.deadlock,
+            flit_moves=self.flit_moves,
+            injected=self.injected,
+            channel_busy=dict(self.channel_busy),
+            in_flight_at_end=len(self.in_flight),
+        )
+
+    # ------------------------------------------------------------ deadlock
+    def diagnose_deadlock(self) -> DeadlockReport:
+        waits: Dict[int, Tuple[ElementId, Tuple[Channel, ...], Tuple[int, ...]]] = {}
+        edges: Dict[int, Set[int]] = {}
+
+        def note(req: PendingRequest, missing: Sequence[VCKey], holders: Sequence[int]) -> None:
+            chans = tuple(self.vcs[k].channel for k in missing)
+            waits[req.pid] = (req.element, chans, tuple(holders))
+            edges.setdefault(req.pid, set()).update(holders)
+
+        for req in self.pending:
+            holders = []
+            missing = req.missing
+            for k in missing:
+                owner = self.vcs[k].owner
+                if owner is not None and owner != req.pid:
+                    holders.append(owner)
+            q = self.serial_queues.get(req.element)
+            if q:
+                holders.append(q[0].pid)
+            note(req, missing, holders)
+        for el, q in self.serial_queues.items():
+            for i, req in enumerate(q):
+                holders = []
+                for k in req.missing:
+                    owner = self.vcs[k].owner
+                    if owner is not None and owner != req.pid:
+                        holders.append(owner)
+                if i > 0:
+                    holders.append(q[0].pid)
+                note(req, req.missing, holders)
+        # connections stalled on a full downstream buffer whose head flit
+        # belongs to another packet (its undrained tail blocks our advance)
+        for conn in self.connections.values():
+            for k in conn.couts:
+                vc = self.vcs[k]
+                if vc.free_space > 0:
+                    continue
+                head = vc.head()
+                if head is not None and head.pid != conn.pid:
+                    edges.setdefault(conn.pid, set()).add(head.pid)
+                    el, chans, holders = waits.get(
+                        conn.pid, (conn.element, (), ())
+                    )
+                    waits[conn.pid] = (
+                        el,
+                        chans + (vc.channel,),
+                        holders + (head.pid,),
+                    )
+        cycle_pids = find_pid_cycle(edges)
+        return DeadlockReport(
+            cycle=self.cycle,
+            cycle_pids=tuple(cycle_pids),
+            waits=waits,
+            blocked_pids=tuple(sorted(self.in_flight)),
+        )
+
+
+def find_pid_cycle(edges: Dict[int, Set[int]]) -> List[int]:
+    """Any cycle in the packet wait-for graph (empty if none found)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {}
+    parent: Dict[int, int] = {}
+
+    for start in edges:
+        if color.get(start, WHITE) is not WHITE:
+            continue
+        stack = [(start, iter(sorted(edges.get(start, ()))))]
+        color[start] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                st = color.get(nxt, WHITE)
+                if st == GRAY:
+                    # nxt is an ancestor on the DFS stack: walk back to it
+                    path = [node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]
+                        path.append(cur)
+                    return list(reversed(path))
+                if st == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(sorted(edges.get(nxt, ())))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return []

@@ -1,22 +1,29 @@
 """Simulation observability: time-series sampling and event capture.
 
-:class:`SimMonitor` attaches to a :class:`~repro.sim.network.NetworkSimulator`
-as a per-cycle generator and samples occupancy counters (in-flight packets,
-buffered flits, blocked grant requests, active connections, source-queue
-depth).  The series expose congestion build-up, the serialization plateau of
-broadcast storms, and the tell-tale flatline of a deadlock.
+:class:`SimMonitor` subscribes to the engine's public hook bus
+(``hooks.on_cycle_start``) and samples occupancy counters (in-flight
+packets, buffered flits, blocked grant requests, active connections,
+source-queue depth) through the engine's public observability API.  The
+series expose congestion build-up, the serialization plateau of broadcast
+storms, and the tell-tale flatline of a deadlock.
 
 :class:`TextTrace` captures the simulator's event log (injections, grants,
-drops, completions) into a bounded buffer for post-mortem inspection.
+drops, completions) via the ``on_log`` hook into a bounded buffer for
+post-mortem inspection.
+
+Neither observer touches simulator internals: they are ordinary hook
+subscribers, exactly like user instrumentation would be.  (Before the
+engine/runtime split they attached as a pseudo-generator and poked private
+attributes; that path is gone.)
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
-from .network import NetworkSimulator
+from .engine import CycleEngine
 
 
 @dataclass
@@ -46,32 +53,35 @@ class SimMonitor:
         mon = SimMonitor(sim, interval=10)
         sim.run(...)
         print(mon.summary())
+
+    The monitor is a passive ``on_cycle_start`` subscriber: unlike the old
+    generator-based attachment it does not keep a drained simulation
+    running.
     """
 
-    def __init__(self, sim: NetworkSimulator, interval: int = 10) -> None:
+    def __init__(self, sim: CycleEngine, interval: int = 10) -> None:
         if interval < 1:
             raise ValueError("interval must be >= 1")
         self.sim = sim
         self.interval = interval
         self.samples: List[Sample] = []
-        sim.add_generator(self._on_cycle)
+        sim.hooks.on_cycle_start(self._on_cycle_start)
 
-    def _on_cycle(self, sim: NetworkSimulator) -> None:
-        if sim.cycle % self.interval:
+    def detach(self) -> None:
+        """Stop sampling."""
+        self.sim.hooks.unsubscribe(self._on_cycle_start)
+
+    def _on_cycle_start(self, engine: CycleEngine) -> None:
+        if engine.cycle % self.interval:
             return
-        buffered = sum(len(vc.buffer) for vc in sim._vcs.values())
-        queued = sum(len(q) for q in sim._source_queues.values())
-        blocked = len(sim._pending) + sum(
-            len(q) for q in sim._serial_queues.values()
-        )
         self.samples.append(
             Sample(
-                cycle=sim.cycle,
-                in_flight=len(sim._in_flight),
-                buffered_flits=buffered,
-                blocked_requests=blocked,
-                active_connections=len(sim._connections),
-                queued_packets=queued,
+                cycle=engine.cycle,
+                in_flight=len(engine.in_flight),
+                buffered_flits=engine.buffered_flits(),
+                blocked_requests=engine.blocked_requests(),
+                active_connections=len(engine.connections),
+                queued_packets=engine.queued_packets(),
             )
         )
 
@@ -110,15 +120,24 @@ class SimMonitor:
 class TextTrace:
     """Bounded capture of the simulator's event log.
 
-    Pass ``TextTrace(limit).hook`` as the simulator's ``trace`` argument::
+    Subscribe through the hook bus::
 
         trace = TextTrace(500)
-        sim = NetworkSimulator(adapter, config, trace=trace.hook)
+        trace.attach(sim)            # sim.hooks.on_log under the hood
+
+    (The legacy path -- passing ``TextTrace(limit).hook`` as the
+    simulator's ``trace`` argument -- still works and feeds the same
+    buffer, but new code should use :meth:`attach`.)
     """
 
     def __init__(self, limit: int = 1000) -> None:
         self.limit = limit
         self.events: Deque[Tuple[int, str]] = deque(maxlen=limit)
+
+    def attach(self, sim: CycleEngine) -> "TextTrace":
+        """Subscribe to ``sim``'s event log; returns self for chaining."""
+        sim.hooks.on_log(self.hook)
+        return self
 
     def hook(self, cycle: int, message: str) -> None:
         self.events.append((cycle, message))
@@ -132,7 +151,7 @@ class TextTrace:
 
 
 def channel_load_heatmap(
-    sim: NetworkSimulator, busy: Dict[int, int], cycles: int
+    sim: CycleEngine, busy: Dict[int, int], cycles: int
 ) -> str:
     """ASCII per-PE heat of adjacent channel utilization (2D networks).
 

@@ -1,258 +1,47 @@
-"""Cycle-driven flit-level network simulator.
+"""The user-facing simulator: a thin facade over the cycle engine.
 
-Executes any routed topology (via a :class:`~repro.sim.adapter.RoutingAdapter`)
-under cut-through switching with the resource model of
-:mod:`repro.sim.fabric`.  Each cycle runs five phases:
+The phase pipeline, fabric state and hook bus live in
+:mod:`repro.sim.engine` (the engine layer).  :class:`NetworkSimulator`
+specializes the engine with the MD-crossbar-specific machinery the
+experiments need -- today that is the *online fault event*
+(:meth:`NetworkSimulator.inject_fault`), which models a switch dying while
+the network is running and the facility reconfiguring around it.
 
-1. **eject** -- PEs drain their input buffers (a destination always sinks,
-   so ejection channels never deadlock by themselves);
-2. **route** -- header flits at buffer heads are routed by the adapter and
-   become pending grant requests;
-3. **grant** -- serialized (S-XB) requests are granted atomically in FIFO
-   order, reserving the whole crossbar; other requests reserve free output
-   ports progressively, in arrival order, and connect when complete;
-4. **transfer** -- every connection moves at most one flit, multicast
-   branches in lockstep, one flit per physical channel per cycle; a tail
-   flit releases the connection's output ports;
-5. **inject** -- queued packets at PEs take the injection channel when free.
-
-A watchdog declares deadlock when packets are in flight but nothing has
-moved for ``stall_limit`` cycles, then extracts the cyclic wait from the
-pending requests' wait-for graph -- reproducing the paper's Figs. 5 and 9
-dynamically.
+Everything observable is public: read ``sim.vcs``, ``sim.connections``,
+``sim.in_flight`` etc. or subscribe to ``sim.hooks``; nothing outside
+:mod:`repro.sim` should ever touch a ``_``-prefixed attribute of the
+simulator.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Set
 
-from ..core.coords import Coord
-from ..core.packet import FlitKind, Header, Packet, RC
-from ..topology.base import Channel, ElementId, ElementKind, element_kind
-from .adapter import RoutingAdapter, SimDecision
-from .config import SimConfig
-from .fabric import (
-    Connection,
-    InFlightPacket,
-    PendingRequest,
-    SimFlit,
-    VCKey,
-    VCState,
+from ..core.packet import RC
+from .engine import (  # noqa: F401  (re-exported for compatibility)
+    CycleEngine,
+    DeadlockError,
+    DeadlockReport,
+    HookBus,
+    PHASES,
+    ReconfigReport,
+    SimResult,
+    find_pid_cycle,
 )
 
-
-@dataclass
-class DeadlockReport:
-    """Diagnosis of a detected deadlock."""
-
-    cycle: int
-    #: packet ids forming the cyclic wait, in order
-    cycle_pids: Tuple[int, ...]
-    #: pid -> (element it is blocked at, channels it waits for, their holders)
-    waits: Dict[int, Tuple[ElementId, Tuple[Channel, ...], Tuple[int, ...]]]
-    #: every in-flight pid at detection time
-    blocked_pids: Tuple[int, ...]
-
-    def describe(self) -> str:
-        lines = [f"deadlock detected at cycle {self.cycle}; cyclic wait:"]
-        for pid in self.cycle_pids:
-            el, chans, holders = self.waits[pid]
-            chan_s = ", ".join(repr(c) for c in chans)
-            lines.append(
-                f"  packet {pid} blocked at {el} waiting for [{chan_s}] "
-                f"held by {sorted(set(holders))}"
-            )
-        return "\n".join(lines)
+#: legacy alias; prefer :func:`repro.sim.engine.find_pid_cycle`
+_find_pid_cycle = find_pid_cycle
 
 
-class DeadlockError(RuntimeError):
-    """Raised by :meth:`NetworkSimulator.run` when ``raise_on_deadlock``."""
+class NetworkSimulator(CycleEngine):
+    """Flit-level simulator over an adapter-routed topology.
 
-    def __init__(self, report: DeadlockReport) -> None:
-        super().__init__(report.describe())
-        self.report = report
-
-
-@dataclass
-class ReconfigReport:
-    """What an online fault event cost (see ``inject_fault``)."""
-
-    cycle: int
-    fault: object
-    lost_packets: List[Packet]
-    new_sxb_line: Tuple[int, ...]
-    new_order: Tuple[int, ...]
-
-    def describe(self) -> str:
-        return (
-            f"cycle {self.cycle}: {self.fault}; lost {len(self.lost_packets)} "
-            f"in-transit packets; facility reconfigured "
-            f"(order {self.new_order}, S-XB line {self.new_sxb_line})"
-        )
-
-
-@dataclass
-class SimResult:
-    """Outcome of a simulation run."""
-
-    cycles: int
-    delivered: List[Packet]
-    dropped: List[Packet]
-    deadlock: Optional[DeadlockReport]
-    flit_moves: int
-    injected: int
-    #: busy cycles per channel cid (a flit crossed the physical link)
-    channel_busy: Dict[int, int]
-    in_flight_at_end: int
-
-    @property
-    def deadlocked(self) -> bool:
-        return self.deadlock is not None
-
-    @property
-    def latencies(self) -> List[int]:
-        return [p.latency for p in self.delivered if p.latency is not None]
-
-    @property
-    def mean_latency(self) -> float:
-        lats = self.latencies
-        return sum(lats) / len(lats) if lats else float("nan")
-
-    def throughput_flits_per_cycle(self) -> float:
-        """Delivered payload flits per cycle (unicast deliveries only count
-        once; broadcast copies count per recipient)."""
-        if self.cycles == 0:
-            return 0.0
-        return self.flit_moves / self.cycles
-
-
-class NetworkSimulator:
-    """Flit-level simulator over an adapter-routed topology."""
-
-    def __init__(
-        self,
-        adapter: RoutingAdapter,
-        config: Optional[SimConfig] = None,
-        trace: Optional[Callable[[int, str], None]] = None,
-    ) -> None:
-        self.adapter = adapter
-        self.topo = adapter.topo
-        self.config = config or SimConfig()
-        if hasattr(adapter, "attach"):
-            adapter.attach(self)
-        self.trace = trace
-        self.cycle = 0
-        self._vcs: Dict[VCKey, VCState] = {}
-        for ch in self.topo.channels():
-            for v in range(self.config.num_vcs):
-                self._vcs[(ch.cid, v)] = VCState(
-                    channel=ch, vc=v, capacity=self.config.buffer_depth
-                )
-        # input VC keys per switch element, in deterministic order
-        self._inputs: Dict[ElementId, List[VCKey]] = {}
-        self._pe_inputs: List[Tuple[Coord, VCKey]] = []
-        for el in self.topo.elements():
-            kind = element_kind(el)
-            if kind is ElementKind.PE:
-                for ch in self.topo.channels_to(el):
-                    for v in range(self.config.num_vcs):
-                        self._pe_inputs.append((el[1], (ch.cid, v)))
-                continue
-            keys: List[VCKey] = []
-            for ch in self.topo.channels_to(el):
-                for v in range(self.config.num_vcs):
-                    keys.append((ch.cid, v))
-            self._inputs[el] = keys
-
-        self._connections: Dict[Tuple[ElementId, Optional[VCKey]], Connection] = {}
-        self._pending: List[PendingRequest] = []
-        self._pending_by_cin: Set[VCKey] = set()
-        #: input VC keys that may hold an unrouted header (performance:
-        #: the route phase scans this small set instead of every buffer)
-        self._route_candidates: Set[VCKey] = set()
-        #: element owning each switch-input key, precomputed
-        self._element_of_input: Dict[VCKey, ElementId] = {}
-        for el, keys in self._inputs.items():
-            for key in keys:
-                self._element_of_input[key] = el
-        self._serial_queues: Dict[ElementId, Deque[PendingRequest]] = {}
-        self._source_queues: Dict[Coord, Deque[Packet]] = {
-            c: deque() for c in self.topo.node_coords()
-        }
-        self._nonempty_sources: Set[Coord] = set()
-        self._scheduled: Dict[int, List[Packet]] = {}
-        self._generators: List[Callable[["NetworkSimulator"], None]] = []
-        self._in_flight: Dict[int, InFlightPacket] = {}
-        self._delivered: List[Packet] = []
-        self._dropped: List[Packet] = []
-        self._flit_moves = 0
-        self._injected = 0
-        self._channel_busy: Dict[int, int] = {}
-        self._last_progress = 0
-        self._deadlock: Optional[DeadlockReport] = None
-        self._delivery_listeners: List[Callable[[Packet, Coord, int], None]] = []
-        self._live_nodes = [
-            c
-            for c in self.topo.node_coords()
-            if not self._node_is_dead(c)
-        ]
-
-    # ------------------------------------------------------------- helpers
-    def _node_is_dead(self, coord: Coord) -> bool:
-        logic = getattr(self.adapter, "logic", None)
-        if logic is None:
-            return False
-        return logic.registry.router_is_faulty(coord)
-
-    @property
-    def live_nodes(self) -> Sequence[Coord]:
-        return tuple(self._live_nodes)
-
-    def _log(self, msg: str) -> None:
-        if self.trace is not None:
-            self.trace(self.cycle, msg)
-
-    # ------------------------------------------------------------ workload
-    def send(self, packet: Packet, at_cycle: Optional[int] = None) -> None:
-        """Queue a packet for injection at its source PE.
-
-        ``at_cycle`` defers queueing (used by the scripted figure
-        scenarios); by default the packet enters the source queue now.
-        """
-        if at_cycle is not None and at_cycle > self.cycle:
-            self._scheduled.setdefault(at_cycle, []).append(packet)
-            return
-        src = packet.source
-        if src not in self._source_queues:
-            raise ValueError(f"unknown source PE {src}")
-        if self._node_is_dead(src):
-            raise ValueError(f"source PE {src} is disconnected by the fault")
-        packet.injected_at = self.cycle if packet.injected_at is None else packet.injected_at
-        self._source_queues[src].append(packet)
-        self._nonempty_sources.add(src)
-
-    def add_generator(self, fn: Callable[["NetworkSimulator"], None]) -> None:
-        """Register a per-cycle traffic generator callback."""
-        self._generators.append(fn)
-
-    def add_delivery_listener(
-        self, fn: Callable[[Packet, Coord, int], None]
-    ) -> None:
-        """Register ``fn(packet, pe_coord, cycle)``, called whenever a tail
-        flit is ejected at a PE (once per recipient for broadcasts).  Used
-        by the software collectives, which react to message arrival the way
-        a PE's message handler would."""
-        self._delivery_listeners.append(fn)
-
-    def expected_deliveries(self, packet: Packet) -> int:
-        if packet.header.rc in (RC.BROADCAST_REQUEST, RC.BROADCAST):
-            return len(self._live_nodes)
-        return 1
+    All simulation mechanics are inherited from :class:`CycleEngine`; this
+    class adds the online-fault facility of the MD crossbar network.
+    """
 
     # -------------------------------------------------- online fault events
-    def inject_fault(self, fault) -> "ReconfigReport":
+    def inject_fault(self, fault) -> ReconfigReport:
         """A switch fails *while the network is running*.
 
         Models what the hardware facility's "information ... is set in
@@ -282,32 +71,32 @@ class NetworkSimulator:
             + list(self.topo.channels_to(dead_el))
         }
         victims: Set[int] = set()
-        for key, vc in self._vcs.items():
+        for key, vc in self.vcs.items():
             if key[0] in touching:
                 if vc.owner is not None:
                     victims.add(vc.owner)
                 victims.update(f.pid for f in vc.buffer)
-        for conn in self._connections.values():
+        for conn in self.connections.values():
             if conn.element == dead_el:
                 victims.add(conn.pid)
-        lost = [self._kill_packet(pid) for pid in sorted(victims)]
+        lost = [self.kill_packet(pid) for pid in sorted(victims)]
         self.adapter.logic = new_logic
         self._live_nodes = [
             c for c in self.topo.node_coords() if not self._node_is_dead(c)
         ]
         # rebase surviving broadcasts: a dead PE will never take delivery
         live = set(self._live_nodes)
-        for pid, inf in list(self._in_flight.items()):
+        for pid, inf in list(self.in_flight.items()):
             if inf.packet.header.rc in (RC.BROADCAST_REQUEST, RC.BROADCAST):
                 inf.expected_deliveries = len(inf.served) + len(
                     live - inf.served
                 )
                 if inf.done:
                     inf.packet.delivered_at = self.cycle
-                    self._delivered.append(inf.packet)
-                    del self._in_flight[pid]
+                    self.delivered.append(inf.packet)
+                    del self.in_flight[pid]
         self._last_progress = self.cycle
-        self._log(f"fault injected: {fault}; {len(lost)} packets lost")
+        self.log(f"fault injected: {fault}; {len(lost)} packets lost")
         return ReconfigReport(
             cycle=self.cycle,
             fault=fault,
@@ -315,467 +104,3 @@ class NetworkSimulator:
             new_sxb_line=new_cfg.sxb_line,
             new_order=new_cfg.order,
         )
-
-    def _kill_packet(self, pid: int) -> Optional[Packet]:
-        """Remove every trace of a packet from the fabric."""
-        for key in [k for k, c in self._connections.items() if c.pid == pid]:
-            conn = self._connections.pop(key)
-            for cout in conn.couts:
-                if self._vcs[cout].owner == pid:
-                    self._vcs[cout].owner = None
-        self._pending = [r for r in self._pending if r.pid != pid]
-        for q in self._serial_queues.values():
-            for r in list(q):
-                if r.pid == pid:
-                    q.remove(r)
-        for vc in self._vcs.values():
-            if vc.owner == pid:
-                vc.owner = None
-            if any(f.pid == pid for f in vc.buffer):
-                vc.buffer = type(vc.buffer)(
-                    f for f in vc.buffer if f.pid != pid
-                )
-        self._pending_by_cin = {
-            k
-            for k in self._pending_by_cin
-            if any(r.cin == k for r in self._pending)
-            or any(
-                r.cin == k for q in self._serial_queues.values() for r in q
-            )
-        }
-        inf = self._in_flight.pop(pid, None)
-        if inf is not None:
-            self._dropped.append(inf.packet)
-            return inf.packet
-        return None
-
-    # -------------------------------------------------------------- phases
-    def _phase_eject(self) -> None:
-        for coord, key in self._pe_inputs:
-            vc = self._vcs[key]
-            while vc.buffer:
-                flit = vc.buffer.popleft()
-                self._flit_moves += 1
-                self._last_progress = self.cycle
-                if flit.is_tail:
-                    inf = self._in_flight.get(flit.pid)
-                    if inf is not None:
-                        inf.deliveries += 1
-                        inf.served.add(coord)
-                        for listener in self._delivery_listeners:
-                            listener(inf.packet, coord, self.cycle)
-                        if inf.done:
-                            inf.packet.delivered_at = self.cycle
-                            self._delivered.append(inf.packet)
-                            del self._in_flight[flit.pid]
-                            self._log(f"packet {flit.pid} completed at PE{coord}")
-
-    def _phase_route(self) -> None:
-        done: List[VCKey] = []
-        for key in list(self._route_candidates):
-            el = self._element_of_input.get(key)
-            if el is None:  # a PE input: ejection handles it
-                done.append(key)
-                continue
-            vc = self._vcs[key]
-            head = vc.head()
-            if head is None:
-                done.append(key)
-                continue
-            if not head.is_head:
-                continue  # a header queued behind another packet's flits
-            if (el, key) in self._connections or key in self._pending_by_cin:
-                continue
-            if True:
-                assert head.header is not None
-                try:
-                    decision = self.adapter.decide(
-                        el, vc.channel.src, key[1], head.header
-                    )
-                except Exception as exc:
-                    from ..core.switch_logic import RoutingError
-
-                    if not isinstance(exc, RoutingError):
-                        raise
-                    # a packet caught mid-flight by an online facility
-                    # reconfiguration can land in a state the new rules do
-                    # not produce (e.g. RC=DETOUR at a crossbar that is no
-                    # longer the D-XB); cut-through hardware would lose it
-                    self._log(f"packet {head.pid} unroutable at {el}: {exc}")
-                    self._kill_packet(head.pid)
-                    continue
-                if decision.drop:
-                    conn = Connection(
-                        pid=head.pid,
-                        element=el,
-                        cin=key,
-                        couts=(),
-                        started_at=self.cycle,
-                    )
-                    self._connections[(el, key)] = conn
-                    inf = self._in_flight.get(head.pid)
-                    if inf is not None:
-                        inf.dropped = True
-                    self._log(f"packet {head.pid} dropped at {el}")
-                    done.append(key)
-                    continue
-                wanted = tuple(
-                    (self.topo.channel(el, out_el).cid, out_vc)
-                    for out_el, out_vc in decision.outputs
-                )
-                req = PendingRequest(
-                    pid=head.pid,
-                    element=el,
-                    cin=key,
-                    decision=decision,
-                    wanted=wanted,
-                    arrived_at=self.cycle,
-                )
-                self._pending_by_cin.add(key)
-                done.append(key)
-                if decision.serialize:
-                    self._serial_queues.setdefault(el, deque()).append(req)
-                else:
-                    self._pending.append(req)
-        for key in done:
-            self._route_candidates.discard(key)
-
-    def _phase_grant(self) -> None:
-        # serialized grants first: FIFO, atomic, reserving the whole switch
-        for el, queue in self._serial_queues.items():
-            if not queue:
-                continue
-            req = queue[0]
-            if all(self._vcs[k].owner is None for k in req.wanted):
-                queue.popleft()
-                self._establish(req)
-                self._log(
-                    f"S-XB {el} grants serialized multicast to packet {req.pid}"
-                )
-        # progressive reservations, oldest request first
-        blocked = {el for el, q in self._serial_queues.items() if q}
-        remaining: List[PendingRequest] = []
-        for req in self._pending:
-            if req.element in blocked:
-                remaining.append(req)
-                continue
-            if req.decision.policy == "any":
-                # adaptive grant: take the first free candidate this cycle
-                chosen = next(
-                    (k for k in req.wanted if self._vcs[k].owner is None),
-                    None,
-                )
-                if chosen is None:
-                    remaining.append(req)
-                    continue
-                self._vcs[chosen].owner = req.pid
-                req.wanted = (chosen,)
-                req.reserved.add(chosen)
-                self._establish(req, owners_set=True)
-                continue
-            for k in req.missing:
-                vc = self._vcs[k]
-                if vc.owner is None:
-                    vc.owner = req.pid
-                    req.reserved.add(k)
-            if req.complete:
-                self._establish(req, owners_set=True)
-            else:
-                remaining.append(req)
-        self._pending = remaining
-
-    def _establish(self, req: PendingRequest, owners_set: bool = False) -> None:
-        if not owners_set:
-            for k in req.wanted:
-                self._vcs[k].owner = req.pid
-        vc_in = self._vcs[req.cin]
-        head = vc_in.head()
-        assert head is not None and head.is_head and head.pid == req.pid
-        assert head.header is not None
-        # the switch rewrites the RC bit as the header passes
-        new_header = head.header.with_rc(req.decision.rc)
-        head.header = new_header
-        conn = Connection(
-            pid=req.pid,
-            element=req.element,
-            cin=req.cin,
-            couts=req.wanted,
-            started_at=self.cycle,
-        )
-        self._connections[(req.element, req.cin)] = conn
-        self._pending_by_cin.discard(req.cin)
-        self._last_progress = self.cycle
-
-    def _phase_transfer(self) -> None:
-        used_links: Set[int] = set()
-        finished: List[Tuple[ElementId, Optional[VCKey]]] = []
-        for conn_key, conn in self._connections.items():
-            if conn.is_injection:
-                assert conn.supply is not None
-                flit = conn.supply[0] if conn.supply else None
-            else:
-                assert conn.cin is not None
-                flit = self._vcs[conn.cin].head()
-                if flit is not None and flit.pid != conn.pid:
-                    flit = None  # next packet's flits queued behind our tail
-            if flit is None:
-                continue
-            # all branches must accept the flit this cycle (lockstep copy)
-            ready = True
-            for k in conn.couts:
-                vc = self._vcs[k]
-                if vc.free_space <= 0 or k[0] in used_links:
-                    ready = False
-                    break
-            if not ready:
-                continue
-            if conn.is_injection:
-                conn.supply.popleft()
-            else:
-                self._vcs[conn.cin].popleft_checked(conn.pid)
-            single = len(conn.couts) == 1
-            for k in conn.couts:
-                vc = self._vcs[k]
-                if single:
-                    clone = flit  # popped: safe to move instead of copy
-                else:
-                    clone = SimFlit(
-                        pid=flit.pid,
-                        kind=flit.kind,
-                        seq=flit.seq,
-                        header=flit.header,
-                    )
-                vc.buffer.append(clone)
-                if flit.is_head:
-                    self._route_candidates.add(k)
-                used_links.add(k[0])
-                self._channel_busy[k[0]] = self._channel_busy.get(k[0], 0) + 1
-            self._flit_moves += 1
-            self._last_progress = self.cycle
-            if flit.is_tail:
-                for k in conn.couts:
-                    self._vcs[k].owner = None
-                if conn.cin is not None and self._vcs[conn.cin].buffer:
-                    self._route_candidates.add(conn.cin)
-                finished.append(conn_key)
-                if not conn.couts:  # drop connection swallowed the packet
-                    inf = self._in_flight.pop(conn.pid, None)
-                    if inf is not None:
-                        self._dropped.append(inf.packet)
-        for key in finished:
-            del self._connections[key]
-
-    def _phase_inject(self) -> None:
-        due = self._scheduled.pop(self.cycle, None)
-        if due:
-            for p in due:
-                p.injected_at = self.cycle
-                self.send(p)
-        for gen in self._generators:
-            gen(self)
-        for coord in list(self._nonempty_sources):
-            queue = self._source_queues[coord]
-            if not queue:
-                self._nonempty_sources.discard(coord)
-                continue
-            inj = self.topo.injection_channel(coord)
-            key = (inj.cid, 0)
-            vc = self._vcs[key]
-            if vc.owner is not None:
-                continue
-            packet = queue.popleft()
-            if not queue:
-                self._nonempty_sources.discard(coord)
-            vc.owner = packet.pid
-            flits: Deque[SimFlit] = deque()
-            kinds = packet.flit_kinds()
-            for i, kind in enumerate(kinds):
-                flits.append(
-                    SimFlit(
-                        pid=packet.pid,
-                        kind=kind,
-                        seq=i,
-                        header=packet.header if i == 0 else None,
-                    )
-                )
-            conn = Connection(
-                pid=packet.pid,
-                element=("PE", coord),
-                cin=None,
-                couts=(key,),
-                supply=flits,
-                started_at=self.cycle,
-            )
-            self._connections[(("PE", coord), None)] = conn
-            self._in_flight[packet.pid] = InFlightPacket(
-                packet=packet,
-                expected_deliveries=self.expected_deliveries(packet),
-            )
-            self._injected += 1
-            self._last_progress = self.cycle
-            self._log(f"packet {packet.pid} injected at PE{coord}")
-
-    # -------------------------------------------------------------- driver
-    def step(self) -> None:
-        self._phase_eject()
-        self._phase_route()
-        self._phase_grant()
-        self._phase_transfer()
-        self._phase_inject()
-        self.cycle += 1
-
-    def pending_work(self) -> bool:
-        return bool(
-            self._in_flight
-            or self._scheduled
-            or any(self._source_queues.values())
-        )
-
-    def run(
-        self,
-        max_cycles: Optional[int] = None,
-        until_drained: bool = True,
-        raise_on_deadlock: bool = False,
-    ) -> SimResult:
-        """Run until drained (or ``max_cycles``); returns the result.
-
-        Detects deadlock via the stall watchdog; with ``raise_on_deadlock``
-        a :class:`DeadlockError` carries the report, otherwise the result's
-        ``deadlock`` field does.
-        """
-        horizon = self.cycle + (max_cycles if max_cycles is not None else self.config.max_cycles)
-        while self.cycle < horizon:
-            if until_drained and not self.pending_work() and not self._generators:
-                break
-            self.step()
-            if (
-                self._in_flight
-                and self.cycle - self._last_progress > self.config.stall_limit
-            ):
-                if self._fabric_quiescent():
-                    # nothing is moving because nothing is left in the
-                    # fabric: an online reconfiguration orphaned these
-                    # packets' remaining deliveries.  Account them as lost.
-                    for pid in list(self._in_flight):
-                        self._log(f"packet {pid} orphaned by reconfiguration")
-                        self._kill_packet(pid)
-                    continue
-                self._deadlock = self._diagnose_deadlock()
-                if raise_on_deadlock:
-                    raise DeadlockError(self._deadlock)
-                break
-        return self.result()
-
-    def _fabric_quiescent(self) -> bool:
-        """No connection, request or buffered flit anywhere."""
-        return (
-            not self._connections
-            and not self._pending
-            and not any(self._serial_queues.values())
-            and all(not vc.buffer for vc in self._vcs.values())
-        )
-
-    def result(self) -> SimResult:
-        return SimResult(
-            cycles=self.cycle,
-            delivered=list(self._delivered),
-            dropped=list(self._dropped),
-            deadlock=self._deadlock,
-            flit_moves=self._flit_moves,
-            injected=self._injected,
-            channel_busy=dict(self._channel_busy),
-            in_flight_at_end=len(self._in_flight),
-        )
-
-    # ------------------------------------------------------------ deadlock
-    def _diagnose_deadlock(self) -> DeadlockReport:
-        waits: Dict[int, Tuple[ElementId, Tuple[Channel, ...], Tuple[int, ...]]] = {}
-        edges: Dict[int, Set[int]] = {}
-
-        def note(req: PendingRequest, missing: Sequence[VCKey], holders: Sequence[int]) -> None:
-            chans = tuple(self._vcs[k].channel for k in missing)
-            waits[req.pid] = (req.element, chans, tuple(holders))
-            edges.setdefault(req.pid, set()).update(holders)
-
-        for req in self._pending:
-            holders = []
-            missing = req.missing
-            for k in missing:
-                owner = self._vcs[k].owner
-                if owner is not None and owner != req.pid:
-                    holders.append(owner)
-            q = self._serial_queues.get(req.element)
-            if q:
-                holders.append(q[0].pid)
-            note(req, missing, holders)
-        for el, q in self._serial_queues.items():
-            for i, req in enumerate(q):
-                holders = []
-                for k in req.missing:
-                    owner = self._vcs[k].owner
-                    if owner is not None and owner != req.pid:
-                        holders.append(owner)
-                if i > 0:
-                    holders.append(q[0].pid)
-                note(req, req.missing, holders)
-        # connections stalled on a full downstream buffer whose head flit
-        # belongs to another packet (its undrained tail blocks our advance)
-        for conn in self._connections.values():
-            for k in conn.couts:
-                vc = self._vcs[k]
-                if vc.free_space > 0:
-                    continue
-                head = vc.head()
-                if head is not None and head.pid != conn.pid:
-                    edges.setdefault(conn.pid, set()).add(head.pid)
-                    el, chans, holders = waits.get(
-                        conn.pid, (conn.element, (), ())
-                    )
-                    waits[conn.pid] = (
-                        el,
-                        chans + (vc.channel,),
-                        holders + (head.pid,),
-                    )
-        cycle_pids = _find_pid_cycle(edges)
-        return DeadlockReport(
-            cycle=self.cycle,
-            cycle_pids=tuple(cycle_pids),
-            waits=waits,
-            blocked_pids=tuple(sorted(self._in_flight)),
-        )
-
-
-def _find_pid_cycle(edges: Dict[int, Set[int]]) -> List[int]:
-    """Any cycle in the packet wait-for graph (empty if none found)."""
-    WHITE, GRAY, BLACK = 0, 1, 2
-    color: Dict[int, int] = {}
-    parent: Dict[int, int] = {}
-
-    for start in edges:
-        if color.get(start, WHITE) is not WHITE:
-            continue
-        stack = [(start, iter(sorted(edges.get(start, ()))))]
-        color[start] = GRAY
-        while stack:
-            node, it = stack[-1]
-            advanced = False
-            for nxt in it:
-                st = color.get(nxt, WHITE)
-                if st == GRAY:
-                    # nxt is an ancestor on the DFS stack: walk back to it
-                    path = [node]
-                    cur = node
-                    while cur != nxt:
-                        cur = parent[cur]
-                        path.append(cur)
-                    return list(reversed(path))
-                if st == WHITE:
-                    color[nxt] = GRAY
-                    parent[nxt] = node
-                    stack.append((nxt, iter(sorted(edges.get(nxt, ())))))
-                    advanced = True
-                    break
-            if not advanced:
-                color[node] = BLACK
-                stack.pop()
-    return []

@@ -28,6 +28,12 @@ class BernoulliInjector:
     ``load``).  Destinations come from ``pattern``.  Packets injected inside
     the measurement window are tagged for statistics; the generator stops
     offering traffic after ``stop_at`` so the network can drain.
+
+    ``seed`` is the experiment-level seed: sweeps and the runtime thread it
+    down from :class:`repro.runtime.spec.RunSpec`, so two runs are
+    identical exactly when their specs are, and multi-seed replicas draw
+    independent traffic.  The default exists for interactive use only --
+    any experiment should pass its own seed explicitly.
     """
 
     def __init__(
@@ -46,6 +52,7 @@ class BernoulliInjector:
         self.load = load
         self.packet_length = packet_length
         self.pattern = pattern
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.start_at = start_at
         self.stop_at = stop_at
@@ -89,7 +96,14 @@ class BernoulliInjector:
 
 class BroadcastInjector:
     """Inject hardware broadcasts from random sources at ``rate`` per cycle
-    (network-wide).  ``naive`` selects the RC used at injection."""
+    (network-wide).  ``naive`` selects the RC used at injection.
+
+    As with :class:`BernoulliInjector`, pass the experiment-level ``seed``
+    explicitly in any experiment (the default serves interactive use); mix
+    a constant in (e.g. ``seed + 1``) when running alongside a Bernoulli
+    generator so the two processes stay decorrelated under the same
+    experiment seed.
+    """
 
     def __init__(
         self,
@@ -103,6 +117,7 @@ class BroadcastInjector:
         self.rate = rate
         self.packet_length = packet_length
         self.rc = RC.BROADCAST if naive else RC.BROADCAST_REQUEST
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.start_at = start_at
         self.stop_at = stop_at

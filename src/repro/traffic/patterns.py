@@ -128,3 +128,16 @@ def get_pattern(name: str) -> Pattern:
         raise KeyError(
             f"unknown pattern {name!r}; choose from {sorted(PATTERNS)}"
         ) from None
+
+
+def pattern_name(pattern: Pattern) -> Optional[str]:
+    """Registry name of a pattern function, or None for ad-hoc callables
+    (closures from :func:`make_hotspot` / :func:`make_permutation`).  Named
+    patterns can cross process boundaries in a picklable
+    :class:`~repro.runtime.spec.RunSpec`; ad-hoc ones cannot."""
+    if isinstance(pattern, str):
+        return pattern if pattern in PATTERNS else None
+    for name, fn in PATTERNS.items():
+        if fn is pattern:
+            return name
+    return None

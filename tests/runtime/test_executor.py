@@ -1,0 +1,156 @@
+"""The runtime layer: picklable RunSpecs, serial/parallel executors with
+deterministic order-preserving merge, and the spec-family constructors."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core import Fault
+from repro.runtime import (
+    PointResult,
+    ProcessPoolExecutor,
+    RunSpec,
+    SerialExecutor,
+    execute_spec,
+    fault_placement_specs,
+    load_sweep_specs,
+    make_executor,
+    run_specs,
+    seed_replicas,
+)
+
+SHAPE = (3, 3)
+WINDOWS = dict(warmup=30, window=60, drain=600)
+FAST = dict(shape=SHAPE, **WINDOWS)
+
+
+def small_specs():
+    return load_sweep_specs("md-crossbar", SHAPE, [0.05, 0.15], **WINDOWS)
+
+
+class TestRunSpec:
+    def test_is_picklable_with_faults(self):
+        spec = RunSpec(faults=(Fault.router((1, 1)),), **FAST)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_to_dict_is_json_serializable(self):
+        spec = RunSpec(faults=(Fault.router((1, 1)),), label="demo", **FAST)
+        d = json.loads(json.dumps(spec.to_dict()))
+        assert d["shape"] == [3, 3]
+        assert d["label"] == "demo"
+        assert d["faults"] and isinstance(d["faults"][0], str)
+
+    def test_describe_mentions_the_essentials(self):
+        s = RunSpec(kind="mesh", shape=(4, 4), load=0.25, seed=9)
+        text = s.describe()
+        assert "mesh" in text and "4x4" in text
+        assert "load=0.25" in text and "seed=9" in text
+
+    def test_execute_runs_in_process(self):
+        res = RunSpec(load=0.05, **FAST).execute()
+        assert isinstance(res, PointResult)
+        assert res.point.offered_load == 0.05
+        assert not res.point.deadlocked
+        assert res.wall_time > 0
+        d = json.loads(json.dumps(res.to_dict()))
+        assert d["spec"]["load"] == 0.05
+        assert "mean" in d["latency"]
+
+
+class TestSpecConstructors:
+    def test_load_sweep_specs(self):
+        specs = small_specs()
+        assert [s.load for s in specs] == [0.05, 0.15]
+        assert all(s.shape == SHAPE and s.kind == "md-crossbar" for s in specs)
+
+    def test_seed_replicas_vary_only_the_seed(self):
+        specs = seed_replicas(small_specs(), seeds=[11, 12, 13])
+        assert len(specs) == 6
+        assert [s.seed for s in specs[:3]] == [11, 12, 13]
+        assert [s.replica for s in specs[:3]] == [0, 1, 2]
+        assert len({s.load for s in specs[:3]}) == 1
+
+    def test_fault_placement_specs_default_enumeration(self):
+        specs = fault_placement_specs("md-crossbar", SHAPE, 0.1)
+        assert len(specs) > 1
+        assert all(len(s.faults) == 1 for s in specs)
+        assert len(set(specs)) == len(specs)
+
+    def test_fault_placement_specs_explicit_faults(self):
+        faults = [Fault.router((0, 0)), Fault.router((2, 2))]
+        specs = fault_placement_specs("md-crossbar", SHAPE, 0.1, faults=faults)
+        assert [s.faults for s in specs] == [(faults[0],), (faults[1],)]
+
+
+class TestExecutors:
+    def test_make_executor_selection(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(0), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(2), ProcessPoolExecutor)
+
+    def test_serial_preserves_spec_order(self):
+        specs = small_specs()
+        results = SerialExecutor().run(specs)
+        assert [r.spec for r in results] == specs
+
+    def test_parallel_matches_serial_exactly(self):
+        """The acceptance criterion: a parallel sweep's merged results are
+        identical to a serial run of the same specs (same points, same
+        order)."""
+        specs = seed_replicas(small_specs(), seeds=[7, 8])
+        serial = SerialExecutor().run(specs)
+        parallel = ProcessPoolExecutor(jobs=2).run(specs)
+        assert [r.spec for r in parallel] == [r.spec for r in serial]
+        for s, p in zip(serial, parallel):
+            assert p.point == s.point
+
+    def test_parallel_single_spec_falls_back_to_serial(self):
+        results = ProcessPoolExecutor(jobs=4).run([RunSpec(load=0.05, **FAST)])
+        assert len(results) == 1 and not results[0].point.deadlocked
+
+    def test_run_specs_front_door(self):
+        specs = small_specs()
+        assert [r.spec for r in run_specs(specs)] == specs
+        assert [r.spec for r in run_specs(specs, jobs=2)] == specs
+
+    def test_seed_replicas_are_statistically_independent(self):
+        specs = seed_replicas(
+            [RunSpec(load=0.2, **FAST)], seeds=[101, 202, 303]
+        )
+        means = [r.point.latency.mean for r in run_specs(specs)]
+        assert len(set(means)) > 1, "replicas must not repeat the same traffic"
+
+    def test_same_spec_reproduces_identical_point(self):
+        spec = RunSpec(load=0.2, seed=42, **FAST)
+        assert spec.execute().point == spec.execute().point
+
+    def test_map_points_returns_bare_points(self):
+        points = SerialExecutor().map_points(small_specs())
+        assert [p.offered_load for p in points] == [0.05, 0.15]
+
+
+class TestSweepFrontEnd:
+    def test_sweep_accepts_pattern_names_and_jobs(self):
+        from repro.experiments.sweeps import sweep
+
+        serial = sweep("md-crossbar", SHAPE, [0.05, 0.15], pattern="uniform",
+                       warmup=30, window=60, drain=600)
+        fanned = sweep("md-crossbar", SHAPE, [0.05, 0.15], pattern="uniform",
+                       jobs=2, warmup=30, window=60, drain=600)
+        assert fanned == serial
+
+    def test_sweep_adhoc_pattern_requires_serial(self):
+        from repro.experiments.sweeps import sweep
+
+        def odd_pattern(src, shape, rng):
+            return (0, 0)
+
+        points = sweep("md-crossbar", SHAPE, [0.05], pattern=odd_pattern,
+                       warmup=30, window=60, drain=600)
+        assert len(points) == 1
+        with pytest.raises(ValueError):
+            sweep("md-crossbar", SHAPE, [0.05], pattern=odd_pattern, jobs=2,
+                  warmup=30, window=60, drain=600)

@@ -88,7 +88,7 @@ class TestBufferCredits:
         # step manually and check capacity every cycle
         while sim.pending_work() and sim.cycle < 10_000:
             sim.step()
-            for vc in sim._vcs.values():
+            for vc in sim.vcs.values():
                 assert len(vc.buffer) <= depth
 
     def test_blocked_packet_spans_channels_shallow(self, topo43):
@@ -103,7 +103,7 @@ class TestBufferCredits:
         sim.send(victim, at_cycle=2)
         for _ in range(20):
             sim.step()
-        held = sum(1 for vc in sim._vcs.values() if vc.owner == victim.pid)
+        held = sum(1 for vc in sim.vcs.values() if vc.owner == victim.pid)
         assert held >= 2
         res = sim.run()
         assert len(res.delivered) == 2

@@ -1,8 +1,10 @@
 """Unit tests for the ``python -m repro`` command-line tools."""
 
+import json
+
 import pytest
 
-from repro.cli import main, parse_coord, parse_fault, parse_shape
+from repro.cli import main, parse_coord, parse_fault, parse_loads, parse_shape
 
 
 class TestParsers:
@@ -33,6 +35,23 @@ class TestParsers:
 
         with pytest.raises(argparse.ArgumentTypeError):
             parse_fault("link:3")
+
+    def test_loads_comma_list(self):
+        assert parse_loads("0.05,0.1,0.2") == [0.05, 0.1, 0.2]
+
+    def test_loads_linear_range(self):
+        loads = parse_loads("0.1:0.4:4")
+        assert len(loads) == 4
+        assert loads[0] == pytest.approx(0.1) and loads[-1] == pytest.approx(0.4)
+        assert parse_loads("0.3:0.9:1") == [0.3]
+
+    def test_loads_bad(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_loads("0.1;0.2")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_loads("0.1:0.4:0")
 
 
 class TestCommands:
@@ -173,3 +192,52 @@ class TestExtendedCommands:
         t.save(path)
         rc = main(["replay", str(path), "--fault", "rtr:2,0"])
         assert rc == 0
+
+
+SWEEP_FAST = ["--shape", "3x3", "--warmup", "30", "--window", "60",
+              "--drain", "600"]
+
+
+class TestSweepCommand:
+    def test_sweep_table(self, capsys):
+        rc = main(["sweep", "--loads", "0.05,0.15", *SWEEP_FAST])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "md-crossbar 3x3" in out and "2 points" in out
+        assert out.count("load=0.") == 2
+
+    def test_sweep_json(self, capsys):
+        rc = main(["sweep", "--loads", "0.05:0.15:2", "--json", *SWEEP_FAST])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [d["spec"]["load"] for d in data] == [0.05, 0.15]
+        assert all(not d["deadlocked"] for d in data)
+        assert all("mean" in d["latency"] for d in data)
+
+    def test_sweep_jobs_matches_serial(self, capsys):
+        argv = ["sweep", "--loads", "0.05,0.15", "--json", *SWEEP_FAST]
+        assert main(argv) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        for s, p in zip(serial, parallel):
+            s.pop("wall_time"), p.pop("wall_time")
+        assert parallel == serial
+
+    def test_sweep_seed_replicas(self, capsys):
+        rc = main(["sweep", "--loads", "0.1", "--seeds", "3", "--json",
+                   *SWEEP_FAST])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [d["spec"]["seed"] for d in data] == [1, 2, 3]
+
+    def test_sweep_with_fault(self, capsys):
+        rc = main(["sweep", "--loads", "0.1", "--fault", "rtr:1,1",
+                   *SWEEP_FAST])
+        assert rc == 0
+
+    def test_sweep_other_kind(self, capsys):
+        rc = main(["sweep", "--kind", "mesh", "--loads", "0.1", *SWEEP_FAST])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mesh 3x3" in out
