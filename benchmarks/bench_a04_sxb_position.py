@@ -48,7 +48,7 @@ def test_a04_sxb_position(benchmark, report):
     ]
     for row, (lat, res) in out.items():
         lines.append(f"{row:<10} {lat:.2f}" + ("  [DEADLOCK]" if res.deadlocked else ""))
-    spread = max(l for l, _ in out.values()) - min(l for l, _ in out.values())
+    spread = max(v for v, _ in out.values()) - min(v for v, _ in out.values())
     lines.append(
         f"position shifts mean latency by {spread:.2f} cycles; safety is "
         "unaffected (verified below)"

@@ -14,20 +14,45 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from sweep_utils import JOBS, saturation_load, sweep  # noqa: E402
+from repro.obs import merge_metric_sets  # noqa: E402
+from sweep_utils import (  # noqa: E402
+    JOBS,
+    load_sweep_specs,
+    run_specs,
+    saturation_load,
+    sweep,
+)
 
 SHAPE = (8, 8)
 LOADS = [0.05, 0.10, 0.20, 0.30, 0.40]
 
 
 def run_all(shape, loads):
-    # REPRO_JOBS=N fans each curve's points out over worker processes
+    # REPRO_JOBS=N fans each curve's points out over worker processes;
+    # metrics=True rides the repro.obs collectors on every point
     return {
-        kind: sweep(
-            kind, shape, loads, jobs=JOBS, warmup=150, window=300, drain=3000
+        kind: run_specs(
+            load_sweep_specs(
+                kind, shape, loads,
+                warmup=150, window=300, drain=3000, metrics=True,
+            ),
+            jobs=JOBS,
         )
         for kind in ("md-crossbar", "mesh", "torus")
     }
+
+
+def curve_lines(kind, results):
+    points = [r.point for r in results]
+    merged = merge_metric_sets(r.metrics for r in results)
+    lines = [f"-- {kind}:"]
+    lines.extend("   " + p.row() for p in points)
+    lines.append(
+        f"   collectors: {merged['deliveries'].value} delivered over the "
+        f"curve, whole-run latency mean {merged['latency_cycles'].mean:.1f}, "
+        f"{merged['grants'].value} grants"
+    )
+    return lines
 
 
 def test_e08_uniform_load_latency_8x8(benchmark, report):
@@ -36,35 +61,48 @@ def test_e08_uniform_load_latency_8x8(benchmark, report):
         "E8 / Section 3.1: latency vs offered load, uniform traffic, "
         f"{SHAPE[0]}x{SHAPE[1]} (64 PEs)"
     ]
-    for kind, points in curves.items():
-        lines.append(f"-- {kind}:")
-        lines.extend("   " + p.row() for p in points)
-        lines.append(f"   saturation estimate: {saturation_load(points)}")
+    for kind, results in curves.items():
+        lines.extend(curve_lines(kind, results))
+        lines.append(
+            f"   saturation estimate: "
+            f"{saturation_load([r.point for r in results])}"
+        )
     report(*lines)
 
-    md, mesh, torus = (curves[k] for k in ("md-crossbar", "mesh", "torus"))
+    md, mesh, torus = (
+        [r.point for r in curves[k]] for k in ("md-crossbar", "mesh", "torus")
+    )
     for p_md, p_mesh, p_torus in zip(md, mesh, torus):
         if p_md.latency.count and p_mesh.latency.count:
             assert p_md.latency.mean < p_mesh.latency.mean
         if p_md.latency.count and p_torus.latency.count:
             assert p_md.latency.mean < p_torus.latency.mean
-    sat = {k: saturation_load(v) or 1.0 for k, v in curves.items()}
+    sat = {
+        k: saturation_load([r.point for r in v]) or 1.0
+        for k, v in curves.items()
+    }
     assert sat["md-crossbar"] >= sat["mesh"]
+    # the collectors see every delivery, measured window included
+    for results in curves.values():
+        merged = merge_metric_sets(r.metrics for r in results)
+        assert merged["deliveries"].value >= sum(
+            r.point.latency.count for r in results
+        )
 
 
 def test_e08_small_scale_crossover_4x4(benchmark, report):
     curves = benchmark.pedantic(
         run_all, args=((4, 4), [0.05, 0.40]), rounds=1, iterations=1
     )
-    md, mesh = curves["md-crossbar"], curves["mesh"]
+    md = [r.point for r in curves["md-crossbar"]]
+    mesh = [r.point for r in curves["mesh"]]
     lines = [
         "E8b: 4x4 scale check -- at 16 PEs the mesh's shorter pipelines win "
         "at low load; the MD crossbar's conflict advantage appears near "
         "saturation (the paper's claim is about large machines)",
     ]
-    for kind, points in curves.items():
-        lines.append(f"-- {kind}:")
-        lines.extend("   " + p.row() for p in points)
+    for kind, results in curves.items():
+        lines.extend(curve_lines(kind, results))
     report(*lines)
     # the conflict effect at high load still favours the MD crossbar
     assert md[-1].latency.mean < mesh[-1].latency.mean

@@ -15,18 +15,18 @@ SHAPE = (8, 8)
 LOAD = 0.2
 FAULTS = [None, Fault.router((4, 4)), Fault.router((0, 0)), Fault.crossbar(0, (3,))]
 POINT = dict(kind="md-crossbar", shape=SHAPE, load=LOAD,
-             warmup=150, window=300, drain=3000)
+             warmup=150, window=300, drain=3000, metrics=True)
 
 
 def test_e11_fault_overhead(benchmark, report):
-    # one picklable spec per fault placement; REPRO_JOBS=N fans them out
+    # one picklable spec per fault placement; REPRO_JOBS=N fans them out,
+    # each carrying its repro.obs collector metrics back with the result
     specs = [
         RunSpec(faults=(f,) if f else (), **POINT) for f in FAULTS
     ]
 
     def kernel():
-        points = [r.point for r in run_specs(specs, jobs=JOBS)]
-        return list(zip(FAULTS, points))
+        return list(zip(FAULTS, run_specs(specs, jobs=JOBS)))
 
     results = benchmark.pedantic(kernel, rounds=1, iterations=1)
     lines = [
@@ -34,21 +34,35 @@ def test_e11_fault_overhead(benchmark, report):
         f"{SHAPE[0]}x{SHAPE[1]}, with vs without a fault (safe scheme)"
     ]
     base = None
-    for fault, point in results:
+    base_grants = None
+    for fault, r in results:
         tag = "no fault" if fault is None else str(fault)
-        lines.append(f"{tag:<28} {point.row()}")
+        m = r.metrics
+        lines.append(
+            f"{tag:<28} {r.point.row()}  "
+            f"[{m['grants'].value} grants, "
+            f"whole-run mean {m['latency_cycles'].mean:.1f}]"
+        )
         if fault is None:
-            base = point
+            base = r.point
+            base_grants = m["grants"].value
     report(*lines)
     assert base is not None
-    for fault, point in results:
+    for fault, r in results:
+        point, m = r.point, r.metrics
         assert not point.deadlocked
+        # the watchdog never fired, so DeadlockWatch contributed nothing
+        assert "deadlocks" not in m
         # the network keeps operating: traffic still flows at the offered
         # rate (the faulted PE is excluded from offered traffic)
         assert point.accepted_load > 0.9 * LOAD * (63 / 64 if fault else 1.0)
         # overhead stays moderate: a single fault concentrates detours on
         # the S-XB but must not collapse the network at this load
         assert point.latency.mean < 12 * base.latency.mean
+        # detours cost extra switch traversals, never fewer: grant volume
+        # with a fault stays within a moderate band of the healthy run
+        assert m["deliveries"].value > 0
+        assert m["grants"].value < 4 * base_grants
 
 
 def test_e11_per_pair_detour_cost(benchmark, report):

@@ -24,12 +24,12 @@ SHAPE = (8, 8)
 def factories():
     topo = MDCrossbar(SHAPE)
     logic = SwitchLogic(topo, make_config(SHAPE))
-    det = lambda: NetworkSimulator(
-        MDCrossbarAdapter(logic), SimConfig(stall_limit=2000)
-    )
-    ada = lambda: NetworkSimulator(
-        AdaptiveMDAdapter(topo), SimConfig(num_vcs=2, stall_limit=2000)
-    )
+    def det():
+        return NetworkSimulator(MDCrossbarAdapter(logic), SimConfig(stall_limit=2000))
+
+    def ada():
+        return NetworkSimulator(AdaptiveMDAdapter(topo), SimConfig(num_vcs=2, stall_limit=2000))
+
     return det, ada
 
 

@@ -65,6 +65,7 @@ __all__ = [
     "scaling_series",
     "snake_order",
     "summarize_conflicts",
+    "verify_md_crossbar_distances",
     "MTTFEstimate",
     "ReliabilityComparison",
     "mttf_comparison",

@@ -15,7 +15,7 @@ verify that every phase routes with zero shared channels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.config import make_config
 from ..core.coords import Coord, all_coords, num_nodes

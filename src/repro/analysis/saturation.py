@@ -17,12 +17,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..baselines.dor import MeshAdapter, TorusAdapter
 from ..core.config import make_config
 from ..core.coords import all_coords, num_nodes
-from ..core.routes import Unicast, compute_route
 from ..core.switch_logic import SwitchLogic
 from ..topology.mdcrossbar import MDCrossbar
 from ..topology.mesh import Mesh
@@ -56,15 +55,21 @@ def channel_route_counts(name: str, shape) -> Tuple[Counter, Dict[int, object]]:
     if name == "md-crossbar":
         topo = MDCrossbar(shape)
         logic = SwitchLogic(topo, make_config(shape))
-        route = lambda s, t: _md_route_channels(topo, logic, s, t)
+
+        def route(s, t):
+            return _md_route_channels(topo, logic, s, t)
     elif name == "mesh":
         topo = Mesh(shape)
         adapter = MeshAdapter(topo)
-        route = lambda s, t: _baseline_route_channels(topo, adapter, s, t)
+
+        def route(s, t):
+            return _baseline_route_channels(topo, adapter, s, t)
     elif name == "torus":
         topo = Torus(shape)
         adapter = TorusAdapter(topo)
-        route = lambda s, t: _baseline_route_channels(topo, adapter, s, t)
+
+        def route(s, t):
+            return _baseline_route_channels(topo, adapter, s, t)
     else:
         raise ValueError(f"unknown topology {name!r}")
     for s in all_coords(shape):

@@ -7,6 +7,7 @@ Subcommands:
 * ``census``    -- single- or two-fault tolerance census
 * ``simulate``  -- run uniform traffic and print latency statistics
 * ``sweep``     -- latency-vs-load sweep over the runtime executors
+* ``trace``     -- capture a structured JSONL event trace of one run
 * ``figures``   -- replay the paper's Figs. 5/6/9/10 scenarios
 * ``machine``   -- describe an SR2201 configuration
 * ``kernels``   -- run application kernels across topologies
@@ -21,6 +22,8 @@ Examples::
     python -m repro census --shape 4x3 --pairs
     python -m repro simulate --shape 8x8 --load 0.3 --cycles 600
     python -m repro sweep --shape 8x8 --loads 0.05:0.4:8 --jobs 4 --json
+    python -m repro sweep --shape 4x3 --loads 0.1,0.3 --metrics
+    python -m repro trace --shape 4x3 --load 0.2 --cycles 100 --out run.jsonl
     python -m repro machine --config SR2201/2048
 """
 
@@ -237,6 +240,7 @@ def cmd_sweep(args) -> int:
             seed=args.seed,
             stall_limit=args.stall_limit,
             faults=tuple(args.fault or ()),
+            metrics=args.metrics,
         )
         for load in args.loads
     ]
@@ -254,7 +258,63 @@ def cmd_sweep(args) -> int:
         for r in results:
             seed_s = f" seed={r.spec.seed}" if args.seeds > 1 else ""
             print(f"  {r.point.row()}{seed_s}")
+        if args.metrics:
+            from .obs import merge_metric_sets
+
+            merged = merge_metric_sets(r.metrics for r in results)
+            print("merged metrics across all points:")
+            print("  " + merged.summary(top=5).replace("\n", "\n  "))
+            if "latency_cycles" in merged:
+                print("  latency histogram (cycles):")
+                print(
+                    "  " + merged["latency_cycles"].render().replace("\n", "\n  ")
+                )
     return 1 if any(r.point.deadlocked for r in results) else 0
+
+
+def cmd_trace(args) -> int:
+    import contextlib
+
+    from .obs import TraceRecorder
+    from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+    from .traffic import BernoulliInjector, get_pattern
+
+    topo, logic = _build(args)
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(logic), SimConfig(stall_limit=args.stall_limit)
+    )
+    events = (
+        tuple(args.event)
+        if args.event
+        else ("grant", "deliver", "deadlock", "log")
+    )
+    sink_cm = (
+        open(args.out, "w")
+        if args.out
+        else contextlib.nullcontext(sys.stdout)
+    )
+    with sink_cm as sink:
+        recorder = TraceRecorder(events=events, sink=sink).attach(sim)
+        gen = BernoulliInjector(
+            load=args.load,
+            packet_length=args.packet_length,
+            pattern=get_pattern(args.pattern),
+            seed=args.seed,
+            stop_at=args.cycles,
+        )
+        sim.add_generator(gen)
+        res = sim.run(max_cycles=args.cycles * 10, until_drained=False)
+    # keep stdout pure JSONL when tracing to it; the summary goes to stderr
+    print(
+        f"traced {sorted(recorder.events)} for {res.cycles} cycles: "
+        f"{len(res.delivered)} delivered"
+        + (f" -> {args.out}" if args.out else ""),
+        file=sys.stderr,
+    )
+    if res.deadlocked:
+        print(res.deadlock.describe(), file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_figures(args) -> int:
@@ -485,7 +545,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the sweep (default: serial)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable per-point results on stdout")
+    p.add_argument("--metrics", action="store_true",
+                   help="attach the repro.obs collectors to every point and "
+                        "report merged metrics")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "trace", help="capture a structured JSONL event trace of one run"
+    )
+    _add_common(p)
+    p.add_argument("--load", type=float, default=0.2)
+    p.add_argument("--pattern", default="uniform")
+    p.add_argument("--packet-length", type=int, default=4)
+    p.add_argument("--cycles", type=int, default=200)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--stall-limit", type=int, default=2000)
+    p.add_argument(
+        "--event", action="append",
+        choices=["grant", "deliver", "deadlock", "log", "phase"],
+        help="record kind to capture; repeatable "
+             "(default: grant, deliver, deadlock, log)",
+    )
+    p.add_argument("--out", help="JSONL output path (default: stdout)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("figures", help="replay the paper's figures")
     p.set_defaults(fn=cmd_figures)

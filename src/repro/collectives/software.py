@@ -18,7 +18,7 @@ packets, so they work in the naive broadcast mode and with faults.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.coords import Coord

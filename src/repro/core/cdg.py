@@ -57,7 +57,6 @@ from ..topology.base import Channel
 from ..topology.mdcrossbar import MDCrossbar
 from .config import BroadcastMode
 from .routes import (
-    Broadcast,
     RouteTree,
     Unicast,
     route_all_broadcasts,

@@ -30,7 +30,7 @@ R3. The deadlock-free scheme requires ``dxb_line == sxb_line``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from itertools import product
 from typing import Optional, Sequence, Tuple
 

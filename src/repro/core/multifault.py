@@ -28,13 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..topology.mdcrossbar import MDCrossbar
 from .cdg import analyze_deadlock_freedom
-from .config import (
-    BroadcastMode,
-    ConfigError,
-    DetourScheme,
-    RoutingConfig,
-    make_config,
-)
+from .config import ConfigError, DetourScheme, RoutingConfig, make_config
 from .coords import all_coords, all_lines
 from .fault import Fault, FaultKind
 from .routes import RouteLoopError, Unicast, compute_route

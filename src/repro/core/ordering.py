@@ -29,15 +29,14 @@ entirely different computation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Sequence, Set, Tuple
 
 import networkx as nx
 
 from ..topology.base import Channel
 from ..topology.mdcrossbar import MDCrossbar
 from .config import BroadcastMode
-from .packet import RC
-from .routes import RouteTree, route_all_broadcasts, route_all_unicasts
+from .routes import route_all_broadcasts, route_all_unicasts
 from .switch_logic import SwitchLogic
 
 

@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..topology.base import Channel, ElementId, element_kind, ElementKind
 from ..topology.mdcrossbar import MDCrossbar
-from .config import RoutingConfig
 from .coords import Coord
 from .packet import RC, Header
 from .switch_logic import RoutingError, SwitchLogic
@@ -135,7 +134,6 @@ def compute_route(
     configuration never produces) and propagates :class:`RoutingError` from
     the switch logic for invalid states.
     """
-    from ..topology.base import pe as pe_el
 
     header = flow.initial_header()
     if isinstance(flow, Unicast):

@@ -25,12 +25,10 @@ from typing import List, Optional, Tuple
 
 from ..topology.mdcrossbar import MDCrossbar
 from .cdg import analyze_deadlock_freedom
-from .config import RoutingConfig
 from .dimension_order import expected_normal_elements
 from .ordering import CertificateError, build_certificate
 from .packet import RC, Header, Packet
 from .routes import (
-    Broadcast,
     Unicast,
     compute_route,
     route_all_broadcasts,

@@ -46,10 +46,10 @@ Crossbar (XB of dimension ``k``), by RC bit:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..topology.base import ElementId, element_kind, ElementKind, pe, rtr, xb
+from ..topology.base import ElementId, element_kind, ElementKind, pe, rtr
 from ..topology.mdcrossbar import MDCrossbar
 from .config import BroadcastMode, RoutingConfig
 from .coords import Coord, point_on_line

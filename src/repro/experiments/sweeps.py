@@ -20,7 +20,7 @@ parameterizes the injector RNG at every point -- sweep with several seeds
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..baselines import make_baseline
 from ..core import SwitchLogic, make_config

@@ -1,0 +1,71 @@
+"""Observability: metrics, collectors and structured tracing.
+
+The metrics/tracing layer of the simulator.  Everything here subscribes
+to the engine's public hook bus (:class:`repro.sim.engine.HookBus`) and
+reads only public engine state -- attaching collectors never changes a
+simulation's outcome (an engine-parity test pins this), and an engine
+without subscribers pays nothing.
+
+Three pieces:
+
+* :mod:`repro.obs.metrics`    -- picklable, mergeable Counter / Gauge /
+  Histogram / LabeledCounter primitives and the :class:`MetricSet` bag;
+* :mod:`repro.obs.collectors` -- hook subscribers turning engine events
+  into metrics (latency, grants, per-phase work, channel utilization,
+  deadlocks); :func:`attach_standard_collectors` is the bundle
+  ``RunSpec(metrics=True)`` uses in worker processes;
+* :mod:`repro.obs.trace`      -- schema-versioned JSONL event tracing
+  (the ``repro trace`` CLI subcommand writes these).
+"""
+
+from .collectors import (
+    ChannelUtilization,
+    Collector,
+    CollectorSuite,
+    DeadlockWatch,
+    DeliveryCollector,
+    GrantCollector,
+    PhaseProfiler,
+    attach_standard_collectors,
+    element_label,
+)
+from .metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    MergeError,
+    MetricSet,
+    merge_metric_sets,
+)
+from .trace import (
+    EVENT_KINDS,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    read_trace,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledCounter",
+    "MergeError",
+    "MetricSet",
+    "merge_metric_sets",
+    "ChannelUtilization",
+    "Collector",
+    "CollectorSuite",
+    "DeadlockWatch",
+    "DeliveryCollector",
+    "GrantCollector",
+    "PhaseProfiler",
+    "attach_standard_collectors",
+    "element_label",
+    "EVENT_KINDS",
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "read_trace",
+]

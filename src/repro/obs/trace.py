@@ -1,0 +1,194 @@
+"""Structured, schema-versioned event tracing over the hook bus.
+
+:class:`TraceRecorder` subscribes to the engine's events and turns each
+into a plain dict record.  Records go to an optional JSONL ``sink``
+(one JSON object per line, written as events happen) and into a bounded
+in-memory buffer for post-mortem queries.  The first record of a sink is
+always the schema header, so a trace file is self-describing::
+
+    {"kind": "trace_header", "schema": 1, "shape": [4, 3], ...}
+    {"kind": "grant", "cycle": 2, "pid": 7, "element": "XB0(0,)", ...}
+    {"kind": "deliver", "cycle": 9, "pid": 7, "at": [3, 2], "latency": 9}
+    {"kind": "log", "cycle": 0, "message": "packet 7 injected at PE(0, 0)"}
+
+Record kinds and their extra fields (schema version 1):
+
+========== ==============================================================
+kind       fields
+========== ==============================================================
+``grant``    ``pid``, ``element``, ``input`` (input channel cid or
+             None for injections), ``outputs`` (list of [cid, vc] pairs)
+``deliver``  ``pid``, ``at`` (PE coordinate), ``latency`` (cycles since
+             injection, None if unknown)
+``deadlock`` ``cycle_pids`` (the cyclic wait), ``blocked`` (all in-flight
+             pids)
+``log``      ``message`` (the engine's event-log line)
+``phase``    ``phase`` (only when ``phases=True``; high volume)
+========== ==============================================================
+
+The old :class:`~repro.sim.monitor.TextTrace` rides on this recorder now:
+it is a log-only recorder plus the legacy ``(cycle, message)`` rendering.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, IO, List, Optional, Sequence, Tuple
+
+from ..sim.engine import CycleEngine, DeadlockReport
+from ..sim.fabric import Connection
+from ..topology.base import element_label
+
+#: bump when a record kind gains/loses/renames a field
+TRACE_SCHEMA_VERSION = 1
+
+#: every subscribable record kind
+EVENT_KINDS: Tuple[str, ...] = ("grant", "deliver", "deadlock", "log", "phase")
+
+
+class TraceRecorder:
+    """Capture engine events as structured records.
+
+    ``events`` picks the record kinds to subscribe (default: everything
+    except the high-volume ``phase`` records); ``sink`` is any writable
+    text file-like for JSONL output; ``limit`` bounds the in-memory
+    buffer (None keeps everything).
+    """
+
+    def __init__(
+        self,
+        events: Sequence[str] = ("grant", "deliver", "deadlock", "log"),
+        sink: Optional[IO[str]] = None,
+        limit: Optional[int] = 10_000,
+    ) -> None:
+        unknown = set(events) - set(EVENT_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown trace events {sorted(unknown)}; "
+                f"choose from {list(EVENT_KINDS)}"
+            )
+        self.events = tuple(events)
+        self.sink = sink
+        self.records: Deque[Dict] = deque(maxlen=limit)
+        self._engine: Optional[CycleEngine] = None
+
+    # -- lifecycle --------------------------------------------------------
+    def attach(self, engine: CycleEngine) -> "TraceRecorder":
+        self._engine = engine
+        if self.sink is not None:
+            self._write(self.header(engine))
+        hooks = engine.hooks
+        if "grant" in self.events:
+            hooks.on_grant(self._on_grant)
+        if "deliver" in self.events:
+            hooks.on_deliver(self._on_deliver)
+        if "deadlock" in self.events:
+            hooks.on_deadlock(self._on_deadlock)
+        if "log" in self.events:
+            hooks.on_log(self._on_log)
+        if "phase" in self.events:
+            hooks.on_phase_end(self._on_phase_end)
+        return self
+
+    def detach(self) -> None:
+        if self._engine is not None:
+            for fn in (
+                self._on_grant,
+                self._on_deliver,
+                self._on_deadlock,
+                self._on_log,
+                self._on_phase_end,
+            ):
+                self._engine.hooks.unsubscribe(fn)
+            self._engine = None
+
+    @staticmethod
+    def header(engine: CycleEngine) -> Dict:
+        return {
+            "kind": "trace_header",
+            "schema": TRACE_SCHEMA_VERSION,
+            "shape": list(engine.topo.shape),
+            "topology": type(engine.topo).__name__,
+            "start_cycle": engine.cycle,
+        }
+
+    # -- event handlers ---------------------------------------------------
+    def _emit(self, record: Dict) -> None:
+        self.records.append(record)
+        if self.sink is not None:
+            self._write(record)
+
+    def _write(self, record: Dict) -> None:
+        self.sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def _on_grant(self, engine: CycleEngine, conn: Connection) -> None:
+        self._emit(
+            {
+                "kind": "grant",
+                "cycle": engine.cycle,
+                "pid": conn.pid,
+                "element": element_label(conn.element),
+                "input": None if conn.cin is None else conn.cin[0],
+                "outputs": [[cid, vc] for cid, vc in conn.couts],
+            }
+        )
+
+    def _on_deliver(self, packet, coord, cycle) -> None:
+        self._emit(
+            {
+                "kind": "deliver",
+                "cycle": cycle,
+                "pid": packet.pid,
+                "at": list(coord),
+                "latency": None
+                if packet.injected_at is None
+                else cycle - packet.injected_at,
+            }
+        )
+
+    def _on_deadlock(self, engine: CycleEngine, report: DeadlockReport) -> None:
+        self._emit(
+            {
+                "kind": "deadlock",
+                "cycle": report.cycle,
+                "cycle_pids": list(report.cycle_pids),
+                "blocked": list(report.blocked_pids),
+            }
+        )
+
+    def _on_log(self, cycle: int, message: str) -> None:
+        self._emit({"kind": "log", "cycle": cycle, "message": message})
+
+    def _on_phase_end(self, engine: CycleEngine, phase: str) -> None:
+        self._emit({"kind": "phase", "cycle": engine.cycle, "phase": phase})
+
+    # -- queries ----------------------------------------------------------
+    def of_kind(self, kind: str) -> List[Dict]:
+        return [r for r in self.records if r["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def read_trace(lines) -> Tuple[Optional[Dict], List[Dict]]:
+    """Parse a JSONL trace: returns (header, records).  ``lines`` is any
+    iterable of strings (an open file, ``text.splitlines()``...).
+    Raises ``ValueError`` on a schema the reader does not know."""
+    header: Optional[Dict] = None
+    records: List[Dict] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        if rec.get("kind") == "trace_header":
+            if rec.get("schema") != TRACE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"trace schema {rec.get('schema')!r} is not "
+                    f"{TRACE_SCHEMA_VERSION} (this reader's version)"
+                )
+            header = rec
+        else:
+            records.append(rec)
+    return header, records

@@ -11,6 +11,7 @@ from .executor import (
     Executor,
     ProcessPoolExecutor,
     SerialExecutor,
+    SpecExecutionError,
     execute_spec,
     make_executor,
     run_specs,
@@ -29,6 +30,7 @@ __all__ = [
     "ProcessPoolExecutor",
     "RunSpec",
     "SerialExecutor",
+    "SpecExecutionError",
     "execute_spec",
     "fault_placement_specs",
     "load_sweep_specs",

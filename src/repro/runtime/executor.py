@@ -20,9 +20,26 @@ from __future__ import annotations
 
 import concurrent.futures as _futures
 import os
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .spec import PointResult, RunSpec
+
+
+class SpecExecutionError(RuntimeError):
+    """A worker failed while executing one spec.
+
+    Carries the failing :class:`RunSpec` (``.spec``) and the original
+    exception (``.__cause__``), so a 50-point sweep that dies on point 37
+    says *which* point and *why* instead of handing back a bare traceback
+    from an anonymous worker process -- or worse, partial results.
+    """
+
+    def __init__(self, spec: RunSpec, cause: BaseException) -> None:
+        super().__init__(
+            f"spec failed: {spec.describe()}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.spec = spec
 
 
 def execute_spec(spec: RunSpec) -> PointResult:
@@ -45,17 +62,27 @@ class SerialExecutor(Executor):
     """Run every spec in the current process, one after another."""
 
     def run(self, specs: Sequence[RunSpec]) -> List[PointResult]:
-        return [spec.execute() for spec in specs]
+        out: List[PointResult] = []
+        for spec in specs:
+            try:
+                out.append(spec.execute())
+            except Exception as exc:
+                raise SpecExecutionError(spec, exc) from exc
+        return out
 
 
 class ProcessPoolExecutor(Executor):
     """Run specs across ``jobs`` worker processes.
 
-    Results are gathered in submission order (``pool.map`` semantics), so
-    the merged list is deterministic and identical to
-    :class:`SerialExecutor`'s for the same specs.  Worker processes build
-    their simulators from scratch; only the picklable specs and the plain
-    dataclass results cross the process boundary.
+    Results are gathered in submission order, so the merged list is
+    deterministic and identical to :class:`SerialExecutor`'s for the same
+    specs.  Worker processes build their simulators from scratch; only the
+    picklable specs and the plain dataclass results cross the process
+    boundary.
+
+    A spec that raises in its worker fails the whole run with a
+    :class:`SpecExecutionError` naming the spec; outstanding points are
+    cancelled rather than left running toward a partial result.
     """
 
     def __init__(self, jobs: Optional[int] = None) -> None:
@@ -66,7 +93,16 @@ class ProcessPoolExecutor(Executor):
             return SerialExecutor().run(specs)
         workers = min(self.jobs, len(specs))
         with _futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_spec, specs))
+            futures = [pool.submit(execute_spec, spec) for spec in specs]
+            out: List[PointResult] = []
+            for spec, fut in zip(specs, futures):
+                try:
+                    out.append(fut.result())
+                except Exception as exc:
+                    for pending in futures:
+                        pending.cancel()
+                    raise SpecExecutionError(spec, exc) from exc
+            return out
 
 
 def make_executor(jobs: Optional[int] = None) -> Executor:

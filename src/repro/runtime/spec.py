@@ -21,11 +21,12 @@ Spec constructors for the standard experiment families:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.fault import Fault
-from ..sim.stats import LatencyStats, LoadPoint
+from ..obs.metrics import MetricSet
+from ..sim.stats import LoadPoint
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,9 @@ class RunSpec:
     #: replica index (bookkeeping for multi-seed runs)
     replica: int = 0
     label: str = ""
+    #: attach the standard :mod:`repro.obs` collectors; the gathered
+    #: MetricSet rides back on the PointResult (picklable + mergeable)
+    metrics: bool = False
 
     def describe(self) -> str:
         shape_s = "x".join(map(str, self.shape))
@@ -75,6 +79,7 @@ class RunSpec:
             "faults": [str(f) for f in self.faults],
             "replica": self.replica,
             "label": self.label,
+            "metrics": self.metrics,
         }
 
     def execute(self) -> "PointResult":
@@ -89,6 +94,15 @@ class RunSpec:
             stall_limit=self.stall_limit,
             faults=self.faults,
         )
+        suite = None
+        if self.metrics:
+            from ..obs.collectors import attach_standard_collectors
+
+            sim = make_sim()
+            suite = attach_standard_collectors(sim)
+
+            def make_sim(sim=sim):  # run_load_point calls it exactly once
+                return sim
         point = run_load_point(
             make_sim,
             self.load,
@@ -100,7 +114,10 @@ class RunSpec:
             seed=self.seed,
         )
         return PointResult(
-            spec=self, point=point, wall_time=time.perf_counter() - start
+            spec=self,
+            point=point,
+            wall_time=time.perf_counter() - start,
+            metrics=suite.metrics() if suite is not None else None,
         )
 
 
@@ -112,10 +129,13 @@ class PointResult:
     point: LoadPoint
     #: seconds the point took in its worker process
     wall_time: float
+    #: collector metrics, when the spec asked for them (picklable, so
+    #: they cross the process boundary with the result)
+    metrics: Optional[MetricSet] = None
 
     def to_dict(self) -> Dict:
         lat = self.point.latency
-        return {
+        out = {
             "spec": self.spec.to_dict(),
             "offered_load": self.point.offered_load,
             "accepted_load": self.point.accepted_load,
@@ -132,6 +152,9 @@ class PointResult:
             "cycles": self.point.cycles,
             "wall_time": self.wall_time,
         }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics.to_dict()
+        return out
 
 
 # --------------------------------------------------------- spec constructors

@@ -14,7 +14,7 @@ that:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence, Tuple
+from typing import Protocol, Tuple
 
 from ..core.packet import RC, Header
 from ..core.switch_logic import SwitchLogic

@@ -42,13 +42,13 @@ read it freely; only the engine writes it.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.coords import Coord
-from ..core.packet import FlitKind, Header, Packet, RC
+from ..core.packet import Packet, RC
 from ..topology.base import Channel, ElementId, ElementKind, element_kind
-from .adapter import RoutingAdapter, SimDecision
+from .adapter import RoutingAdapter
 from .config import SimConfig
 from .fabric import (
     Connection,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, Optional, Set, Tuple
 
 from ..core.packet import FlitKind, Header, Packet
 from ..topology.base import Channel, ElementId

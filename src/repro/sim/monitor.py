@@ -5,24 +5,27 @@
 packets, buffered flits, blocked grant requests, active connections,
 source-queue depth) through the engine's public observability API.  The
 series expose congestion build-up, the serialization plateau of broadcast
-storms, and the tell-tale flatline of a deadlock.
+storms, and the tell-tale flatline of a deadlock.  The peaks ride on
+:mod:`repro.obs` gauges, so :meth:`SimMonitor.metrics` drops straight into
+the mergeable metric pipeline.
 
-:class:`TextTrace` captures the simulator's event log (injections, grants,
-drops, completions) via the ``on_log`` hook into a bounded buffer for
-post-mortem inspection.
+:class:`TextTrace` renders the simulator's event log (injections, grants,
+drops, completions) the old ``(cycle, message)`` way; since the
+metrics/tracing subsystem landed it is a thin view over a log-only
+:class:`repro.obs.trace.TraceRecorder` rather than an ad-hoc buffer --
+structured capture belongs to :mod:`repro.obs.trace`.
 
 Neither observer touches simulator internals: they are ordinary hook
-subscribers, exactly like user instrumentation would be.  (Before the
-engine/runtime split they attached as a pseudo-generator and poked private
-attributes; that path is gone.)
+subscribers, exactly like user instrumentation would be.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import MetricSet
+from ..obs.trace import TraceRecorder
 from .engine import CycleEngine
 
 
@@ -53,11 +56,21 @@ class SimMonitor:
         mon = SimMonitor(sim, interval=10)
         sim.run(...)
         print(mon.summary())
+        point_metrics.merge(mon.metrics())   # optional: join the pipeline
 
     The monitor is a passive ``on_cycle_start`` subscriber: unlike the old
     generator-based attachment it does not keep a drained simulation
     running.
     """
+
+    #: gauge name per sampled quantity (the Sample field it mirrors)
+    GAUGES: Tuple[Tuple[str, str], ...] = (
+        ("monitor.in_flight", "in_flight"),
+        ("monitor.buffered_flits", "buffered_flits"),
+        ("monitor.blocked_requests", "blocked_requests"),
+        ("monitor.active_connections", "active_connections"),
+        ("monitor.queued_packets", "queued_packets"),
+    )
 
     def __init__(self, sim: CycleEngine, interval: int = 10) -> None:
         if interval < 1:
@@ -65,6 +78,7 @@ class SimMonitor:
         self.sim = sim
         self.interval = interval
         self.samples: List[Sample] = []
+        self._metrics = MetricSet()
         sim.hooks.on_cycle_start(self._on_cycle_start)
 
     def detach(self) -> None:
@@ -74,23 +88,35 @@ class SimMonitor:
     def _on_cycle_start(self, engine: CycleEngine) -> None:
         if engine.cycle % self.interval:
             return
-        self.samples.append(
-            Sample(
-                cycle=engine.cycle,
-                in_flight=len(engine.in_flight),
-                buffered_flits=engine.buffered_flits(),
-                blocked_requests=engine.blocked_requests(),
-                active_connections=len(engine.connections),
-                queued_packets=engine.queued_packets(),
-            )
+        sample = Sample(
+            cycle=engine.cycle,
+            in_flight=len(engine.in_flight),
+            buffered_flits=engine.buffered_flits(),
+            blocked_requests=engine.blocked_requests(),
+            active_connections=len(engine.connections),
+            queued_packets=engine.queued_packets(),
         )
+        self.samples.append(sample)
+        self._metrics.counter("monitor.samples").inc()
+        for gauge_name, field_name in self.GAUGES:
+            self._metrics.gauge(gauge_name).observe(
+                getattr(sample, field_name)
+            )
 
     # -- analysis ------------------------------------------------------------
+    def metrics(self) -> MetricSet:
+        """The sampled series as mergeable gauges (+ a sample counter)."""
+        return self._metrics
+
+    def _peak(self, gauge_name: str) -> int:
+        g = self._metrics.gauge(gauge_name)
+        return int(g.max) if g.max is not None else 0
+
     def peak_in_flight(self) -> int:
-        return max((s.in_flight for s in self.samples), default=0)
+        return self._peak("monitor.in_flight")
 
     def peak_buffered(self) -> int:
-        return max((s.buffered_flits for s in self.samples), default=0)
+        return self._peak("monitor.buffered_flits")
 
     def stalled_tail(self) -> int:
         """Number of trailing samples with blocked requests but no change
@@ -118,13 +144,15 @@ class SimMonitor:
 
 
 class TextTrace:
-    """Bounded capture of the simulator's event log.
+    """Bounded ``(cycle, message)`` view of the simulator's event log.
 
     Subscribe through the hook bus::
 
         trace = TextTrace(500)
         trace.attach(sim)            # sim.hooks.on_log under the hood
 
+    Internally this is a log-only :class:`repro.obs.trace.TraceRecorder`;
+    use that class directly for structured (JSONL, multi-event) capture.
     (The legacy path -- passing ``TextTrace(limit).hook`` as the
     simulator's ``trace`` argument -- still works and feeds the same
     buffer, but new code should use :meth:`attach`.)
@@ -132,21 +160,25 @@ class TextTrace:
 
     def __init__(self, limit: int = 1000) -> None:
         self.limit = limit
-        self.events: Deque[Tuple[int, str]] = deque(maxlen=limit)
+        self.recorder = TraceRecorder(events=("log",), limit=limit)
+
+    @property
+    def events(self) -> List[Tuple[int, str]]:
+        return [(r["cycle"], r["message"]) for r in self.recorder.records]
 
     def attach(self, sim: CycleEngine) -> "TextTrace":
         """Subscribe to ``sim``'s event log; returns self for chaining."""
-        sim.hooks.on_log(self.hook)
+        self.recorder.attach(sim)
         return self
 
     def hook(self, cycle: int, message: str) -> None:
-        self.events.append((cycle, message))
+        self.recorder._on_log(cycle, message)
 
     def matching(self, needle: str) -> List[Tuple[int, str]]:
         return [(c, m) for c, m in self.events if needle in m]
 
     def dump(self, last: int = 50) -> str:
-        items = list(self.events)[-last:]
+        items = self.events[-last:]
         return "\n".join(f"[{c:>6}] {m}" for c, m in items)
 
 
@@ -157,24 +189,12 @@ def channel_load_heatmap(
 
     Each cell shows the mean busy fraction of the channels touching that
     PE's router, 0-9 scaled; hotspots (e.g. the S-XB row under broadcast
-    load) stand out.
+    load) stand out.  Rendering lives in :mod:`repro.viz.heatmap`.
     """
-    topo = sim.topo
-    if len(topo.shape) != 2:
-        raise ValueError("heatmap renders 2D networks only")
-    nx_, ny = topo.shape
-    rows = []
-    for y in range(ny):
-        cells = []
-        for x in range(nx_):
-            rtr_el = ("RTR", (x, y))
-            cids = [c.cid for c in topo.channels_from(rtr_el)] + [
-                c.cid for c in topo.channels_to(rtr_el)
-            ]
-            if cycles <= 0 or not cids:
-                cells.append(".")
-                continue
-            frac = sum(busy.get(cid, 0) for cid in cids) / (len(cids) * cycles)
-            cells.append(str(min(9, int(frac * 10))))
-        rows.append(" ".join(cells))
-    return "\n".join(rows)
+    from ..viz.heatmap import render_router_heatmap
+
+    if cycles <= 0:
+        busy_fraction: Dict[int, float] = {}
+    else:
+        busy_fraction = {cid: n / cycles for cid, n in busy.items()}
+    return render_router_heatmap(sim.topo, busy_fraction)

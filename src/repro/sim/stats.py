@@ -14,13 +14,24 @@ from .network import NetworkSimulator, SimResult
 
 @dataclass
 class LatencyStats:
+    """Latency distribution summary over measured packets.
+
+    With no measured packets every distribution field -- including ``max``
+    and ``min`` -- is NaN.  The old sentinel (``max=0, min=0`` alongside
+    NaN means) looked like a real zero-latency observation to anything
+    aggregating across points (``min()`` over a sweep, plot axes,
+    regression baselines); NaN is unambiguous and propagates instead of
+    silently poisoning the aggregate.  Check ``count == 0`` (or
+    ``math.isnan``) before consuming the fields.
+    """
+
     count: int
     mean: float
     median: float
     p95: float
     p99: float
-    max: int
-    min: int
+    max: float
+    min: float
 
     @staticmethod
     def from_packets(packets: Sequence[Packet]) -> "LatencyStats":
@@ -29,21 +40,21 @@ class LatencyStats:
         )
         if lats.size == 0:
             nan = float("nan")
-            return LatencyStats(0, nan, nan, nan, nan, 0, 0)
+            return LatencyStats(0, nan, nan, nan, nan, nan, nan)
         return LatencyStats(
             count=int(lats.size),
             mean=float(lats.mean()),
             median=float(np.median(lats)),
             p95=float(np.percentile(lats, 95)),
             p99=float(np.percentile(lats, 99)),
-            max=int(lats.max()),
-            min=int(lats.min()),
+            max=float(lats.max()),
+            min=float(lats.min()),
         )
 
     def row(self) -> str:
         return (
             f"n={self.count:6d} mean={self.mean:8.2f} median={self.median:7.1f} "
-            f"p95={self.p95:8.1f} p99={self.p99:8.1f} max={self.max:6d}"
+            f"p95={self.p95:8.1f} p99={self.p99:8.1f} max={self.max:6.0f}"
         )
 
 

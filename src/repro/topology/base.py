@@ -67,10 +67,18 @@ class Channel:
         return f"Ch#{self.cid}({_fmt(self.src)}->{_fmt(self.dst)})"
 
 
-def _fmt(el: ElementId) -> str:
+def element_label(el: ElementId) -> str:
+    """Stable short label for an element: ``XB0(1,)``, ``RTR(2, 0)``.
+
+    Used wherever elements key human-readable series (channel-utilization
+    metrics, trace records, channel ``repr``)."""
     if el[0] == "XB":
         return f"XB{el[1]}{el[2]}"
     return f"{el[0]}{el[1]}"
+
+
+#: backwards-compatible private alias (prefer :func:`element_label`)
+_fmt = element_label
 
 
 class Topology:

@@ -8,7 +8,7 @@ low-dimension design.  Nodes are addressed by binary coordinate tuples.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Tuple
 
 from ..core.coords import Coord, all_coords, validate_coord
 from .base import ElementId, Topology, pe, rtr

@@ -23,9 +23,9 @@ Kernels:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
-from ..core.coords import Coord, all_coords, coord_from_index, lexicographic_index, num_nodes
+from ..core.coords import Coord, all_coords, num_nodes
 from ..core.packet import Header, Packet
 from ..sim.network import NetworkSimulator
 
@@ -195,13 +195,17 @@ def compare_topologies(
         if kind == "md-crossbar":
             topo = MDCrossbar(shape)
             logic = SwitchLogic(topo, make_config(shape))
-            factory = lambda logic=logic: NetworkSimulator(
-                MDCrossbarAdapter(logic), SimConfig(stall_limit=5000)
-            )
+
+            def factory(logic=logic):
+                return NetworkSimulator(
+                    MDCrossbarAdapter(logic), SimConfig(stall_limit=5000)
+                )
         else:
             topo, adapter, vcs = make_baseline(kind, shape)
-            factory = lambda adapter=adapter, vcs=vcs: NetworkSimulator(
-                adapter, SimConfig(num_vcs=vcs, stall_limit=5000)
-            )
+
+            def factory(adapter=adapter, vcs=vcs):
+                return NetworkSimulator(
+                    adapter, SimConfig(num_vcs=vcs, stall_limit=5000)
+                )
         out[kind] = workload.run(factory)
     return out

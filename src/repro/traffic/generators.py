@@ -10,7 +10,7 @@ timed list of packets, used by the per-figure experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -1,4 +1,4 @@
-"""Text rendering of networks, routes and figures."""
+"""Text rendering of networks, routes, figures and utilization heat."""
 
 from .ascii_grid import (
     render_grid,
@@ -7,6 +7,12 @@ from .ascii_grid import (
     render_route_grid,
     render_tree,
 )
+from .heatmap import (
+    heat_symbol,
+    render_heat_grid,
+    render_router_heatmap,
+    router_heat,
+)
 
 __all__ = [
     "render_grid",
@@ -14,4 +20,8 @@ __all__ = [
     "render_route",
     "render_route_grid",
     "render_tree",
+    "heat_symbol",
+    "render_heat_grid",
+    "render_router_heatmap",
+    "router_heat",
 ]

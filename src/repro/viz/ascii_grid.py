@@ -7,7 +7,7 @@ overlaid hop by hop.  Rendering is text-only so it works anywhere.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.coords import Coord
 from ..core.packet import RC

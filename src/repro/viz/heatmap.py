@@ -1,0 +1,81 @@
+"""ASCII heatmaps of per-channel utilization (the Fig. 5/6 contention
+pictures).
+
+:func:`render_heat_grid` renders any per-PE scalar field in [0, 1] as a
+digit grid (0-9, ``.`` for exactly zero); :func:`render_router_heatmap`
+derives that field from per-channel busy fractions by averaging the
+channels touching each PE's router.  Hotspots -- the S-XB row under
+broadcast storms, the D-XB detour concentration around a fault -- stand
+out as bands of high digits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..core.coords import Coord
+from ..topology.base import Topology
+
+
+def heat_symbol(value: float) -> str:
+    """One character for a [0, 1] heat value: ``.`` for zero, else 0-9."""
+    if value <= 0:
+        return "."
+    return str(min(9, int(value * 10)))
+
+
+def render_heat_grid(
+    shape: Sequence[int], values: Mapping[Coord, float]
+) -> str:
+    """Digit grid of a per-PE scalar field (2D shapes only).
+
+    Row ``y`` of the output is lattice row ``y``; missing coordinates
+    render as zero heat.
+    """
+    if len(shape) != 2:
+        raise ValueError("heat grids render 2D networks only")
+    nx, ny = shape
+    rows = []
+    for y in range(ny):
+        rows.append(
+            " ".join(heat_symbol(values.get((x, y), 0.0)) for x in range(nx))
+        )
+    return "\n".join(rows)
+
+
+def router_heat(
+    topo: Topology, busy_fraction: Mapping[int, float]
+) -> Dict[Coord, float]:
+    """Mean busy fraction of the channels touching each PE's router."""
+    heat: Dict[Coord, float] = {}
+    for coord in topo.node_coords():
+        rtr_el = ("RTR", coord)
+        cids = [c.cid for c in topo.channels_from(rtr_el)] + [
+            c.cid for c in topo.channels_to(rtr_el)
+        ]
+        if not cids:
+            heat[coord] = 0.0
+            continue
+        heat[coord] = sum(busy_fraction.get(cid, 0.0) for cid in cids) / len(
+            cids
+        )
+    return heat
+
+
+def render_router_heatmap(
+    topo: Topology, busy_fraction: Mapping[int, float]
+) -> str:
+    """Per-router utilization heatmap for a 2D network."""
+    return render_heat_grid(topo.shape, router_heat(topo, busy_fraction))
+
+
+def render_histogram_bars(
+    labels: Sequence[str], counts: Sequence[int], width: int = 40
+) -> Tuple[str, ...]:
+    """Shared bar renderer for label/count rows (used by reports)."""
+    peak = max(counts) if counts else 0
+    peak = peak or 1
+    return tuple(
+        f"{label:>10} {count:>8} {'#' * round(width * count / peak)}"
+        for label, count in zip(labels, counts)
+    )

@@ -7,7 +7,6 @@ from repro.analysis import (
     estimate_saturation,
     saturation_comparison,
 )
-from repro.core.coords import num_nodes
 
 
 class TestRouteCounts:

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Fault, FaultRegistry, SwitchLogic, make_config
+from repro.core import Fault, SwitchLogic, make_config
 from repro.core.config import BroadcastMode, DetourScheme
 from repro.topology import MDCrossbar
 

@@ -2,16 +2,14 @@
 
 import pytest
 
-from repro.core import Fault, FaultRegistry, make_config, SwitchLogic
-from repro.core.config import ConfigError, DetourScheme
+from repro.core import Fault, FaultRegistry, make_config
+from repro.core.config import ConfigError
 from repro.core.multifault import (
-    CensusSummary,
-    ToleranceReport,
     all_single_faults,
     analyze_fault_set,
     fault_pair_census,
 )
-from repro.topology import MDCrossbar, rtr, xb
+from repro.topology import rtr, xb
 
 
 class TestMultiFaultRegistry:

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core import Fault, make_config, SwitchLogic
-from repro.core.config import BroadcastMode, DetourScheme
+from repro.core import Fault
 from repro.core.ordering import (
     CertificateError,
     OrderingCertificate,

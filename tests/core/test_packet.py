@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.packet import RC, Flit, FlitKind, Header, Packet, make_flits
+from repro.core.packet import RC, FlitKind, Header, Packet, make_flits
 
 
 class TestRC:

@@ -8,7 +8,6 @@ from repro.core import (
     RC,
     Unicast,
     compute_route,
-    make_config,
     route_all_broadcasts,
     route_all_unicasts,
 )
@@ -19,7 +18,6 @@ from repro.core.dimension_order import (
 )
 from repro.core.routes import RouteLoopError
 from repro.core.switch_logic import UnreachableDestinationError
-from repro.topology import MDCrossbar
 from tests.conftest import make_logic
 
 
@@ -147,7 +145,6 @@ class TestBroadcastRoutes:
         """Paper: 'the broadcast routing becomes Y-X-Y routing'."""
         t = compute_route(topo43, logic43, Broadcast((2, 2)))
         path = t.elements_to((3, 1))
-        kinds = [el[0] for el in path]
         xbs = [el for el in path if el[0] == "XB"]
         assert [x[1] for x in xbs] == [1, 0, 1]  # Y then X (S-XB) then Y
 

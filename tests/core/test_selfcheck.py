@@ -1,9 +1,7 @@
 """Unit tests for the cross-layer consistency audit."""
 
-import pytest
 
 from repro.core import Fault
-from repro.core.config import BroadcastMode, DetourScheme
 from repro.core.selfcheck import self_check
 from tests.conftest import make_logic
 

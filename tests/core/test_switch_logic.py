@@ -3,9 +3,8 @@
 import pytest
 
 from repro.core import Fault, RC, Header, SwitchLogic, make_config
-from repro.core.config import BroadcastMode, DetourScheme
 from repro.core.switch_logic import RoutingError, UnreachableDestinationError
-from repro.topology import MDCrossbar, pe, rtr, xb
+from repro.topology import pe, rtr, xb
 from tests.conftest import make_logic
 
 
@@ -216,7 +215,6 @@ class TestNaiveBroadcast:
 
 class TestDetourLeg:
     def test_detour_router_heads_to_yxb(self, logic43_faulty_rtr):
-        cfg = logic43_faulty_rtr.config
         # deflected packet at the detour router continues toward the D-XB
         d = logic43_faulty_rtr.decide(
             rtr((1, 0)), xb(0, (0,)), hdr((0, 0), (2, 2), RC.DETOUR)

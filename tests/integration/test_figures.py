@@ -5,7 +5,6 @@ suite (benchmarks/bench_e0*.py) times the same scenarios and prints the
 reported rows.
 """
 
-import pytest
 
 from repro.core import (
     Broadcast,
@@ -20,7 +19,6 @@ from repro.core import (
 from repro.core.config import BroadcastMode, DetourScheme
 from repro.core.dimension_order import expected_normal_elements
 from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
-from repro.topology import MDCrossbar
 from tests.conftest import make_logic
 
 
@@ -57,7 +55,7 @@ class TestFig3Fig4PacketFormat:
     def test_address_effective_only_when_normal(self, topo43, logic43):
         # a broadcast-request packet routes to the S-XB regardless of the
         # receiving address field
-        from repro.topology import pe, rtr, xb
+        from repro.topology import pe, rtr
 
         h_a = Header(source=(1, 2), dest=(3, 1), rc=RC.BROADCAST_REQUEST)
         h_b = Header(source=(1, 2), dest=(0, 0), rc=RC.BROADCAST_REQUEST)

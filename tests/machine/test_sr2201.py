@@ -1,6 +1,5 @@
 """Unit tests for the SR2201 machine model."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,161 @@
+"""Collector tests: metrics are a pure read of the simulation (attaching
+them changes no outcome), they agree with the engine's own public
+counters, and the suite detaches cleanly."""
+
+from repro.core import Header, Packet, RC
+from repro.core.config import BroadcastMode
+from repro.obs import (
+    ChannelUtilization,
+    CollectorSuite,
+    DeadlockWatch,
+    DeliveryCollector,
+    GrantCollector,
+    PhaseProfiler,
+    attach_standard_collectors,
+)
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.traffic import BernoulliInjector
+from tests.conftest import make_logic
+
+
+def make_sim(topo, **kw):
+    return NetworkSimulator(
+        MDCrossbarAdapter(make_logic(topo, **kw)), SimConfig(stall_limit=500)
+    )
+
+
+def loaded_run(topo, suite_first=None):
+    sim = make_sim(topo)
+    suite = suite_first(sim) if suite_first else None
+    sim.add_generator(BernoulliInjector(load=0.2, seed=3, stop_at=80))
+    res = sim.run(max_cycles=800, until_drained=False)
+    return sim, res, suite
+
+
+class TestEngineParity:
+    def test_attached_but_idle_collectors_change_nothing(self, topo43):
+        """Acceptance criterion: the fingerprint of a run with the full
+        collector suite attached equals the bare run's."""
+        _, bare, _ = loaded_run(topo43)
+        _, observed, suite = loaded_run(topo43, CollectorSuite)
+        assert observed.fingerprint() == bare.fingerprint()
+        assert suite.metrics()["deliveries"].value == len(observed.delivered)
+
+    def test_unattached_engine_has_empty_hook_lists(self, topo43):
+        """The zero-cost guarantee rests on empty subscription lists."""
+        sim = make_sim(topo43)
+        hooks = sim.hooks
+        assert all(not getattr(hooks, n) for n in hooks.__slots__)
+        suite = CollectorSuite(sim)
+        assert any(getattr(hooks, n) for n in hooks.__slots__)
+        suite.detach()
+        assert all(not getattr(hooks, n) for n in hooks.__slots__)
+
+
+class TestAgainstEngineCounters:
+    def test_delivery_and_grant_counts(self, topo43):
+        sim, res, suite = loaded_run(topo43, CollectorSuite)
+        m = suite.metrics()
+        assert m["deliveries"].value == len(res.delivered)
+        assert m["latency_cycles"].count == len(res.delivered)
+        assert m["grants"].value > 0
+        assert m["grants_by_element"].total() == m["grants"].value
+
+    def test_phase_profile_sums_to_engine_totals(self, topo43):
+        sim, res, suite = loaded_run(topo43, CollectorSuite)
+        m = suite.metrics()
+        assert m["cycles"].value == res.cycles
+        moved = (
+            m["phase.transfer.flit_moves"].value
+            + m["phase.eject.ejected_flits"].value
+        )
+        assert moved == sim.flit_moves
+        assert m["phase.inject.packets_injected"].value == sim.injected
+        assert m["phase.eject.completed_packets"].value == len(res.delivered)
+
+    def test_channel_busy_agrees_with_engine(self, topo43):
+        sim, res, suite = loaded_run(topo43, CollectorSuite)
+        m = suite.metrics()
+        assert m["chan.busy_cycles"].total() == sum(
+            sim.channel_busy.values()
+        )
+        # held cycles are keyed down to the VC; busy cycles per port
+        assert m["chan.held_cycles"].total() > 0
+        assert all(":vc" in k for k in m["chan.held_cycles"].values)
+        assert all(":vc" not in k for k in m["chan.busy_cycles"].values)
+
+    def test_heatmap_renders_grid(self, topo43):
+        _, _, suite = loaded_run(topo43, CollectorSuite)
+        rows = suite.find(ChannelUtilization).heatmap().splitlines()
+        assert len(rows) == 3
+        assert all(len(r.split()) == 4 for r in rows)
+
+
+class TestEventCollectors:
+    def test_multicast_grants_on_broadcast(self, topo43):
+        sim = make_sim(topo43)
+        suite = CollectorSuite(sim)
+        sim.send(
+            Packet(
+                Header(source=(1, 1), dest=(1, 1), rc=RC.BROADCAST_REQUEST),
+                length=4,
+            )
+        )
+        sim.run()
+        m = suite.metrics()
+        assert m["grants_multicast"].value > 0
+
+    def test_deadlock_watch_fires_once(self, topo43):
+        sim = make_sim(topo43, broadcast_mode=BroadcastMode.NAIVE)
+        suite = CollectorSuite(sim)
+        for src in [(2, 1), (3, 2)]:
+            sim.send(
+                Packet(Header(source=src, dest=src, rc=RC.BROADCAST), length=6)
+            )
+        res = sim.run(max_cycles=2000)
+        assert res.deadlocked
+        m = suite.metrics()
+        assert m["deadlocks"].value == 1
+        assert m["deadlock_cycle"].last == res.deadlock.cycle
+        assert m["deadlock_blocked_packets"].value >= 2
+
+    def test_quiet_run_contributes_no_deadlock_metrics(self, topo43):
+        _, res, suite = loaded_run(topo43, CollectorSuite)
+        assert not res.deadlocked
+        assert "deadlocks" not in suite.metrics()
+
+
+class TestSuitePlumbing:
+    def test_find_locates_each_standard_collector(self, topo43):
+        suite = attach_standard_collectors(make_sim(topo43))
+        for cls in (
+            DeliveryCollector,
+            GrantCollector,
+            PhaseProfiler,
+            ChannelUtilization,
+            DeadlockWatch,
+        ):
+            assert isinstance(suite.find(cls), cls)
+
+    def test_detach_freezes_the_metrics(self, topo43):
+        sim = make_sim(topo43)
+        suite = CollectorSuite(sim)
+        sim.send(Packet(Header(source=(0, 0), dest=(3, 2)), length=4))
+        sim.run()
+        before = suite.metrics().to_dict()
+        suite.detach()
+        sim.send(Packet(Header(source=(0, 0), dest=(3, 2)), length=4))
+        sim.run()
+        assert suite.metrics().to_dict() == before
+
+    def test_metrics_merge_across_two_runs(self, topo43):
+        suites = []
+        for _ in range(2):
+            sim = make_sim(topo43)
+            suites.append(CollectorSuite(sim))
+            sim.send(Packet(Header(source=(0, 0), dest=(3, 2)), length=4))
+            sim.run()
+        from repro.obs import merge_metric_sets
+
+        merged = merge_metric_sets(s.metrics() for s in suites)
+        assert merged["deliveries"].value == 2

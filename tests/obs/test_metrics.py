@@ -1,0 +1,190 @@
+"""Unit tests for the metric primitives: counters, gauges, histograms,
+and the mergeable, picklable :class:`MetricSet`."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    MergeError,
+    MetricSet,
+    merge_metric_sets,
+)
+
+
+class TestCounter:
+    def test_inc_and_merge(self):
+        a, b = Counter("n"), Counter("n")
+        a.inc()
+        a.inc(4)
+        b.inc(2)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+        with pytest.raises(ValueError):
+            LabeledCounter("n").inc("a", -1)
+
+
+class TestLabeledCounter:
+    def test_per_label_accumulation(self):
+        c = LabeledCounter("c")
+        c.inc("a")
+        c.inc("b", 3)
+        c.inc("a", 2)
+        assert c.values == {"a": 3, "b": 3}
+        assert c.total() == 6
+
+    def test_top_sorts_by_count_then_label(self):
+        c = LabeledCounter("c")
+        c.inc("x", 2)
+        c.inc("y", 5)
+        c.inc("a", 2)
+        assert c.top(2) == [("y", 5), ("a", 2)]
+
+    def test_merge_adds_per_label(self):
+        a, b = LabeledCounter("c"), LabeledCounter("c")
+        a.inc("only-a")
+        b.inc("only-b", 2)
+        b.inc("only-a", 1)
+        a.merge(b)
+        assert a.values == {"only-a": 2, "only-b": 2}
+
+
+class TestGauge:
+    def test_unobserved_is_none_not_zero(self):
+        g = Gauge("g")
+        assert g.last is None and g.min is None and g.max is None
+
+    def test_observations_track_extremes(self):
+        g = Gauge("g")
+        for v in (3, 9, 1):
+            g.observe(v)
+        assert (g.last, g.min, g.max) == (1, 1, 9)
+
+    def test_merge_combines_extremes_keeps_right_last(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.observe(5)
+        b.observe(2)
+        b.observe(8)
+        a.merge(b)
+        assert (a.last, a.min, a.max) == (8, 2, 8)
+        # merging an unobserved gauge changes nothing
+        a.merge(Gauge("g"))
+        assert (a.last, a.min, a.max) == (8, 2, 8)
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        h = Histogram("h", bounds=(10, 20))
+        for v in (5, 10, 11, 20, 21, 1000):
+            h.observe(v)
+        assert h.counts == [2, 2, 2]
+        assert h.count == 6
+
+    def test_mean_tracks_exact_total(self):
+        h = Histogram("h")
+        h.observe(10)
+        h.observe(30)
+        assert h.mean == pytest.approx(20)
+        assert Histogram("empty").mean is None
+
+    def test_quantile_monotone(self):
+        h = Histogram("h")
+        for v in range(1, 200):
+            h.observe(v)
+        assert h.quantile(0.5) <= h.quantile(0.95) <= h.quantile(0.99)
+
+    def test_merge_requires_matching_bounds(self):
+        a, b = Histogram("h", bounds=(1, 2)), Histogram("h", bounds=(1, 3))
+        with pytest.raises(MergeError):
+            a.merge(b)
+
+    def test_merge_adds_counts(self):
+        a, b = Histogram("h"), Histogram("h")
+        a.observe(4)
+        b.observe(4)
+        b.observe(5000)
+        a.merge(b)
+        assert a.counts[0] == 2 and a.counts[-1] == 1
+
+    def test_render_has_one_row_per_bucket(self):
+        h = Histogram("h", bounds=(10, 20))
+        h.observe(5)
+        assert len(h.render().splitlines()) == 1 + 3  # head + 2 bounds + overflow
+
+    def test_default_bounds_are_the_latency_buckets(self):
+        assert Histogram("h").bounds == LATENCY_BUCKETS
+
+
+class TestMetricSet:
+    def populated(self):
+        s = MetricSet()
+        s.counter("n").inc(3)
+        s.labeled("by_label").inc("a", 2)
+        s.gauge("depth").observe(7)
+        s.histogram("lat").observe(12)
+        return s
+
+    def test_get_or_create_returns_same_instance(self):
+        s = MetricSet()
+        assert s.counter("x") is s.counter("x")
+        assert "x" in s and "y" not in s
+
+    def test_name_kind_collision_rejected(self):
+        s = MetricSet()
+        s.counter("x")
+        with pytest.raises(MergeError):
+            s.gauge("x")
+
+    def test_to_dict_is_sorted_and_json_clean(self):
+        d = self.populated().to_dict()
+        assert list(d) == sorted(d)
+        text = json.dumps(d, allow_nan=False)  # no NaN/inf anywhere
+        assert json.loads(text) == d
+
+    def test_merge_is_elementwise(self):
+        a, b = self.populated(), self.populated()
+        b.counter("extra").inc()
+        a.merge(b)
+        assert a["n"].value == 6
+        assert a["by_label"].values == {"a": 4}
+        assert a["extra"].value == 1
+
+    def test_merge_clones_metrics_new_to_the_target(self):
+        a, b = MetricSet(), self.populated()
+        a.merge(b)
+        a.counter("n").inc(10)
+        assert b["n"].value == 3, "merge must not alias the source's metrics"
+
+    def test_merge_metric_sets_skips_none(self):
+        merged = merge_metric_sets([None, self.populated(), self.populated()])
+        assert merged["n"].value == 6
+
+    def test_pickle_roundtrip_preserves_dict(self):
+        s = self.populated()
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone.to_dict() == s.to_dict()
+
+    def test_merge_order_is_deterministic_bytes(self):
+        """Same sets merged in the same order -> byte-identical JSON (the
+        property the parallel sweep's order-preserving merge relies on)."""
+        runs = []
+        for _ in range(2):
+            parts = [self.populated(), self.populated()]
+            parts[1].counter("n").inc(5)
+            runs.append(json.dumps(merge_metric_sets(parts).to_dict()))
+        assert runs[0] == runs[1]
+
+    def test_summary_mentions_each_metric(self):
+        text = self.populated().summary()
+        for name in ("n", "by_label", "depth", "lat"):
+            assert name in text

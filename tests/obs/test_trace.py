@@ -1,0 +1,116 @@
+"""Structured trace tests: schema-versioned JSONL capture over the hook
+bus, the reader's schema check, and the TextTrace compatibility layer."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import Header, Packet
+from repro.obs import (
+    EVENT_KINDS,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    read_trace,
+)
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig, TextTrace
+from repro.sim.engine import PHASES
+from tests.conftest import make_logic
+
+
+def make_sim(topo, **kw):
+    return NetworkSimulator(
+        MDCrossbarAdapter(make_logic(topo, **kw)), SimConfig(stall_limit=500)
+    )
+
+
+def traced_run(topo, **recorder_kw):
+    sim = make_sim(topo)
+    rec = TraceRecorder(**recorder_kw).attach(sim)
+    pkt = Packet(Header(source=(0, 0), dest=(3, 2)), length=4)
+    sim.send(pkt)
+    res = sim.run()
+    return sim, res, rec, pkt
+
+
+class TestRecorder:
+    def test_default_events_cover_a_unicast(self, topo43):
+        _, res, rec, pkt = traced_run(topo43)
+        kinds = {r["kind"] for r in rec.records}
+        assert kinds == {"grant", "deliver", "log"}
+        (deliver,) = rec.of_kind("deliver")
+        assert deliver["pid"] == pkt.pid
+        assert deliver["at"] == [3, 2]
+        assert deliver["latency"] == pkt.latency
+
+    def test_grant_records_name_the_element(self, topo43):
+        _, _, rec, _ = traced_run(topo43)
+        grants = rec.of_kind("grant")
+        assert grants
+        for g in grants:
+            assert g["element"]
+            assert g["input"] is None or isinstance(g["input"], int)
+            assert all(
+                isinstance(cid, int) and isinstance(vc, int)
+                for cid, vc in g["outputs"]
+            )
+
+    def test_phase_records_opt_in(self, topo43):
+        _, res, rec, _ = traced_run(topo43, events=("phase",))
+        assert len(rec.of_kind("phase")) == res.cycles * len(PHASES)
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(events=("grant", "bogus"))
+        assert "bogus" not in EVENT_KINDS
+
+    def test_buffer_is_bounded(self, topo43):
+        _, _, rec, _ = traced_run(topo43, limit=3)
+        assert len(rec) == 3
+
+
+class TestJsonlSink:
+    def test_sink_starts_with_schema_header(self, topo43):
+        sink = io.StringIO()
+        _, _, rec, _ = traced_run(topo43, sink=sink)
+        lines = sink.getvalue().splitlines()
+        first = json.loads(lines[0])
+        assert first["kind"] == "trace_header"
+        assert first["schema"] == TRACE_SCHEMA_VERSION
+        assert first["shape"] == [4, 3]
+        # every line is one standalone JSON object
+        assert len(lines) == 1 + len(rec.records)
+        for line in lines:
+            assert json.loads(line)
+
+    def test_read_trace_roundtrip(self, topo43):
+        sink = io.StringIO()
+        _, _, rec, _ = traced_run(topo43, sink=sink)
+        header, records = read_trace(sink.getvalue().splitlines())
+        assert header["topology"] == "MDCrossbar"
+        assert records == list(rec.records)
+
+    def test_read_trace_rejects_unknown_schema(self):
+        bad = json.dumps({"kind": "trace_header", "schema": 999})
+        with pytest.raises(ValueError):
+            read_trace([bad])
+
+
+class TestTextTraceCompatibility:
+    def test_attach_via_hook_bus(self, topo43):
+        sim = make_sim(topo43)
+        trace = TextTrace(100).attach(sim)
+        sim.send(Packet(Header(source=(0, 0), dest=(3, 2)), length=4))
+        sim.run()
+        assert trace.matching("injected")
+        assert trace.matching("completed")
+
+    def test_rides_on_the_structured_recorder(self, topo43):
+        sim = make_sim(topo43)
+        trace = TextTrace(100).attach(sim)
+        sim.send(Packet(Header(source=(0, 0), dest=(1, 0)), length=2))
+        sim.run()
+        assert trace.recorder.events == ("log",)
+        assert len(trace.events) == len(trace.recorder.records)
+        cycle, message = trace.events[0]
+        assert isinstance(cycle, int) and isinstance(message, str)

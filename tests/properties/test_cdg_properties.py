@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import Fault, analyze_deadlock_freedom, make_config, SwitchLogic
 from repro.core.config import ConfigError, DetourScheme
-from repro.core.coords import all_coords, num_nodes
+from repro.core.coords import all_coords
 from repro.topology import MDCrossbar
 
 small_2d = st.tuples(st.integers(2, 4), st.integers(2, 4))

@@ -7,7 +7,7 @@ from repro.core import Fault, SwitchLogic, analyze_deadlock_freedom, make_config
 from repro.core.config import ConfigError
 from repro.core.coords import all_coords
 from repro.core.multifault import analyze_fault_set
-from repro.core.ordering import CertificateError, build_certificate
+from repro.core.ordering import build_certificate
 from repro.sim import AdaptiveMDAdapter, NetworkSimulator, SimConfig
 from repro.core.packet import Header, Packet
 from repro.topology import MDCrossbar

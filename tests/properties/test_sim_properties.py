@@ -127,7 +127,7 @@ def test_single_packet_idle_latency_exact(workload):
     """With an idle network, simulated latency equals the static route
     length plus payload streaming exactly: latency = channels + flits.
     This pins the simulator to the static switch-logic routes."""
-    from repro.core import SwitchLogic, Unicast, compute_route, make_config
+    from repro.core import Unicast, compute_route
 
     s, t, length, _ = workload[0]
     if s == t:
@@ -137,7 +137,7 @@ def test_single_packet_idle_latency_exact(workload):
     sim = NetworkSimulator(MDCrossbarAdapter(logic), SimConfig())
     pkt = Packet(Header(source=s, dest=t), length=length)
     sim.send(pkt)
-    res = sim.run()
+    sim.run()
     tree = compute_route(topo, logic, Unicast(s, t))
     num_channels = len(tree.path_to(t))
     assert pkt.latency == num_channels + length

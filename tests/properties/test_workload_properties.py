@@ -28,16 +28,15 @@ entries = st.builds(
 @given(st.lists(entries, max_size=30))
 @settings(max_examples=40, deadline=None)
 def test_trace_save_load_roundtrip(tmp_entries):
-    import io
     import json
 
     t = WorkloadTrace(shape=SHAPE, entries=list(tmp_entries))
     # round-trip through the JSONL text form without touching disk
     lines = [e.to_json() for e in t.entries]
-    back = [TraceEntry.from_json(l) for l in lines]
+    back = [TraceEntry.from_json(line) for line in lines]
     assert back == t.entries
-    for l in lines:
-        json.loads(l)  # every line is standalone JSON
+    for line in lines:
+        json.loads(line)  # every line is standalone JSON
 
 
 @given(

@@ -3,6 +3,7 @@ deterministic order-preserving merge, and the spec-family constructors."""
 
 import json
 import pickle
+from dataclasses import replace
 
 import pytest
 
@@ -12,7 +13,7 @@ from repro.runtime import (
     ProcessPoolExecutor,
     RunSpec,
     SerialExecutor,
-    execute_spec,
+    SpecExecutionError,
     fault_placement_specs,
     load_sweep_specs,
     make_executor,
@@ -130,6 +131,100 @@ class TestExecutors:
     def test_map_points_returns_bare_points(self):
         points = SerialExecutor().map_points(small_specs())
         assert [p.offered_load for p in points] == [0.05, 0.15]
+
+
+class TestFailurePaths:
+    """A raising worker must surface a clear error naming the failing
+    spec -- not hang, and not hand back partial results."""
+
+    def crashing_spec(self):
+        # an unknown network kind raises inside the worker's build step
+        return RunSpec(kind="no-such-network", load=0.1, **FAST)
+
+    def test_serial_names_the_failing_spec(self):
+        bad = self.crashing_spec()
+        with pytest.raises(SpecExecutionError) as err:
+            SerialExecutor().run([RunSpec(load=0.05, **FAST), bad])
+        assert "no-such-network" in str(err.value)
+        assert err.value.spec == bad
+        assert err.value.__cause__ is not None
+
+    def test_parallel_names_the_failing_spec(self):
+        specs = [
+            RunSpec(load=0.05, **FAST),
+            self.crashing_spec(),
+            RunSpec(load=0.15, **FAST),
+        ]
+        with pytest.raises(SpecExecutionError) as err:
+            ProcessPoolExecutor(jobs=2).run(specs)
+        assert err.value.spec == specs[1]
+        assert "no-such-network" in str(err.value)
+
+    def test_run_specs_propagates(self):
+        with pytest.raises(SpecExecutionError):
+            run_specs([self.crashing_spec(), self.crashing_spec()], jobs=2)
+
+
+class TestSeedDivergence:
+    def test_specs_differing_only_in_seed_inject_differently(self):
+        """Regression: the experiment-level seed must reach the injector,
+        so two otherwise-identical specs produce different traffic."""
+        base = RunSpec(load=0.2, seed=1, metrics=True, **FAST)
+        other = replace(base, seed=2)
+        r1, r2 = base.execute(), other.execute()
+        # the collector metrics fingerprint the whole event stream
+        assert r1.metrics.to_dict() != r2.metrics.to_dict()
+        assert r1.point != r2.point
+        # while the same seed reproduces the stream exactly
+        again = base.execute()
+        assert again.metrics.to_dict() == r1.metrics.to_dict()
+        assert again.point == r1.point
+
+
+class TestMetricsAcrossWorkers:
+    def metric_specs(self):
+        specs = load_sweep_specs(
+            "md-crossbar", SHAPE, [0.05, 0.15], metrics=True, **WINDOWS
+        )
+        return seed_replicas(specs, seeds=[7, 8])
+
+    def test_metrics_ride_the_point_results(self):
+        res = RunSpec(load=0.1, metrics=True, **FAST).execute()
+        assert res.metrics is not None
+        assert res.metrics["deliveries"].value > 0
+        d = json.loads(json.dumps(res.to_dict()))
+        assert d["metrics"]["deliveries"]["value"] > 0
+        # without the flag there is no metrics payload
+        bare = RunSpec(load=0.1, **FAST).execute()
+        assert bare.metrics is None
+        assert "metrics" not in bare.to_dict()
+
+    def test_metric_sets_survive_pickling(self):
+        res = RunSpec(load=0.1, metrics=True, **FAST).execute()
+        clone = pickle.loads(pickle.dumps(res))
+        assert clone.metrics.to_dict() == res.metrics.to_dict()
+
+    def test_parallel_metrics_merge_byte_identical_to_serial(self):
+        """Acceptance criterion: a --jobs 4 metrics-enabled sweep merges to
+        byte-identical metrics against the serial run of the same specs."""
+        from repro.obs import merge_metric_sets
+
+        specs = self.metric_specs()
+        serial = SerialExecutor().run(specs)
+        parallel = ProcessPoolExecutor(jobs=4).run(specs)
+        for s, p in zip(serial, parallel):
+            assert json.dumps(p.metrics.to_dict()) == json.dumps(
+                s.metrics.to_dict()
+            )
+        merged_s = merge_metric_sets(r.metrics for r in serial)
+        merged_p = merge_metric_sets(r.metrics for r in parallel)
+        assert json.dumps(merged_p.to_dict()) == json.dumps(merged_s.to_dict())
+
+    def test_collectors_do_not_change_the_simulated_outcome(self):
+        """Engine parity at the runtime level: the measured point of a
+        metrics-enabled spec equals the bare spec's."""
+        spec = RunSpec(load=0.2, **FAST)
+        assert replace(spec, metrics=True).execute().point == spec.execute().point
 
 
 class TestSweepFrontEnd:

@@ -6,7 +6,6 @@ from repro.core.packet import FlitKind
 from repro.sim.fabric import InFlightPacket, PendingRequest, SimFlit, VCState
 from repro.sim.adapter import SimDecision
 from repro.core.packet import RC, Header, Packet
-from repro.topology import MDCrossbar
 
 
 @pytest.fixture()

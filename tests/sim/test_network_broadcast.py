@@ -1,6 +1,5 @@
 """Simulator tests: hardware broadcast via the serialized crossbar."""
 
-import pytest
 
 from repro.core import Fault, Header, Packet, RC
 from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig

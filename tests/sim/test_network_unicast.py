@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Fault, Header, Packet, RC
+from repro.core import Fault, Header, Packet
 from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
 from tests.conftest import make_logic
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Fault, Header, Packet, RC, make_config
+from repro.core import Fault, Header, Packet, RC
 from repro.core.config import ConfigError
 from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
 from repro.traffic import BernoulliInjector
@@ -109,7 +109,7 @@ class TestConservationUnderFault:
         gen = BernoulliInjector(load=0.2, seed=19, stop_at=400)
         sim.add_generator(gen)
         sim.run(max_cycles=100, until_drained=False)
-        rep = sim.inject_fault(Fault.crossbar(0, (1,)))
+        sim.inject_fault(Fault.crossbar(0, (1,)))
         res = sim.run(max_cycles=8000, until_drained=False)
         assert not res.deadlocked
         assert gen.offered == len(res.delivered) + len(res.dropped)
@@ -127,3 +127,46 @@ class TestConservationUnderFault:
         assert not res.deadlocked
         assert res.in_flight_at_end == 0
         assert len(res.delivered) + len(res.dropped) == 3
+
+
+class TestRouteMemoInvalidation:
+    """Regression: the adapter memoizes route decisions per (element,
+    input, source, dest, rc); a facility reconfiguration swaps the logic
+    and MUST drop the memo, or post-fault traffic follows stale routes
+    into the dead switch."""
+
+    def test_inject_fault_invalidates_memo(self, topo43):
+        from repro.topology import rtr, xb
+
+        sim = make_sim(topo43)
+        adapter = sim.adapter
+        hdr = Header(source=(0, 0), dest=(2, 2))
+        # the (0,0)->(2,2) route turns at RTR(2, 0): the dim-0 crossbar of
+        # row 0 hands the packet to it
+        el, came_from = xb(0, (0,)), rtr((0, 0))
+        before = adapter.decide(el, came_from, 0, hdr)
+        assert (rtr((2, 0)), 0) in before.outputs
+        assert adapter._cache, "decide() must populate the memo"
+        sim.inject_fault(Fault.router((2, 0)))
+        after = adapter.decide(el, came_from, 0, hdr)
+        assert (rtr((2, 0)), 0) not in after.outputs, (
+            "stale memo: the decision still routes into the dead router"
+        )
+
+    def test_logic_swap_clears_the_memo_directly(self, topo43):
+        adapter = make_sim(topo43).adapter
+        hdr = Header(source=(0, 0), dest=(3, 2))
+        from repro.topology import pe, rtr
+
+        adapter.decide(rtr((0, 0)), pe((0, 0)), 0, hdr)
+        assert adapter._cache
+        adapter.logic = make_logic(topo43, fault=Fault.router((2, 0)))
+        assert not adapter._cache
+
+    def test_memoized_and_fresh_decisions_agree(self, topo43):
+        from repro.topology import pe, rtr
+
+        adapter = make_sim(topo43).adapter
+        hdr = Header(source=(0, 0), dest=(3, 2))
+        first = adapter.decide(rtr((0, 0)), pe((0, 0)), 0, hdr)
+        assert adapter.decide(rtr((0, 0)), pe((0, 0)), 0, hdr) is first

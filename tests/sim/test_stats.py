@@ -25,7 +25,9 @@ def delivered_packet(lat, length=4):
 
 class TestLatencyStats:
     def test_basic(self):
-        stats = LatencyStats.from_packets([delivered_packet(l) for l in (10, 20, 30)])
+        stats = LatencyStats.from_packets(
+            [delivered_packet(lat) for lat in (10, 20, 30)]
+        )
         assert stats.count == 3
         assert stats.mean == 20
         assert stats.median == 20
@@ -33,7 +35,7 @@ class TestLatencyStats:
 
     def test_percentiles_ordered(self):
         stats = LatencyStats.from_packets(
-            [delivered_packet(l) for l in range(1, 101)]
+            [delivered_packet(lat) for lat in range(1, 101)]
         )
         assert stats.median <= stats.p95 <= stats.p99 <= stats.max
 
@@ -41,6 +43,31 @@ class TestLatencyStats:
         stats = LatencyStats.from_packets([])
         assert stats.count == 0
         assert math.isnan(stats.mean)
+
+    def test_empty_sentinel_is_nan_throughout(self):
+        """Regression: the old empty sentinel returned ``max=0, min=0``
+        beside NaN means, so a cross-point aggregation (a sweep's best-case
+        latency, a plot's axis range) saw a fake zero-latency observation.
+        Every distribution field must be NaN on empty input."""
+        empty = LatencyStats.from_packets([])
+        for name in ("mean", "median", "p95", "p99", "max", "min"):
+            assert math.isnan(getattr(empty, name)), name
+
+    def test_empty_sentinel_does_not_poison_aggregation(self):
+        saturated = LatencyStats.from_packets([])  # zero deliveries
+        healthy = LatencyStats.from_packets(
+            [delivered_packet(lat) for lat in (10, 30)]
+        )
+        sweep = [healthy, saturated]
+        best = min(s.min for s in sweep if s.count)
+        assert best == 10
+        # the old sentinel made the unguarded aggregate return a fake 0;
+        # with NaN no comparison can ever prefer the empty point
+        assert min(s.min for s in sweep if s.count) == healthy.min
+        assert not any(s.min == 0 for s in sweep)
+
+    def test_empty_row_renders(self):
+        assert "nan" in LatencyStats.from_packets([]).row()
 
     def test_skips_undelivered(self):
         undelivered = Packet(Header(source=(0, 0), dest=(1, 0)))

@@ -241,3 +241,63 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "mesh 3x3" in out
+
+    def test_sweep_metrics_table(self, capsys):
+        rc = main(["sweep", "--loads", "0.05,0.15", "--metrics", *SWEEP_FAST])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "merged metrics across all points" in out
+        assert "latency histogram (cycles)" in out
+        assert "deliveries" in out
+
+    def test_sweep_metrics_json_parallel_matches_serial(self, capsys):
+        argv = ["sweep", "--loads", "0.05,0.15", "--metrics", "--json",
+                *SWEEP_FAST]
+        assert main(argv) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert all(d["metrics"]["deliveries"]["value"] > 0 for d in serial)
+        assert main(argv + ["--jobs", "4"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert [d["metrics"] for d in parallel] == [
+            d["metrics"] for d in serial
+        ]
+
+
+class TestTraceCommand:
+    def test_trace_stdout_is_jsonl(self, capsys):
+        rc = main(["trace", "--shape", "3x3", "--load", "0.2",
+                   "--cycles", "40"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        lines = captured.out.splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "trace_header" and header["schema"] == 1
+        kinds = {json.loads(line)["kind"] for line in lines[1:]}
+        assert "grant" in kinds and "deliver" in kinds
+        assert "traced" in captured.err  # summary stays off stdout
+
+    def test_trace_to_file(self, capsys, tmp_path):
+        out_path = tmp_path / "run.jsonl"
+        rc = main(["trace", "--shape", "3x3", "--load", "0.2",
+                   "--cycles", "40", "--out", str(out_path),
+                   "--event", "deliver"])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+        lines = out_path.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "trace_header"
+        assert all(
+            json.loads(line)["kind"] == "deliver" for line in lines[1:]
+        )
+        assert len(lines) > 1
+
+    def test_trace_readable_by_the_library(self, tmp_path, capsys):
+        from repro.obs import read_trace
+
+        out_path = tmp_path / "run.jsonl"
+        assert main(["trace", "--shape", "3x3", "--cycles", "40",
+                     "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        with open(out_path) as fh:
+            header, records = read_trace(fh)
+        assert header["shape"] == [3, 3]
+        assert records

@@ -1,8 +1,6 @@
 """Unit tests for the reusable experiment harness (repro.experiments)."""
 
-import math
 
-import pytest
 
 from repro.experiments import build_network, run_load_point, saturation_load, sweep
 from repro.sim.stats import LatencyStats, LoadPoint
@@ -78,7 +76,7 @@ class TestSaturationLoad:
         assert saturation_load(pts) == 0.3
 
     def test_none_when_flat(self):
-        pts = [self._pt(l, 10 + l) for l in (0.1, 0.2, 0.3)]
+        pts = [self._pt(ld, 10 + ld) for ld in (0.1, 0.2, 0.3)]
         assert saturation_load(pts) is None
 
     def test_empty_latency_counts_as_saturated(self):

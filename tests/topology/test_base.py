@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.topology import MDCrossbar, element_kind, ElementKind, pe, rtr, xb
+from repro.topology import element_kind, ElementKind, pe, rtr, xb
 from repro.topology.base import Topology, channels_between
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.topology import Hypercube, Mesh, Torus, pe, rtr
+from repro.topology import Hypercube, Mesh, Torus, rtr
 
 
 class TestMesh:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.coords import all_coords, line_of
-from repro.topology import FullCrossbar, MDCrossbar, pe, rtr, xb
+from repro.topology import FullCrossbar, MDCrossbar, rtr, xb
 
 
 class TestConstruction:

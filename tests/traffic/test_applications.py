@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.coords import all_coords, num_nodes
+from repro.core.coords import num_nodes
 from repro.traffic.applications import (
     KERNELS,
     PhasedWorkload,
