@@ -4,21 +4,27 @@ Every ``bench_eNN_*`` file regenerates one of the paper's figures or
 claims (the experiment index lives in DESIGN.md / EXPERIMENTS.md) and
 times its kernel with pytest-benchmark.  The reproduced rows are printed
 (run with ``pytest benchmarks/ --benchmark-only -s`` to see them live) and
-also appended to ``benchmarks/results.txt`` for EXPERIMENTS.md.
+also persisted next to this file -- ``results.txt`` (human-readable) and
+``results.json`` (structured ``{title: [line, ...]}``) -- for
+EXPERIMENTS.md.  Both are regenerated on demand and gitignored; run the
+suite to produce them rather than reading stale checked-in copies.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS = pathlib.Path(__file__).with_name("results.txt")
+RESULTS_JSON = pathlib.Path(__file__).with_name("results.json")
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_results_file():
     RESULTS.write_text("")
+    RESULTS_JSON.write_text("{}\n")
     yield
 
 
@@ -31,5 +37,8 @@ def report():
         print(text)
         with RESULTS.open("a") as fh:
             fh.write(text)
+        doc = json.loads(RESULTS_JSON.read_text())
+        doc[title] = list(lines)
+        RESULTS_JSON.write_text(json.dumps(doc, indent=2) + "\n")
 
     return _report

@@ -1,0 +1,271 @@
+"""Pinned performance-benchmark suite and regression comparison.
+
+A small, fixed set of simulator workloads (``BENCH_CASES``) timed
+end-to-end, so a perf regression in the engine's inner loops shows up
+as a drop in simulated cycles per wall-clock second.  Each case records
+wall time, throughput rates, and the deterministic span aggregates
+(blocked / S-XB wait cycles) so a run is also a coarse correctness
+canary: the simulated quantities must not drift between runs at all,
+only the wall-clock ones may.
+
+``run_suite`` produces a plain-dict document (``BENCH_SCHEMA``),
+``write_bench``/``load_bench`` round-trip it through ``BENCH_<label>.json``
+files, and ``compare_bench`` gates a new run against a saved baseline:
+a case regresses when its ``cycles_per_sec`` falls more than
+``threshold_pct`` percent below the baseline.  Simulated-quantity drift
+(delivered count, blocked cycles...) is reported as a regression at any
+threshold, because those are deterministic.
+
+The ``repro bench`` subcommand is the CLI face; CI runs the ``--smoke``
+subset and compares against the committed ``benchmarks/BENCH_baseline.json``
+with a deliberately generous threshold (machines differ; only a large
+relative drop on the *same* machine family is meaningful).
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import time
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from .core import Fault, Header, Packet, RC, SwitchLogic, make_config
+from .obs.spans import PacketSpanCollector
+from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from .topology import MDCrossbar
+from .traffic import BernoulliInjector, uniform
+
+#: bump when the per-case measurement fields change
+BENCH_SCHEMA = 1
+
+#: simulated quantities that must be bit-identical between runs of a case
+DETERMINISTIC_FIELDS = (
+    "cycles",
+    "delivered",
+    "flit_moves",
+    "blocked_cycles",
+    "sxb_wait_cycles",
+)
+
+
+class BenchCase(NamedTuple):
+    name: str
+    description: str
+    smoke: bool  #: part of the fast CI subset
+    build: Callable[[], Tuple[NetworkSimulator, int]]  #: () -> (sim, max_cycles)
+
+
+def _md_sim(shape, faults=(), stall_limit: int = 5000) -> NetworkSimulator:
+    topo = MDCrossbar(shape)
+    logic = SwitchLogic(topo, make_config(shape, faults=tuple(faults)))
+    return NetworkSimulator(
+        MDCrossbarAdapter(logic), SimConfig(stall_limit=stall_limit)
+    )
+
+
+def _bernoulli_case(shape, load, cycles, faults=(), seed=1):
+    def build() -> Tuple[NetworkSimulator, int]:
+        sim = _md_sim(shape, faults=faults)
+        sim.add_generator(
+            BernoulliInjector(
+                load=load,
+                packet_length=4,
+                pattern=uniform,
+                seed=seed,
+                stop_at=cycles,
+            )
+        )
+        return sim, cycles * 10
+
+    return build
+
+
+def _broadcast_case(shape, rounds, gap):
+    def build() -> Tuple[NetworkSimulator, int]:
+        sim = _md_sim(shape)
+        coords = sorted(MDCrossbar(shape).node_coords())
+        for i in range(rounds):
+            src = coords[i % len(coords)]
+            sim.send(
+                Packet(
+                    Header(source=src, dest=src, rc=RC.BROADCAST_REQUEST),
+                    length=4,
+                ),
+                at_cycle=i * gap,
+            )
+        return sim, rounds * gap * 50 + 5000
+
+    return build
+
+
+#: the pinned suite; order is the report order
+BENCH_CASES: Tuple[BenchCase, ...] = (
+    BenchCase(
+        "p2p_4x3_low",
+        "uniform Bernoulli traffic, 4x3, load 0.15",
+        True,
+        _bernoulli_case((4, 3), 0.15, 300),
+    ),
+    BenchCase(
+        "broadcast_4x3",
+        "12 serialized S-XB broadcasts, 4x3",
+        True,
+        _broadcast_case((4, 3), 12, 3),
+    ),
+    BenchCase(
+        "detour_4x3_fault",
+        "uniform traffic around a faulty router, 4x3",
+        True,
+        _bernoulli_case((4, 3), 0.15, 300, faults=(Fault.router((2, 0)),)),
+    ),
+    BenchCase(
+        "p2p_8x8_mid",
+        "uniform Bernoulli traffic, 8x8, load 0.3",
+        False,
+        _bernoulli_case((8, 8), 0.3, 300),
+    ),
+)
+
+
+def run_case(case: BenchCase) -> Dict:
+    """Build, run and measure one case (spans attached throughout)."""
+    sim, max_cycles = case.build()
+    spans = PacketSpanCollector().attach(sim)
+    t0 = time.perf_counter()
+    res = sim.run(max_cycles=max_cycles, until_drained=False)
+    wall = time.perf_counter() - t0
+    spans.detach(sim)
+    totals = spans.span_set().totals()
+    lats = res.latencies
+    return {
+        "description": case.description,
+        "wall_time_s": round(wall, 6),
+        "cycles": res.cycles,
+        "cycles_per_sec": round(res.cycles / wall, 1) if wall > 0 else 0.0,
+        "flit_moves": res.flit_moves,
+        "flit_moves_per_sec": (
+            round(res.flit_moves / wall, 1) if wall > 0 else 0.0
+        ),
+        "delivered": len(res.delivered),
+        "mean_latency": (
+            round(sum(lats) / len(lats), 3) if lats else None
+        ),
+        "blocked_cycles": totals["blocked"],
+        "sxb_wait_cycles": totals["sxb_wait"],
+        "queue_wait_cycles": totals["queue_wait"],
+        "detour_overhead_cycles": totals["detour_overhead"],
+        "deadlocked": res.deadlocked,
+    }
+
+
+def run_suite(
+    smoke: bool = False,
+    label: str = "local",
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the pinned suite (or its ``--smoke`` subset) into a bench doc."""
+    cases: Dict[str, Dict] = {}
+    for case in BENCH_CASES:
+        if smoke and not case.smoke:
+            continue
+        if progress:
+            progress(f"running {case.name}: {case.description}")
+        cases[case.name] = run_case(case)
+    return {
+        "kind": "bench",
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "smoke": smoke,
+        "python": sys.version.split()[0],
+        "platform": sys.platform,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "cases": cases,
+    }
+
+
+def write_bench(doc: Dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_bench(path: str) -> Dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("kind") != "bench" or doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path} is not a schema-{BENCH_SCHEMA} bench file "
+            f"(kind={doc.get('kind')!r}, schema={doc.get('schema')!r})"
+        )
+    return doc
+
+
+class Regression(NamedTuple):
+    case: str
+    field: str
+    old: object
+    new: object
+    note: str
+
+
+def compare_bench(
+    new: Dict, baseline: Dict, threshold_pct: float = 20.0
+) -> List[Regression]:
+    """Regressions of ``new`` against ``baseline``.
+
+    Wall-clock rate: ``cycles_per_sec`` more than ``threshold_pct``
+    percent below the baseline regresses.  Deterministic simulated
+    quantities (:data:`DETERMINISTIC_FIELDS`) must match exactly --
+    any drift is reported regardless of the threshold.  Cases present
+    in the baseline but missing from the new run are regressions too
+    (a silently dropped case would hide anything).
+    """
+    out: List[Regression] = []
+    for name, old_case in baseline.get("cases", {}).items():
+        new_case = new.get("cases", {}).get(name)
+        if new_case is None:
+            out.append(
+                Regression(name, "presence", "present", "missing",
+                           "case disappeared from the suite")
+            )
+            continue
+        old_rate, new_rate = (
+            old_case.get("cycles_per_sec"), new_case.get("cycles_per_sec")
+        )
+        if old_rate and new_rate is not None:
+            floor = old_rate * (1.0 - threshold_pct / 100.0)
+            if new_rate < floor:
+                out.append(
+                    Regression(
+                        name, "cycles_per_sec", old_rate, new_rate,
+                        f"{100.0 * (1 - new_rate / old_rate):.1f}% slower "
+                        f"(threshold {threshold_pct:.0f}%)",
+                    )
+                )
+        for field in DETERMINISTIC_FIELDS:
+            if field in old_case and old_case[field] != new_case.get(field):
+                out.append(
+                    Regression(
+                        name, field, old_case[field], new_case.get(field),
+                        "deterministic quantity drifted",
+                    )
+                )
+    return out
+
+
+def render_bench(doc: Dict) -> str:
+    """One-line-per-case ASCII table of a bench doc."""
+    lines = [
+        f"bench {doc['label']} (schema {doc['schema']}, "
+        f"python {doc['python']}, peak RSS {doc['peak_rss_kb']} kB)"
+    ]
+    for name, c in doc["cases"].items():
+        lines.append(
+            f"  {name:<18} {c['cycles']:>6} cycles in {c['wall_time_s']:.3f}s "
+            f"({c['cycles_per_sec']:>10.0f} cyc/s, "
+            f"{c['flit_moves_per_sec']:>10.0f} flits/s)  "
+            f"delivered={c['delivered']} blocked={c['blocked_cycles']} "
+            f"sxb={c['sxb_wait_cycles']}"
+        )
+    return "\n".join(lines)

@@ -8,6 +8,8 @@ Subcommands:
 * ``simulate``  -- run uniform traffic and print latency statistics
 * ``sweep``     -- latency-vs-load sweep over the runtime executors
 * ``trace``     -- capture a structured JSONL event trace of one run
+* ``report``    -- span/metric report from a live run or a saved trace
+* ``bench``     -- pinned perf suite with regression comparison
 * ``figures``   -- replay the paper's Figs. 5/6/9/10 scenarios
 * ``machine``   -- describe an SR2201 configuration
 * ``kernels``   -- run application kernels across topologies
@@ -31,7 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .core import (
     Broadcast,
@@ -286,7 +288,7 @@ def cmd_trace(args) -> int:
     events = (
         tuple(args.event)
         if args.event
-        else ("grant", "deliver", "deadlock", "log")
+        else ("inject", "grant", "block", "deliver", "deadlock", "log")
     )
     sink_cm = (
         open(args.out, "w")
@@ -314,6 +316,127 @@ def cmd_trace(args) -> int:
     if res.deadlocked:
         print(res.deadlock.describe(), file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .obs import (
+        ChannelUtilization,
+        PacketSpanCollector,
+        read_trace,
+        spans_from_trace,
+    )
+    from .obs.report import render_report
+
+    if args.trace:
+        with open(args.trace) as f:
+            header, records, malformed = read_trace(f)
+        if malformed:
+            print(
+                f"warning: skipped {len(malformed)} malformed trace line(s) "
+                f"(first: line {malformed[0]['line']}: {malformed[0]['error']})",
+                file=sys.stderr,
+            )
+        spans = spans_from_trace(header, records)
+        run_info = {"trace": args.trace, "records": len(records)}
+        if header is not None:
+            run_info["schema"] = header.get("schema")
+            shape = header.get("shape")
+            if shape:
+                run_info["shape"] = "x".join(map(str, shape))
+        print(
+            render_report(
+                spans=spans,
+                title=f"Trace report: {args.trace}",
+                run_info=run_info,
+                fmt=args.format,
+                top=args.top,
+            ),
+            end="",
+        )
+        return 0
+
+    from .obs.collectors import CollectorSuite
+    from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+    from .traffic import BernoulliInjector, get_pattern
+
+    topo, logic = _build(args)
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(logic), SimConfig(stall_limit=args.stall_limit)
+    )
+    suite = CollectorSuite(sim)
+    spans = PacketSpanCollector().attach(sim)
+    gen = BernoulliInjector(
+        load=args.load,
+        packet_length=args.packet_length,
+        pattern=get_pattern(args.pattern),
+        seed=args.seed,
+        stop_at=args.cycles,
+    )
+    sim.add_generator(gen)
+    res = sim.run(max_cycles=args.cycles * 10, until_drained=False)
+    spans.detach(sim)
+    util = suite.find(ChannelUtilization)
+    try:
+        heatmap = util.heatmap() if util is not None else None
+    except ValueError:  # heatmaps are 2D-only
+        heatmap = None
+    shape_s = "x".join(map(str, args.shape))
+    print(
+        render_report(
+            spans=spans.span_set(),
+            metrics=suite.metrics(),
+            heatmap=heatmap,
+            title=f"Run report: {args.pattern} traffic on {shape_s}",
+            run_info={
+                "shape": shape_s,
+                "pattern": args.pattern,
+                "load": args.load,
+                "seed": args.seed,
+                "cycles": res.cycles,
+                "delivered": len(res.delivered),
+            },
+            fmt=args.format,
+            top=args.top,
+        ),
+        end="",
+    )
+    if res.deadlocked:
+        print(res.deadlock.describe(), file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import os
+
+    from .bench import (
+        compare_bench,
+        load_bench,
+        render_bench,
+        run_suite,
+        write_bench,
+    )
+
+    doc = run_suite(
+        smoke=args.smoke,
+        label=args.label,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    os.makedirs(args.out_dir, exist_ok=True)
+    out_path = os.path.join(args.out_dir, f"BENCH_{args.label}.json")
+    write_bench(doc, out_path)
+    print(render_bench(doc))
+    print(f"wrote {out_path}")
+    if args.compare:
+        baseline = load_bench(args.compare)
+        regressions = compare_bench(doc, baseline, threshold_pct=args.threshold)
+        if regressions:
+            print(f"REGRESSIONS vs {args.compare}:")
+            for r in regressions:
+                print(f"  {r.case}.{r.field}: {r.old} -> {r.new} ({r.note})")
+            return 1
+        print(f"no regressions vs {args.compare} (threshold {args.threshold}%)")
     return 0
 
 
@@ -476,6 +599,68 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def _doctor_obs() -> List[Tuple[str, bool]]:
+    """Observability health: collector attach/detach roundtrip, trace
+    write/read roundtrip and schema echo, exercised on a tiny engine."""
+    import io
+
+    from .core import Header, Packet, RC
+    from .obs import (
+        PacketSpanCollector,
+        TRACE_SCHEMA_VERSION,
+        TraceRecorder,
+        read_trace,
+        spans_from_trace,
+    )
+    from .obs.collectors import CollectorSuite
+    from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+
+    shape = (3, 3)
+    topo = MDCrossbar(shape)
+    logic = SwitchLogic(topo, make_config(shape))
+    sim = NetworkSimulator(MDCrossbarAdapter(logic), SimConfig())
+    suite = CollectorSuite(sim)
+    spans = PacketSpanCollector().attach(sim)
+    sink = io.StringIO()
+    recorder = TraceRecorder(sink=sink).attach(sim)
+    sim.send(Packet(Header(source=(0, 0), dest=(2, 2), rc=RC.NORMAL), length=4))
+    res = sim.run(max_cycles=500)
+    live = spans.span_set().totals()
+    spans.detach(sim)
+    recorder.detach()
+    suite.detach()
+
+    checks: List[Tuple[str, bool]] = []
+    checks.append(("obs: tiny run delivers", len(res.delivered) == 1))
+    checks.append(
+        (
+            "obs: collector detach leaves the hook bus empty",
+            not any(
+                getattr(sim.hooks, slot) for slot in type(sim.hooks).__slots__
+            ),
+        )
+    )
+    header, records, malformed = read_trace(sink.getvalue().splitlines())
+    checks.append(
+        (
+            f"obs: trace roundtrip (schema {TRACE_SCHEMA_VERSION} echoed)",
+            header is not None
+            and header.get("schema") == TRACE_SCHEMA_VERSION
+            and not malformed
+            and len(records) > 0,
+        )
+    )
+    replayed = spans_from_trace(header, records).totals()
+    checks.append(
+        ("obs: trace replay matches the live span totals", replayed == live)
+    )
+    _, _, bad = read_trace(
+        sink.getvalue().splitlines() + ['{"kind": "trunc'],
+    )
+    checks.append(("obs: truncated tail line is skipped+reported", len(bad) == 1))
+    return checks
+
+
 def cmd_doctor(args) -> int:
     from .core.selfcheck import self_check
 
@@ -484,8 +669,12 @@ def cmd_doctor(args) -> int:
     print(f"self-check on {'x'.join(map(str, args.shape))}:")
     for line in report.rows():
         print(" ", line)
-    print("healthy" if report.healthy else "INCONSISTENT")
-    return 0 if report.healthy else 1
+    obs_checks = _doctor_obs()
+    for name, ok in obs_checks:
+        print(f"  {name}: {'ok' if ok else 'FAIL'}")
+    healthy = report.healthy and all(ok for _, ok in obs_checks)
+    print("healthy" if healthy else "INCONSISTENT")
+    return 0 if healthy else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -562,12 +751,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stall-limit", type=int, default=2000)
     p.add_argument(
         "--event", action="append",
-        choices=["grant", "deliver", "deadlock", "log", "phase"],
+        choices=["inject", "grant", "block", "deliver", "deadlock", "log",
+                 "phase"],
         help="record kind to capture; repeatable "
-             "(default: grant, deliver, deadlock, log)",
+             "(default: inject, grant, block, deliver, deadlock, log)",
     )
     p.add_argument("--out", help="JSONL output path (default: stdout)")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "report",
+        help="render a span/metric report from a live run or a saved trace",
+    )
+    _add_common(p)
+    p.add_argument("--trace", help="render from a saved JSONL trace instead "
+                                   "of running a simulation")
+    p.add_argument("--load", type=float, default=0.2)
+    p.add_argument("--pattern", default="uniform")
+    p.add_argument("--packet-length", type=int, default=4)
+    p.add_argument("--cycles", type=int, default=300)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--stall-limit", type=int, default=2000)
+    p.add_argument("--format", choices=["text", "md"], default="text")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the blocked-port attribution table")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "bench", help="run the pinned perf suite; optionally gate against "
+                      "a saved baseline"
+    )
+    p.add_argument("--label", default="local",
+                   help="suffix of the BENCH_<label>.json output file")
+    p.add_argument("--out-dir", default="benchmarks",
+                   help="directory for the BENCH_<label>.json result")
+    p.add_argument("--smoke", action="store_true",
+                   help="fast subset only (what CI runs)")
+    p.add_argument("--compare", metavar="BASELINE.json",
+                   help="compare against a saved bench file; exit 1 on "
+                        "regression")
+    p.add_argument("--threshold", type=float, default=20.0,
+                   help="allowed cycles/sec drop in percent (default 20)")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("figures", help="replay the paper's figures")
     p.set_defaults(fn=cmd_figures)

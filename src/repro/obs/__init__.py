@@ -6,7 +6,7 @@ reads only public engine state -- attaching collectors never changes a
 simulation's outcome (an engine-parity test pins this), and an engine
 without subscribers pays nothing.
 
-Three pieces:
+Five pieces:
 
 * :mod:`repro.obs.metrics`    -- picklable, mergeable Counter / Gauge /
   Histogram / LabeledCounter primitives and the :class:`MetricSet` bag;
@@ -14,8 +14,15 @@ Three pieces:
   into metrics (latency, grants, per-phase work, channel utilization,
   deadlocks); :func:`attach_standard_collectors` is the bundle
   ``RunSpec(metrics=True)`` uses in worker processes;
+* :mod:`repro.obs.spans`      -- per-packet latency decomposition with
+  blocked-cycle attribution to the refusing (crossbar, port, vc), the
+  S-XB serialization wait, and detour overhead vs the fault-free
+  dimension-order route (``RunSpec(spans=True)``);
 * :mod:`repro.obs.trace`      -- schema-versioned JSONL event tracing
-  (the ``repro trace`` CLI subcommand writes these).
+  (the ``repro trace`` CLI subcommand writes these; spans can be
+  rebuilt offline from a trace via :func:`spans_from_trace`);
+* :mod:`repro.obs.report`     -- text/markdown rendering of the above
+  (the ``repro report`` CLI subcommand).
 """
 
 from .collectors import (
@@ -39,9 +46,21 @@ from .metrics import (
     MetricSet,
     merge_metric_sets,
 )
+from ..topology.base import output_port_map, port_label
+from .spans import (
+    PacketSpan,
+    PacketSpanCollector,
+    SpanBuilder,
+    SpanSet,
+    dor_base_transfer,
+    merge_span_sets,
+    spans_from_trace,
+)
 from .trace import (
     EVENT_KINDS,
+    READABLE_SCHEMA_VERSIONS,
     TRACE_SCHEMA_VERSION,
+    TraceData,
     TraceRecorder,
     read_trace,
 )
@@ -64,8 +83,19 @@ __all__ = [
     "PhaseProfiler",
     "attach_standard_collectors",
     "element_label",
+    "output_port_map",
+    "port_label",
+    "PacketSpan",
+    "PacketSpanCollector",
+    "SpanBuilder",
+    "SpanSet",
+    "dor_base_transfer",
+    "merge_span_sets",
+    "spans_from_trace",
     "EVENT_KINDS",
+    "READABLE_SCHEMA_VERSIONS",
     "TRACE_SCHEMA_VERSION",
+    "TraceData",
     "TraceRecorder",
     "read_trace",
 ]

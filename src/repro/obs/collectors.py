@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.engine import CycleEngine, DeadlockReport
 from ..sim.fabric import Connection, VCKey
-from ..topology.base import Channel, element_label
+from ..topology.base import Channel, element_label, output_port_map, port_label
 from .metrics import LATENCY_BUCKETS, MetricSet, merge_metric_sets
 
 
@@ -192,9 +192,7 @@ class ChannelUtilization(Collector):
 
     def attach(self, engine: CycleEngine) -> "ChannelUtilization":
         self._engine = engine
-        for el in engine.topo.elements():
-            for port, ch in enumerate(engine.topo.channels_from(el)):
-                self._ports[ch.cid] = (ch, element_label(el), port)
+        self._ports = output_port_map(engine.topo)
         engine.hooks.on_phase_end(self._on_phase_end)
         return self
 
@@ -221,9 +219,7 @@ class ChannelUtilization(Collector):
                 held[key] = held.get(key, 0) + 1
 
     def _label(self, cid: int, vc: Optional[int] = None) -> str:
-        _, el, port = self._ports[cid]
-        base = f"{el}:p{port}"
-        return base if vc is None else f"{base}:vc{vc}"
+        return port_label(self._ports, cid, vc)
 
     def metrics(self) -> MetricSet:
         out = MetricSet()

@@ -1,0 +1,207 @@
+"""Run reports: render span, metric and utilization aggregates.
+
+One renderer behind the ``repro report`` subcommand.  It takes whatever
+observability artifacts a run produced -- a :class:`SpanSet` (live
+collection or rebuilt from a JSONL trace), a :class:`MetricSet`, an
+ASCII channel heatmap -- and lays them out as plain text or markdown:
+
+* run summary (packets, latency decomposition totals and shares);
+* blocked-cycle attribution table: the (crossbar, port, vc) labels that
+  refused the most cycles, the paper's contention story;
+* S-XB serialization wait distribution over broadcasts (Fig. 6);
+* detour overhead summary (extra cycles vs the fault-free
+  dimension-order route);
+* the channel-utilization heatmap and the metric digest, verbatim.
+
+Everything here is pure formatting over the deterministic aggregates;
+the same inputs always render the same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .metrics import MetricSet
+from .spans import SpanSet
+
+#: inclusive upper bounds for the S-XB wait distribution buckets
+SXB_WAIT_BUCKETS: Tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32, 64)
+
+
+def _bucketize(values: Sequence[int], bounds: Sequence[int]) -> List[Tuple[str, int]]:
+    labels = [f"<={b}" for b in bounds] + [f">{bounds[-1]}"]
+    counts = [0] * (len(bounds) + 1)
+    for v in values:
+        for i, b in enumerate(bounds):
+            if v <= b:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    return list(zip(labels, counts))
+
+
+def _bar(count: int, peak: int, width: int = 30) -> str:
+    peak = peak or 1
+    return "#" * round(width * count / peak)
+
+
+class _Doc:
+    """Tiny two-dialect (text / markdown) document builder."""
+
+    def __init__(self, markdown: bool) -> None:
+        self.md = markdown
+        self.lines: List[str] = []
+
+    def title(self, text: str) -> None:
+        if self.md:
+            self.lines += [f"# {text}", ""]
+        else:
+            self.lines += [text, "=" * len(text), ""]
+
+    def section(self, text: str) -> None:
+        if self.md:
+            self.lines += [f"## {text}", ""]
+        else:
+            self.lines += [text, "-" * len(text), ""]
+
+    def para(self, text: str) -> None:
+        self.lines += [text, ""]
+
+    def table(self, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+        cells = [[str(c) for c in row] for row in rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(headers)
+        ]
+        if self.md:
+            self.lines.append(
+                "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |"
+            )
+            self.lines.append(
+                "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+            )
+            for row in cells:
+                self.lines.append(
+                    "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+                )
+        else:
+            self.lines.append(
+                "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+            )
+            self.lines.append("  ".join("-" * w for w in widths))
+            for row in cells:
+                self.lines.append(
+                    "  ".join(c.ljust(w) for c, w in zip(row, widths))
+                )
+        self.lines.append("")
+
+    def verbatim(self, block: str) -> None:
+        if self.md:
+            self.lines += ["```", *block.splitlines(), "```", ""]
+        else:
+            self.lines += [*block.splitlines(), ""]
+
+    def render(self) -> str:
+        return "\n".join(self.lines).rstrip() + "\n"
+
+
+def render_report(
+    spans: Optional[SpanSet] = None,
+    metrics: Optional[MetricSet] = None,
+    heatmap: Optional[str] = None,
+    title: str = "Simulation report",
+    run_info: Optional[Dict] = None,
+    fmt: str = "text",
+    top: int = 10,
+) -> str:
+    """Render a run report from whichever artifacts are available.
+
+    ``fmt`` is ``"text"`` (ASCII) or ``"md"`` (markdown); ``run_info``
+    is an optional flat dict echoed in the summary section (shape,
+    load, cycles...); ``top`` bounds the attribution table.
+    """
+    if fmt not in ("text", "md"):
+        raise ValueError(f"unknown report format {fmt!r}; use 'text' or 'md'")
+    doc = _Doc(markdown=(fmt == "md"))
+    doc.title(title)
+
+    if run_info:
+        doc.table(
+            ("parameter", "value"),
+            [(k, run_info[k]) for k in run_info],
+        )
+
+    if spans is not None:
+        _render_spans(doc, spans, top)
+
+    if heatmap is not None:
+        doc.section("Channel utilization heatmap")
+        doc.verbatim(heatmap)
+
+    if metrics is not None and len(metrics):
+        doc.section("Metrics")
+        doc.verbatim(metrics.summary())
+
+    return doc.render()
+
+
+def _render_spans(doc: _Doc, spans: SpanSet, top: int) -> None:
+    totals = spans.totals()
+    doc.section("Latency decomposition")
+    n = totals["packets"]
+    if n == 0:
+        doc.para(
+            f"No completed packets ({totals['incomplete']} incomplete)."
+        )
+    else:
+        latency = totals["latency"] or 1
+        rows = []
+        for comp in ("queue_wait", "blocked", "sxb_wait", "transfer"):
+            share = 100.0 * totals[comp] / latency
+            rows.append(
+                (comp, totals[comp], f"{totals[comp] / n:.2f}", f"{share:.1f}%")
+            )
+        rows.append(("latency (total)", totals["latency"], f"{totals['latency'] / n:.2f}", "100.0%"))
+        doc.para(
+            f"{n} completed packets, {totals['incomplete']} incomplete; "
+            "per-packet identity: queue_wait + blocked + sxb_wait + "
+            "transfer == latency."
+        )
+        doc.table(("component", "cycles", "per packet", "share"), rows)
+        if totals["detoured_packets"]:
+            doc.para(
+                f"Detour overhead: {totals['detour_overhead']} cycles over "
+                f"{totals['detoured_packets']} detoured packets "
+                "(vs the fault-free dimension-order route)."
+            )
+
+    blocked = spans.top_blocked(top)
+    doc.section("Blocked-cycle attribution (top refusing ports)")
+    if not blocked:
+        doc.para("No blocked cycles recorded.")
+    else:
+        peak = blocked[0][1]
+        doc.table(
+            ("rank", "(crossbar, port, vc)", "blocked cycles", ""),
+            [
+                (i + 1, label, cycles, _bar(cycles, peak))
+                for i, (label, cycles) in enumerate(blocked)
+            ],
+        )
+
+    waits = spans.sxb_waits()
+    doc.section("S-XB serialization wait (broadcasts)")
+    if not waits:
+        doc.para("No broadcasts in this run.")
+    else:
+        doc.para(
+            f"{len(waits)} broadcasts; total S-XB wait "
+            f"{sum(waits)} cycles, max {max(waits)}."
+        )
+        buckets = _bucketize(waits, SXB_WAIT_BUCKETS)
+        peak = max(c for _, c in buckets)
+        doc.table(
+            ("wait (cycles)", "broadcasts", ""),
+            [(label, c, _bar(c, peak)) for label, c in buckets],
+        )

@@ -6,18 +6,28 @@ into a plain dict record.  Records go to an optional JSONL ``sink``
 in-memory buffer for post-mortem queries.  The first record of a sink is
 always the schema header, so a trace file is self-describing::
 
-    {"kind": "trace_header", "schema": 1, "shape": [4, 3], ...}
+    {"kind": "trace_header", "schema": 2, "shape": [4, 3], ...}
+    {"kind": "inject", "cycle": 0, "pid": 7, "at": [0, 0], ...}
     {"kind": "grant", "cycle": 2, "pid": 7, "element": "XB0(0,)", ...}
+    {"kind": "block", "cycle": 3, "pid": 8, "out": "XB0(0,):p2:vc0", ...}
     {"kind": "deliver", "cycle": 9, "pid": 7, "at": [3, 2], "latency": 9}
     {"kind": "log", "cycle": 0, "message": "packet 7 injected at PE(0, 0)"}
 
-Record kinds and their extra fields (schema version 1):
+Record kinds and their extra fields (schema version 2):
 
 ========== ==============================================================
 kind       fields
 ========== ==============================================================
+``inject``   ``pid``, ``at`` (source PE), ``src``, ``dst``, ``rc``,
+             ``length``, ``expect`` (deliveries owed), ``queued_at``
+             (cycle the packet entered the source queue); emitted when
+             the packet takes the injection channel into the fabric
 ``grant``    ``pid``, ``element``, ``input`` (input channel cid or
              None for injections), ``outputs`` (list of [cid, vc] pairs)
+``block``    ``pid``, ``element``, ``why`` (one of
+             :data:`repro.sim.BLOCK_KINDS`), ``out`` (the refusing
+             (crossbar, port, vc) label), ``key`` ([cid, vc] of the
+             refused channel)
 ``deliver``  ``pid``, ``at`` (PE coordinate), ``latency`` (cycles since
              injection, None if unknown)
 ``deadlock`` ``cycle_pids`` (the cyclic wait), ``blocked`` (all in-flight
@@ -25,6 +35,9 @@ kind       fields
 ``log``      ``message`` (the engine's event-log line)
 ``phase``    ``phase`` (only when ``phases=True``; high volume)
 ========== ==============================================================
+
+Schema history: version 2 added the ``inject`` and ``block`` kinds
+(schema 1 traces read fine -- they just lack those records).
 
 The old :class:`~repro.sim.monitor.TextTrace` rides on this recorder now:
 it is a log-only recorder plus the legacy ``(cycle, message)`` rendering.
@@ -34,17 +47,28 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Deque, Dict, IO, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, IO, List, NamedTuple, Optional, Sequence, Tuple
 
-from ..sim.engine import CycleEngine, DeadlockReport
+from ..sim.engine import BlockEvent, CycleEngine, DeadlockReport
 from ..sim.fabric import Connection
-from ..topology.base import element_label
+from ..topology.base import element_label, output_port_map, port_label
 
 #: bump when a record kind gains/loses/renames a field
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
+
+#: schema versions :func:`read_trace` understands
+READABLE_SCHEMA_VERSIONS: Tuple[int, ...] = (1, 2)
 
 #: every subscribable record kind
-EVENT_KINDS: Tuple[str, ...] = ("grant", "deliver", "deadlock", "log", "phase")
+EVENT_KINDS: Tuple[str, ...] = (
+    "inject",
+    "grant",
+    "block",
+    "deliver",
+    "deadlock",
+    "log",
+    "phase",
+)
 
 
 class TraceRecorder:
@@ -58,7 +82,14 @@ class TraceRecorder:
 
     def __init__(
         self,
-        events: Sequence[str] = ("grant", "deliver", "deadlock", "log"),
+        events: Sequence[str] = (
+            "inject",
+            "grant",
+            "block",
+            "deliver",
+            "deadlock",
+            "log",
+        ),
         sink: Optional[IO[str]] = None,
         limit: Optional[int] = 10_000,
     ) -> None:
@@ -72,6 +103,7 @@ class TraceRecorder:
         self.sink = sink
         self.records: Deque[Dict] = deque(maxlen=limit)
         self._engine: Optional[CycleEngine] = None
+        self._ports: Dict = {}
 
     # -- lifecycle --------------------------------------------------------
     def attach(self, engine: CycleEngine) -> "TraceRecorder":
@@ -79,8 +111,13 @@ class TraceRecorder:
         if self.sink is not None:
             self._write(self.header(engine))
         hooks = engine.hooks
+        if "inject" in self.events:
+            hooks.on_inject(self._on_inject)
         if "grant" in self.events:
             hooks.on_grant(self._on_grant)
+        if "block" in self.events:
+            self._ports = output_port_map(engine.topo)
+            hooks.on_block(self._on_block)
         if "deliver" in self.events:
             hooks.on_deliver(self._on_deliver)
         if "deadlock" in self.events:
@@ -94,7 +131,9 @@ class TraceRecorder:
     def detach(self) -> None:
         if self._engine is not None:
             for fn in (
+                self._on_inject,
                 self._on_grant,
+                self._on_block,
                 self._on_deliver,
                 self._on_deadlock,
                 self._on_log,
@@ -121,6 +160,41 @@ class TraceRecorder:
 
     def _write(self, record: Dict) -> None:
         self.sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def _on_inject(
+        self, engine: CycleEngine, packet, coord, queued: bool
+    ) -> None:
+        if queued:
+            return  # only fabric entries are recorded; queue-entry time
+            # travels on the record as ``queued_at``
+        self._emit(
+            {
+                "kind": "inject",
+                "cycle": engine.cycle,
+                "pid": packet.pid,
+                "at": list(coord),
+                "src": list(packet.source),
+                "dst": list(packet.dest),
+                "rc": int(packet.header.rc),
+                "length": packet.length,
+                "expect": engine.expected_deliveries(packet),
+                "queued_at": packet.injected_at,
+            }
+        )
+
+    def _on_block(self, engine: CycleEngine, ev: BlockEvent) -> None:
+        cid, vc = ev.wanted[0]
+        self._emit(
+            {
+                "kind": "block",
+                "cycle": engine.cycle,
+                "pid": ev.pid,
+                "element": element_label(ev.element),
+                "why": ev.why,
+                "out": port_label(self._ports, cid, vc),
+                "key": [cid, vc],
+            }
+        )
 
     def _on_grant(self, engine: CycleEngine, conn: Connection) -> None:
         self._emit(
@@ -171,24 +245,65 @@ class TraceRecorder:
         return len(self.records)
 
 
-def read_trace(lines) -> Tuple[Optional[Dict], List[Dict]]:
-    """Parse a JSONL trace: returns (header, records).  ``lines`` is any
-    iterable of strings (an open file, ``text.splitlines()``...).
-    Raises ``ValueError`` on a schema the reader does not know."""
+class TraceData(NamedTuple):
+    """What :func:`read_trace` returns."""
+
+    header: Optional[Dict]
+    records: List[Dict]
+    #: skipped lines: ``{"line": 1-based number, "error": ..., "text": ...}``
+    malformed: List[Dict]
+
+
+def read_trace(lines, strict: bool = False) -> TraceData:
+    """Parse a JSONL trace: returns ``(header, records, malformed)``.
+
+    ``lines`` is any iterable of strings (an open file,
+    ``text.splitlines()``...).  Unparseable lines -- typically a
+    truncated tail after an interrupted run -- are skipped and reported
+    in ``malformed`` instead of aborting the read; pass ``strict=True``
+    to raise on the first one.  A header from a schema this reader does
+    not know always raises ``ValueError`` (that is a wrong *format*, not
+    a damaged file).
+    """
     header: Optional[Dict] = None
     records: List[Dict] = []
-    for line in lines:
+    malformed: List[Dict] = []
+    for lineno, line in enumerate(lines, 1):
         line = line.strip()
         if not line:
             continue
-        rec = json.loads(line)
-        if rec.get("kind") == "trace_header":
-            if rec.get("schema") != TRACE_SCHEMA_VERSION:
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if strict:
                 raise ValueError(
-                    f"trace schema {rec.get('schema')!r} is not "
-                    f"{TRACE_SCHEMA_VERSION} (this reader's version)"
+                    f"trace line {lineno} is not valid JSON: {exc}"
+                ) from exc
+            malformed.append(
+                {"line": lineno, "error": str(exc), "text": line[:200]}
+            )
+            continue
+        if not isinstance(rec, dict):
+            if strict:
+                raise ValueError(
+                    f"trace line {lineno} is not a JSON object"
+                )
+            malformed.append(
+                {
+                    "line": lineno,
+                    "error": "not a JSON object",
+                    "text": line[:200],
+                }
+            )
+            continue
+        if rec.get("kind") == "trace_header":
+            if rec.get("schema") not in READABLE_SCHEMA_VERSIONS:
+                raise ValueError(
+                    f"trace schema {rec.get('schema')!r} is not one of "
+                    f"{list(READABLE_SCHEMA_VERSIONS)} (this reader's "
+                    f"supported versions)"
                 )
             header = rec
         else:
             records.append(rec)
-    return header, records
+    return TraceData(header, records, malformed)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.fault import Fault
 from ..obs.metrics import MetricSet
+from ..obs.spans import SpanSet
 from ..sim.stats import LoadPoint
 
 
@@ -52,6 +53,10 @@ class RunSpec:
     #: attach the standard :mod:`repro.obs` collectors; the gathered
     #: MetricSet rides back on the PointResult (picklable + mergeable)
     metrics: bool = False
+    #: attach a :class:`~repro.obs.spans.PacketSpanCollector`; the
+    #: gathered SpanSet rides back on the PointResult with its pids
+    #: rebased, so serial and parallel sweeps merge byte-identically
+    spans: bool = False
 
     def describe(self) -> str:
         shape_s = "x".join(map(str, self.shape))
@@ -80,6 +85,7 @@ class RunSpec:
             "replica": self.replica,
             "label": self.label,
             "metrics": self.metrics,
+            "spans": self.spans,
         }
 
     def execute(self) -> "PointResult":
@@ -95,11 +101,17 @@ class RunSpec:
             faults=self.faults,
         )
         suite = None
-        if self.metrics:
-            from ..obs.collectors import attach_standard_collectors
-
+        span_collector = None
+        if self.metrics or self.spans:
             sim = make_sim()
-            suite = attach_standard_collectors(sim)
+            if self.metrics:
+                from ..obs.collectors import attach_standard_collectors
+
+                suite = attach_standard_collectors(sim)
+            if self.spans:
+                from ..obs.spans import PacketSpanCollector
+
+                span_collector = PacketSpanCollector().attach(sim)
 
             def make_sim(sim=sim):  # run_load_point calls it exactly once
                 return sim
@@ -118,6 +130,11 @@ class RunSpec:
             point=point,
             wall_time=time.perf_counter() - start,
             metrics=suite.metrics() if suite is not None else None,
+            spans=(
+                span_collector.span_set().rebased()
+                if span_collector is not None
+                else None
+            ),
         )
 
 
@@ -132,6 +149,8 @@ class PointResult:
     #: collector metrics, when the spec asked for them (picklable, so
     #: they cross the process boundary with the result)
     metrics: Optional[MetricSet] = None
+    #: per-packet spans, when the spec asked for them (pids rebased)
+    spans: Optional[SpanSet] = None
 
     def to_dict(self) -> Dict:
         lat = self.point.latency
@@ -154,6 +173,8 @@ class PointResult:
         }
         if self.metrics is not None:
             out["metrics"] = self.metrics.to_dict()
+        if self.spans is not None:
+            out["spans"] = self.spans.to_dict()
         return out
 
 

@@ -3,7 +3,14 @@
 from .adaptive import ADAPTIVE_VC, ESCAPE_VC, AdaptiveMDAdapter
 from .adapter import MDCrossbarAdapter, RoutingAdapter, SimDecision
 from .config import SimConfig, Switching
-from .engine import PHASES, CycleEngine, HookBus, find_pid_cycle
+from .engine import (
+    BLOCK_KINDS,
+    PHASES,
+    BlockEvent,
+    CycleEngine,
+    HookBus,
+    find_pid_cycle,
+)
 from .fabric import Connection, InFlightPacket, PendingRequest, SimFlit, VCState
 from .monitor import Sample, SimMonitor, TextTrace, channel_load_heatmap
 from .network import (
@@ -15,6 +22,8 @@ from .network import (
 )
 
 __all__ = [
+    "BLOCK_KINDS",
+    "BlockEvent",
     "CycleEngine",
     "HookBus",
     "PHASES",

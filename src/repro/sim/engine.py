@@ -26,7 +26,15 @@ engine internals:
 
 * ``on_cycle_start(engine)``            -- before the eject phase of a cycle;
 * ``on_phase_end(engine, phase)``       -- after each of the five phases;
+* ``on_inject(engine, packet, coord, queued)`` -- a packet entered the
+  source queue (``queued=True``, fired from :meth:`CycleEngine.send`) or
+  took the injection channel into the fabric (``queued=False``, fired
+  from the inject phase);
 * ``on_grant(engine, connection)``      -- a request was granted a switch;
+* ``on_block(engine, event)``           -- a packet failed to make progress
+  this cycle (a :class:`BlockEvent`: refused grant, S-XB serialization
+  wait, head-of-line wait behind another packet, or a transfer stalled on
+  a full downstream buffer).  Emitted once per blocked resource per cycle;
 * ``on_deliver(packet, coord, cycle)``  -- a tail flit ejected at a PE
   (once per recipient for broadcasts);
 * ``on_deadlock(engine, report)``       -- the stall watchdog fired;
@@ -62,6 +70,33 @@ from .fabric import (
 #: the five phases, in execution order (the names ``on_phase_end`` reports)
 PHASES: Tuple[str, ...] = ("eject", "route", "grant", "transfer", "inject")
 
+#: the ``why`` values a :class:`BlockEvent` can carry, in the order the
+#: engine emits them within one cycle
+BLOCK_KINDS: Tuple[str, ...] = ("serial", "grant", "hol", "transfer")
+
+
+@dataclass
+class BlockEvent:
+    """One packet's failure to make progress during one cycle.
+
+    ``why`` is one of :data:`BLOCK_KINDS`:
+
+    * ``"serial"``   -- waiting in an S-XB serialization queue;
+    * ``"grant"``    -- a progressive request still missing output ports;
+    * ``"hol"``      -- the header is queued behind another packet's flits
+      in an input buffer (cut-through head-of-line blocking);
+    * ``"transfer"`` -- an established connection could not move its flit
+      (full downstream buffer or the physical link was used this cycle).
+
+    ``wanted`` names the (channel cid, vc) resources the packet is waiting
+    for -- for attribution, the first entry is the refusing port.
+    """
+
+    pid: int
+    element: ElementId
+    wanted: Tuple[VCKey, ...]
+    why: str
+
 
 class HookBus:
     """Subscription lists for the engine's instrumentation events.
@@ -74,12 +109,25 @@ class HookBus:
         def saw(packet, coord, cycle): ...
     """
 
-    __slots__ = ("cycle_start", "phase_end", "grant", "deliver", "deadlock", "log")
+    __slots__ = (
+        "cycle_start",
+        "phase_end",
+        "inject",
+        "grant",
+        "block",
+        "deliver",
+        "deadlock",
+        "log",
+    )
 
     def __init__(self) -> None:
         self.cycle_start: List[Callable[["CycleEngine"], None]] = []
         self.phase_end: List[Callable[["CycleEngine", str], None]] = []
+        self.inject: List[
+            Callable[["CycleEngine", Packet, Coord, bool], None]
+        ] = []
         self.grant: List[Callable[["CycleEngine", Connection], None]] = []
+        self.block: List[Callable[["CycleEngine", BlockEvent], None]] = []
         self.deliver: List[Callable[[Packet, Coord, int], None]] = []
         self.deadlock: List[Callable[["CycleEngine", "DeadlockReport"], None]] = []
         self.log: List[Callable[[int, str], None]] = []
@@ -92,8 +140,18 @@ class HookBus:
         self.phase_end.append(fn)
         return fn
 
+    def on_inject(
+        self, fn: Callable[["CycleEngine", Packet, Coord, bool], None]
+    ):
+        self.inject.append(fn)
+        return fn
+
     def on_grant(self, fn: Callable[["CycleEngine", Connection], None]):
         self.grant.append(fn)
+        return fn
+
+    def on_block(self, fn: Callable[["CycleEngine", BlockEvent], None]):
+        self.block.append(fn)
         return fn
 
     def on_deliver(self, fn: Callable[[Packet, Coord, int], None]):
@@ -366,6 +424,9 @@ class CycleEngine:
         packet.injected_at = self.cycle if packet.injected_at is None else packet.injected_at
         self.source_queues[src].append(packet)
         self._nonempty_sources.add(src)
+        if self.hooks.inject:
+            for fn in self.hooks.inject:
+                fn(self, packet, src, True)
 
     def add_generator(self, fn: Callable[["CycleEngine"], None]) -> None:
         """Register a per-cycle traffic generator callback.
@@ -557,6 +618,53 @@ class CycleEngine:
             else:
                 remaining.append(req)
         self.pending = remaining
+        if self.hooks.block:
+            self._emit_block_events()
+
+    def _emit_block_events(self) -> None:
+        """Report every packet that failed to advance through grant this
+        cycle: serialized queue members, refused progressive requests, and
+        headers stuck behind another packet's flits in an input buffer.
+        Runs after the grant phase so freshly granted headers are not
+        counted; transfer stalls are reported from the transfer phase."""
+        fns = self.hooks.block
+
+        def emit(ev: BlockEvent) -> None:
+            for fn in fns:
+                fn(self, ev)
+
+        for el, queue in self.serial_queues.items():
+            for req in queue:
+                emit(
+                    BlockEvent(
+                        pid=req.pid,
+                        element=el,
+                        wanted=req.missing or req.wanted,
+                        why="serial",
+                    )
+                )
+        for req in self.pending:
+            emit(
+                BlockEvent(
+                    pid=req.pid,
+                    element=req.element,
+                    wanted=req.missing or req.wanted,
+                    why="grant",
+                )
+            )
+        # headers queued behind other traffic: they wait for their own
+        # input channel to drain (the resource named in ``wanted``)
+        for key in self._route_candidates:
+            el = self._element_of_input.get(key)
+            if el is None:
+                continue
+            for i, flit in enumerate(self.vcs[key].buffer):
+                if i > 0 and flit.is_head:
+                    emit(
+                        BlockEvent(
+                            pid=flit.pid, element=el, wanted=(key,), why="hol"
+                        )
+                    )
 
     def _establish(self, req: PendingRequest, owners_set: bool = False) -> None:
         if not owners_set:
@@ -585,6 +693,7 @@ class CycleEngine:
     def phase_transfer(self) -> None:
         used_links: Set[int] = set()
         finished: List[Tuple[ElementId, Optional[VCKey]]] = []
+        block_fns = self.hooks.block
         for conn_key, conn in self.connections.items():
             if conn.is_injection:
                 assert conn.supply is not None
@@ -598,12 +707,23 @@ class CycleEngine:
                 continue
             # all branches must accept the flit this cycle (lockstep copy)
             ready = True
+            stalled_on: Optional[VCKey] = None
             for k in conn.couts:
                 vc = self.vcs[k]
                 if vc.free_space <= 0 or k[0] in used_links:
                     ready = False
+                    stalled_on = k
                     break
             if not ready:
+                if block_fns:
+                    ev = BlockEvent(
+                        pid=conn.pid,
+                        element=conn.element,
+                        wanted=(stalled_on,),
+                        why="transfer",
+                    )
+                    for fn in block_fns:
+                        fn(self, ev)
                 continue
             if conn.is_injection:
                 conn.supply.popleft()
@@ -689,6 +809,9 @@ class CycleEngine:
             )
             self.injected += 1
             self._last_progress = self.cycle
+            if self.hooks.inject:
+                for fn in self.hooks.inject:
+                    fn(self, packet, coord, False)
             self.log(f"packet {packet.pid} injected at PE{coord}")
 
     # -------------------------------------------------------------- driver

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.coords import Coord, validate_shape
 
@@ -79,6 +79,32 @@ def element_label(el: ElementId) -> str:
 
 #: backwards-compatible private alias (prefer :func:`element_label`)
 _fmt = element_label
+
+
+def output_port_map(topo: "Topology") -> Dict[int, Tuple["Channel", str, int]]:
+    """Map every channel cid to ``(channel, owning element label, output
+    port index)`` -- the (crossbar, port) pair whose grant the channel
+    represents.  One vocabulary shared by the channel-utilization
+    collector, the span collector and the trace recorder, so
+    blocked-cycle attribution and utilization heatmaps key their series
+    identically."""
+    ports: Dict[int, Tuple[Channel, str, int]] = {}
+    for el in topo.elements():
+        label = element_label(el)
+        for port, ch in enumerate(topo.channels_from(el)):
+            ports[ch.cid] = (ch, label, port)
+    return ports
+
+
+def port_label(
+    ports: Dict[int, Tuple["Channel", str, int]],
+    cid: int,
+    vc: Optional[int] = None,
+) -> str:
+    """Render ``"XB0(1,):p3"`` (or ``"...:p3:vc0"``) for a channel cid."""
+    _, el, port = ports[cid]
+    base = f"{el}:p{port}"
+    return base if vc is None else f"{base}:vc{vc}"
 
 
 class Topology:

@@ -1,0 +1,76 @@
+"""Report renderer tests: deterministic output in both dialects, graceful
+degeneracy (no spans, no broadcasts, nothing blocked)."""
+
+import pytest
+
+from repro.obs import MetricSet, PacketSpanCollector
+from repro.obs.report import SXB_WAIT_BUCKETS, _bucketize, render_report
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.traffic import BernoulliInjector
+from tests.conftest import make_logic
+
+
+def collected_spans(topo):
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(make_logic(topo)), SimConfig(stall_limit=2000)
+    )
+    col = PacketSpanCollector().attach(sim)
+    sim.add_generator(BernoulliInjector(load=0.3, seed=3, stop_at=120))
+    sim.run(max_cycles=4000, until_drained=False)
+    col.detach(sim)
+    return col.span_set()
+
+
+class TestRenderReport:
+    def test_text_report_sections(self, topo43):
+        spans = collected_spans(topo43)
+        out = render_report(
+            spans=spans, run_info={"shape": "4x3"}, fmt="text"
+        )
+        assert "Latency decomposition" in out
+        assert "Blocked-cycle attribution" in out
+        assert "S-XB serialization wait" in out
+        assert "shape" in out and "4x3" in out
+        assert "#" in out  # the attribution bars rendered
+
+    def test_markdown_report_uses_md_structure(self, topo43):
+        spans = collected_spans(topo43)
+        out = render_report(spans=spans, fmt="md", title="T")
+        assert out.startswith("# T")
+        assert "## Latency decomposition" in out
+        assert "|--" in out  # md table separator row
+
+    def test_same_inputs_same_bytes(self, topo43):
+        spans = collected_spans(topo43)
+        assert render_report(spans=spans) == render_report(spans=spans)
+
+    def test_metrics_and_heatmap_sections(self):
+        ms = MetricSet()
+        ms.counter("deliveries").inc(3)
+        out = render_report(metrics=ms, heatmap="1 2\n3 4")
+        assert "Metrics" in out and "deliveries" in out
+        assert "Channel utilization heatmap" in out and "1 2" in out
+
+    def test_empty_report_renders(self):
+        out = render_report()
+        assert out.strip() == "Simulation report\n=================".strip()
+
+    def test_empty_span_set_degenerates_gracefully(self):
+        from repro.obs import SpanSet
+
+        out = render_report(spans=SpanSet())
+        assert "No completed packets" in out
+        assert "No blocked cycles recorded" in out
+        assert "No broadcasts in this run" in out
+
+    def test_bad_format_raises(self):
+        with pytest.raises(ValueError):
+            render_report(fmt="html")
+
+
+class TestBucketize:
+    def test_buckets_cover_all_values(self):
+        rows = _bucketize([0, 1, 2, 5, 100], SXB_WAIT_BUCKETS)
+        assert sum(c for _, c in rows) == 5
+        assert rows[0] == ("<=0", 1)
+        assert rows[-1] == (f">{SXB_WAIT_BUCKETS[-1]}", 1)

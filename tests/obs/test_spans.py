@@ -1,0 +1,218 @@
+"""Span tests: the latency accounting identity is exact, attribution is
+complete (zero detour overhead on a fault-free network), collection never
+perturbs the simulation, and span sets pickle/merge like metric sets."""
+
+import io
+import json
+import pickle
+
+from repro.core import Fault, Header, Packet, RC, Unicast, compute_route
+from repro.obs import (
+    PacketSpanCollector,
+    SpanSet,
+    TraceRecorder,
+    merge_span_sets,
+    read_trace,
+    spans_from_trace,
+)
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.traffic import BernoulliInjector
+from tests.conftest import make_logic
+
+
+def make_sim(topo, **kw):
+    return NetworkSimulator(
+        MDCrossbarAdapter(make_logic(topo, **kw)), SimConfig(stall_limit=2000)
+    )
+
+
+def loaded_run(topo, load=0.3, seed=3, stop_at=150, collector=False, **kw):
+    sim = make_sim(topo, **kw)
+    col = PacketSpanCollector().attach(sim) if collector else None
+    sim.add_generator(
+        BernoulliInjector(load=load, seed=seed, stop_at=stop_at)
+    )
+    res = sim.run(max_cycles=4000, until_drained=False)
+    if col is not None:
+        col.detach(sim)
+    return sim, res, col
+
+
+def assert_identity(span):
+    comp = span.components()
+    assert comp is not None
+    assert (
+        comp["queue_wait"] + comp["blocked"] + comp["sxb_wait"]
+        + comp["transfer"] == span.latency
+    )
+
+
+class TestAccountingIdentity:
+    def test_single_unicast_decomposes_exactly(self, topo43):
+        sim = make_sim(topo43)
+        col = PacketSpanCollector().attach(sim)
+        pkt = Packet(Header(source=(0, 0), dest=(3, 2), rc=RC.NORMAL), length=4)
+        sim.send(pkt)
+        sim.run(max_cycles=500)
+        (span,) = col.span_set().spans
+        assert_identity(span)
+        # an uncontended packet never blocks: latency == hops + length
+        route = compute_route(
+            topo43, make_logic(topo43), Unicast((0, 0), (3, 2))
+        )
+        assert span.blocked_total == 0 and span.sxb_wait == 0
+        assert span.transfer == len(route.path_to((3, 2))) + pkt.length
+        assert span.detour_overhead == 0
+
+    def test_contended_run_attributes_every_stalled_cycle(self, topo43):
+        """The strong form of the identity: with a fault-free network,
+        detour_overhead == 0 for every unicast, which means every cycle
+        the packet failed to advance was classified as blocked/sxb/queue
+        (nothing leaked into the transfer residual)."""
+        _, res, col = loaded_run(topo43, collector=True)
+        spans = col.span_set().spans
+        assert len(spans) == len(res.delivered) > 30
+        total_blocked = 0
+        for span in spans:
+            assert_identity(span)
+            assert span.detour_overhead == 0
+            total_blocked += span.blocked_total
+        assert total_blocked > 0  # the run actually had contention
+
+    def test_broadcast_serialization_shows_up_as_sxb_wait(self, topo43):
+        sim = make_sim(topo43)
+        col = PacketSpanCollector().attach(sim)
+        pkts = [
+            Packet(
+                Header(source=src, dest=src, rc=RC.BROADCAST_REQUEST),
+                length=4,
+            )
+            for src in ((2, 1), (3, 2))
+        ]
+        for p in pkts:
+            sim.send(p)
+        sim.run(max_cycles=2000)
+        spans = {s.pid: s for s in col.span_set().spans}
+        assert len(spans) == 2
+        for span in spans.values():
+            assert_identity(span)
+            assert span.deliveries == span.expected == topo43.num_nodes
+        # one of the two serialized broadcasts waited for the S-XB
+        assert sorted(s.sxb_wait for s in spans.values())[0] == 0
+        assert sorted(s.sxb_wait for s in spans.values())[1] > 0
+
+    def test_detour_overhead_equals_extra_route_length(self, topo43):
+        fault = Fault.router((2, 0))
+        sim = make_sim(topo43, faults=(fault,))
+        col = PacketSpanCollector().attach(sim)
+        # dimension-order (0,0)->(2,2) turns at router (2,0), the fault
+        src, dst = (0, 0), (2, 2)
+        sim.send(Packet(Header(source=src, dest=dst, rc=RC.NORMAL), length=4))
+        sim.run(max_cycles=500)
+        (span,) = col.span_set().spans
+        assert_identity(span)
+        faulted = compute_route(
+            topo43, make_logic(topo43, faults=(fault,)), Unicast(src, dst)
+        )
+        base = compute_route(topo43, make_logic(topo43), Unicast(src, dst))
+        expected = len(faulted.path_to(dst)) - len(base.path_to(dst))
+        assert expected > 0
+        assert span.detour_overhead == expected
+
+
+class TestEngineParity:
+    def test_span_collection_changes_nothing(self, topo43):
+        """Fingerprint parity: spans + a full v2 trace recorder attached
+        vs a bare run."""
+        _, bare, _ = loaded_run(topo43)
+        sim = make_sim(topo43)
+        col = PacketSpanCollector().attach(sim)
+        rec = TraceRecorder(sink=io.StringIO()).attach(sim)
+        sim.add_generator(BernoulliInjector(load=0.3, seed=3, stop_at=150))
+        observed = sim.run(max_cycles=4000, until_drained=False)
+        assert observed.fingerprint() == bare.fingerprint()
+        col.detach(sim)
+        rec.detach()
+        assert all(not getattr(sim.hooks, n) for n in sim.hooks.__slots__)
+
+
+class TestSpanSetMechanics:
+    def test_pickle_roundtrip(self, topo43):
+        _, _, col = loaded_run(topo43, collector=True)
+        ss = col.span_set()
+        back = pickle.loads(pickle.dumps(ss))
+        assert json.dumps(back.to_dict()) == json.dumps(ss.to_dict())
+
+    def test_rebase_and_merge_are_order_stable(self, topo43):
+        _, _, col = loaded_run(topo43, collector=True, seed=3)
+        _, _, col2 = loaded_run(topo43, collector=True, seed=4)
+        a, b = col.span_set().rebased(), col2.span_set().rebased()
+        merged = merge_span_sets([a, None, b])
+        assert len(merged) == len(a) + len(b)
+        # rebasing makes the serialization independent of the absolute
+        # pid counter, which differs between processes
+        assert a.spans[0].pid == 0 or a.incomplete[0].pid == 0
+
+    def test_incomplete_packets_still_feed_attribution(self, topo43):
+        sim = make_sim(topo43)
+        col = PacketSpanCollector().attach(sim)
+        sim.add_generator(BernoulliInjector(load=0.4, seed=7, stop_at=100))
+        sim.run(max_cycles=40, until_drained=False)  # cut the run short
+        ss = col.span_set()
+        assert len(ss.incomplete) > 0
+        assert set(ss.blocked_by_port()) >= set(
+            ss.blocked_by_port(include_incomplete=False)
+        )
+
+    def test_metrics_names(self, topo43):
+        _, _, col = loaded_run(topo43, collector=True)
+        m = col.metrics()
+        assert m["spans_completed"].value == len(col.span_set().spans)
+        for name in ("spans_incomplete", "span_queue_wait", "span_sxb_wait",
+                     "span_blocked_cycles", "span_detour_overhead_cycles"):
+            assert name in m
+
+    def test_empty_set_aggregates(self):
+        ss = SpanSet()
+        assert ss.totals()["packets"] == 0
+        assert ss.top_blocked() == []
+        assert ss.sxb_waits() == []
+        assert len(merge_span_sets([])) == 0
+
+
+class TestTraceReplay:
+    def test_trace_replay_matches_live_collection(self, topo43):
+        sim = make_sim(topo43)
+        col = PacketSpanCollector().attach(sim)
+        sink = io.StringIO()
+        rec = TraceRecorder(sink=sink, limit=None).attach(sim)
+        sim.add_generator(BernoulliInjector(load=0.3, seed=3, stop_at=150))
+        sim.run(max_cycles=4000, until_drained=False)
+        col.detach(sim)
+        rec.detach()
+        header, records, malformed = read_trace(sink.getvalue().splitlines())
+        assert malformed == []
+        replayed = spans_from_trace(header, records)
+        live = col.span_set()
+        assert replayed.totals() == live.totals()
+        assert replayed.blocked_by_port() == live.blocked_by_port()
+        assert [s.pid for s in replayed.spans] == [s.pid for s in live.spans]
+
+
+class TestRuntimeIntegration:
+    def test_parallel_span_merge_is_byte_identical(self):
+        from repro.obs.spans import merge_span_sets as merge
+        from repro.runtime import RunSpec, run_specs
+
+        specs = [
+            RunSpec(
+                kind="md-crossbar", shape=(4, 3), load=load, seed=2,
+                warmup=50, window=100, drain=500, spans=True,
+            )
+            for load in (0.1, 0.2, 0.3)
+        ]
+        serial = run_specs(specs, jobs=None)
+        fanned = run_specs(specs, jobs=4)
+        a = merge(r.spans for r in serial).to_dict()
+        b = merge(r.spans for r in fanned).to_dict()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

@@ -37,7 +37,7 @@ class TestRecorder:
     def test_default_events_cover_a_unicast(self, topo43):
         _, res, rec, pkt = traced_run(topo43)
         kinds = {r["kind"] for r in rec.records}
-        assert kinds == {"grant", "deliver", "log"}
+        assert kinds == {"inject", "grant", "deliver", "log"}
         (deliver,) = rec.of_kind("deliver")
         assert deliver["pid"] == pkt.pid
         assert deliver["at"] == [3, 2]
@@ -86,14 +86,56 @@ class TestJsonlSink:
     def test_read_trace_roundtrip(self, topo43):
         sink = io.StringIO()
         _, _, rec, _ = traced_run(topo43, sink=sink)
-        header, records = read_trace(sink.getvalue().splitlines())
+        header, records, malformed = read_trace(sink.getvalue().splitlines())
         assert header["topology"] == "MDCrossbar"
         assert records == list(rec.records)
+        assert malformed == []
 
     def test_read_trace_rejects_unknown_schema(self):
         bad = json.dumps({"kind": "trace_header", "schema": 999})
         with pytest.raises(ValueError):
             read_trace([bad])
+
+    def test_read_trace_accepts_schema_1(self):
+        lines = [
+            json.dumps({"kind": "trace_header", "schema": 1, "shape": [4, 3]}),
+            json.dumps({"kind": "deliver", "cycle": 9, "pid": 0}),
+        ]
+        header, records, malformed = read_trace(lines)
+        assert header["schema"] == 1
+        assert len(records) == 1 and malformed == []
+
+
+class TestMalformedLines:
+    def test_truncated_tail_is_skipped_and_reported(self, topo43):
+        """An interrupted run leaves a half-written last line; the read
+        keeps everything before it and reports the damage."""
+        sink = io.StringIO()
+        _, _, rec, _ = traced_run(topo43, sink=sink)
+        text = sink.getvalue() + '{"kind": "deliver", "cyc'  # no newline
+        header, records, malformed = read_trace(text.splitlines())
+        assert header is not None
+        assert records == list(rec.records)
+        assert len(malformed) == 1
+        bad = malformed[0]
+        assert bad["line"] == len(text.splitlines())
+        assert bad["text"].startswith('{"kind": "deliver"')
+        assert "error" in bad
+
+    def test_non_object_line_is_reported(self):
+        _, records, malformed = read_trace(["[1, 2, 3]", '{"kind": "log"}'])
+        assert len(records) == 1
+        assert malformed[0]["error"] == "not a JSON object"
+
+    def test_blank_lines_are_not_malformed(self):
+        _, records, malformed = read_trace(["", "  ", '{"kind": "log"}'])
+        assert len(records) == 1 and malformed == []
+
+    def test_strict_mode_raises_on_first_bad_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_trace(['{"trunc', '{"kind": "log"}'], strict=True)
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_trace(["42"], strict=True)
 
 
 class TestTextTraceCompatibility:

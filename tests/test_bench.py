@@ -1,0 +1,131 @@
+"""Bench harness tests: the suite measures real runs, bench files
+round-trip, and the comparison gate catches both wall-clock regressions
+and deterministic-quantity drift."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_CASES,
+    BENCH_SCHEMA,
+    compare_bench,
+    load_bench,
+    render_bench,
+    run_case,
+    run_suite,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_doc():
+    return run_suite(smoke=True, label="test")
+
+
+class TestSuite:
+    def test_smoke_subset_is_nonempty_and_fast_cases_only(self):
+        smoke = [c for c in BENCH_CASES if c.smoke]
+        assert len(smoke) >= 3
+        assert any("broadcast" in c.name for c in smoke)
+        assert any("detour" in c.name or "fault" in c.name for c in smoke)
+
+    def test_doc_shape(self, smoke_doc):
+        assert smoke_doc["kind"] == "bench"
+        assert smoke_doc["schema"] == BENCH_SCHEMA
+        assert smoke_doc["peak_rss_kb"] > 0
+        for case in smoke_doc["cases"].values():
+            assert case["cycles"] > 0
+            assert case["cycles_per_sec"] > 0
+            assert case["delivered"] > 0
+            assert not case["deadlocked"]
+
+    def test_span_aggregates_are_present(self, smoke_doc):
+        bc = smoke_doc["cases"]["broadcast_4x3"]
+        assert bc["sxb_wait_cycles"] > 0  # serialized broadcasts waited
+        det = smoke_doc["cases"]["detour_4x3_fault"]
+        assert det["detour_overhead_cycles"] > 0  # detours cost cycles
+
+    def test_single_case_is_deterministic_in_simulated_quantities(self):
+        case = next(c for c in BENCH_CASES if c.name == "p2p_4x3_low")
+        a, b = run_case(case), run_case(case)
+        for field in ("cycles", "delivered", "flit_moves", "blocked_cycles"):
+            assert a[field] == b[field]
+
+    def test_render(self, smoke_doc):
+        out = render_bench(smoke_doc)
+        for name in smoke_doc["cases"]:
+            assert name in out
+
+
+class TestBenchFiles:
+    def test_write_load_roundtrip(self, smoke_doc, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_bench(smoke_doc, str(path))
+        assert load_bench(str(path)) == smoke_doc
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "trace"}))
+        with pytest.raises(ValueError):
+            load_bench(str(path))
+
+
+class TestCompare:
+    def test_no_regression_against_self(self, smoke_doc):
+        assert compare_bench(smoke_doc, smoke_doc, threshold_pct=20) == []
+
+    def test_synthetic_slowdown_is_caught(self, smoke_doc):
+        baseline = copy.deepcopy(smoke_doc)
+        name = next(iter(baseline["cases"]))
+        baseline["cases"][name]["cycles_per_sec"] *= 100  # was 100x faster
+        regs = compare_bench(smoke_doc, baseline, threshold_pct=50)
+        assert [r for r in regs if r.field == "cycles_per_sec"]
+
+    def test_slowdown_within_threshold_passes(self, smoke_doc):
+        baseline = copy.deepcopy(smoke_doc)
+        name = next(iter(baseline["cases"]))
+        baseline["cases"][name]["cycles_per_sec"] *= 1.05
+        assert compare_bench(smoke_doc, baseline, threshold_pct=50) == []
+
+    def test_deterministic_drift_is_always_a_regression(self, smoke_doc):
+        baseline = copy.deepcopy(smoke_doc)
+        name = next(iter(baseline["cases"]))
+        baseline["cases"][name]["delivered"] += 1
+        regs = compare_bench(smoke_doc, baseline, threshold_pct=99)
+        assert any(r.field == "delivered" for r in regs)
+
+    def test_missing_case_is_a_regression(self, smoke_doc):
+        new = copy.deepcopy(smoke_doc)
+        name = next(iter(new["cases"]))
+        del new["cases"][name]
+        regs = compare_bench(new, smoke_doc, threshold_pct=20)
+        assert any(r.field == "presence" and r.case == name for r in regs)
+
+
+class TestCli:
+    def test_bench_cli_writes_and_gates(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = str(tmp_path)
+        assert main(["bench", "--smoke", "--label", "a",
+                     "--out-dir", out_dir]) == 0
+        base = tmp_path / "BENCH_a.json"
+        assert base.exists()
+        # self-comparison with a generous threshold passes
+        assert main([
+            "bench", "--smoke", "--label", "b", "--out-dir", out_dir,
+            "--compare", str(base), "--threshold", "95",
+        ]) == 0
+        # a doctored, impossibly fast baseline trips the gate
+        doc = json.loads(base.read_text())
+        for case in doc["cases"].values():
+            case["cycles_per_sec"] *= 1000
+        fast = tmp_path / "BENCH_fast.json"
+        fast.write_text(json.dumps(doc))
+        assert main([
+            "bench", "--smoke", "--label", "c", "--out-dir", out_dir,
+            "--compare", str(fast), "--threshold", "50",
+        ]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out

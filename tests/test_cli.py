@@ -271,7 +271,9 @@ class TestTraceCommand:
         assert rc == 0
         lines = captured.out.splitlines()
         header = json.loads(lines[0])
-        assert header["kind"] == "trace_header" and header["schema"] == 1
+        from repro.obs import TRACE_SCHEMA_VERSION
+        assert header["kind"] == "trace_header"
+        assert header["schema"] == TRACE_SCHEMA_VERSION
         kinds = {json.loads(line)["kind"] for line in lines[1:]}
         assert "grant" in kinds and "deliver" in kinds
         assert "traced" in captured.err  # summary stays off stdout
@@ -298,6 +300,72 @@ class TestTraceCommand:
                      "--out", str(out_path)]) == 0
         capsys.readouterr()
         with open(out_path) as fh:
-            header, records = read_trace(fh)
+            header, records, malformed = read_trace(fh)
+        assert malformed == []
         assert header["shape"] == [3, 3]
         assert records
+
+
+class TestReportCommand:
+    def test_live_report(self, capsys):
+        rc = main(["report", "--shape", "3x3", "--load", "0.2",
+                   "--cycles", "60"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Latency decomposition" in out
+        assert "Blocked-cycle attribution" in out
+        assert "Channel utilization heatmap" in out
+        assert "Metrics" in out
+
+    def test_live_report_markdown(self, capsys):
+        rc = main(["report", "--shape", "3x3", "--cycles", "60",
+                   "--format", "md"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.startswith("# Run report")
+        assert "## Latency decomposition" in out
+
+    def test_report_from_trace_matches_live_decomposition(
+        self, capsys, tmp_path
+    ):
+        """The trace-replay path reproduces the live run's numbers."""
+        assert main(["report", "--shape", "3x3", "--load", "0.2",
+                     "--cycles", "60", "--seed", "9"]) == 0
+        live = capsys.readouterr().out
+        path = tmp_path / "run.jsonl"
+        assert main(["trace", "--shape", "3x3", "--load", "0.2",
+                     "--cycles", "60", "--seed", "9",
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--trace", str(path)]) == 0
+        replayed = capsys.readouterr().out
+        live_table = live.split("Latency decomposition")[1].split("S-XB")[0]
+        replay_table = replayed.split("Latency decomposition")[1].split("S-XB")[0]
+        assert live_table == replay_table
+
+    def test_report_from_trace_warns_on_malformed_tail(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        assert main(["trace", "--shape", "3x3", "--cycles", "40",
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        with open(path, "a") as fh:
+            fh.write('{"kind": "deliv')  # truncated tail
+        rc = main(["report", "--trace", str(path)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "skipped 1 malformed trace line" in captured.err
+        assert "Latency decomposition" in captured.out
+
+
+class TestDoctorObsChecks:
+    def test_doctor_reports_obs_health(self, capsys):
+        rc = main(["doctor", "--shape", "3x3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "obs: collector detach leaves the hook bus empty: ok" in out
+        assert "obs: trace roundtrip (schema" in out
+        assert "obs: trace replay matches the live span totals: ok" in out
+        assert "obs: truncated tail line is skipped+reported: ok" in out
+        assert out.rstrip().endswith("healthy")

@@ -1,0 +1,68 @@
+"""Heatmap renderer tests, focused on degenerate inputs: empty
+utilization maps, a single channel, all-zero counts."""
+
+import pytest
+
+from repro.obs import ChannelUtilization
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.viz.heatmap import (
+    render_heat_grid,
+    render_histogram_bars,
+    render_router_heatmap,
+)
+from tests.conftest import make_logic
+
+
+class TestHeatGrid:
+    def test_empty_values_render_all_zero(self):
+        out = render_heat_grid((4, 3), {})
+        rows = out.splitlines()
+        assert len(rows) == 3
+        assert all(r == ". . . ." for r in rows)  # '.' is zero heat
+
+    def test_single_cell(self, topo43):
+        out = render_heat_grid((4, 3), {(2, 1): 1.0})
+        assert out.splitlines()[1].split(" ")[2] == "9"
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            render_heat_grid((3, 3, 3), {})
+
+
+class TestRouterHeatmap:
+    def test_empty_busy_fractions(self, topo43):
+        out = render_router_heatmap(topo43, {})
+        assert len(out.splitlines()) == 3
+
+    def test_single_channel(self, topo43):
+        cid = topo43.injection_channel((0, 0)).cid
+        out = render_router_heatmap(topo43, {cid: 1.0})
+        assert out != render_router_heatmap(topo43, {})
+
+    def test_unattached_collector_raises(self):
+        with pytest.raises(ValueError):
+            ChannelUtilization().heatmap()
+
+    def test_idle_collector_renders_zero_heat(self, topo43):
+        sim = NetworkSimulator(
+            MDCrossbarAdapter(make_logic(topo43)), SimConfig()
+        )
+        col = ChannelUtilization().attach(sim)
+        assert col.busy_fractions() == {}  # zero cycles: no division
+        sim.run(max_cycles=3, until_drained=False)
+        out = col.heatmap()
+        assert set(out.replace("\n", " ").split(" ")) == {"."}
+
+
+class TestHistogramBars:
+    def test_empty(self):
+        assert render_histogram_bars([], []) == ()
+
+    def test_all_zero_counts_render_no_bars(self):
+        rows = render_histogram_bars(["a", "b"], [0, 0])
+        assert len(rows) == 2
+        assert all("#" not in r for r in rows)
+
+    def test_single_row_peaks(self):
+        (row,) = render_histogram_bars(["only"], [7], width=10)
+        assert row.endswith("#" * 10)
