@@ -24,7 +24,10 @@ relative drop on the *same* machine family is meaningful).
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
+import pstats
 import resource
 import sys
 import time
@@ -36,8 +39,11 @@ from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
 from .topology import MDCrossbar
 from .traffic import BernoulliInjector, uniform
 
-#: bump when the per-case measurement fields change
-BENCH_SCHEMA = 1
+#: bump when the per-case measurement fields change.
+#: schema 2: best-of-``repeats`` wall times, fast-vs-legacy in-run
+#: comparison (``speedup_vs_legacy``/``legacy_drift``) and three more
+#: deterministic span aggregates per case.
+BENCH_SCHEMA = 2
 
 #: simulated quantities that must be bit-identical between runs of a case
 DETERMINISTIC_FIELDS = (
@@ -46,6 +52,9 @@ DETERMINISTIC_FIELDS = (
     "flit_moves",
     "blocked_cycles",
     "sxb_wait_cycles",
+    "mean_latency",
+    "queue_wait_cycles",
+    "detour_overhead_cycles",
 )
 
 
@@ -53,20 +62,24 @@ class BenchCase(NamedTuple):
     name: str
     description: str
     smoke: bool  #: part of the fast CI subset
-    build: Callable[[], Tuple[NetworkSimulator, int]]  #: () -> (sim, max_cycles)
+    #: (legacy_scan) -> (sim, max_cycles)
+    build: Callable[..., Tuple[NetworkSimulator, int]]
 
 
-def _md_sim(shape, faults=(), stall_limit: int = 5000) -> NetworkSimulator:
+def _md_sim(
+    shape, faults=(), stall_limit: int = 5000, legacy: bool = False
+) -> NetworkSimulator:
     topo = MDCrossbar(shape)
     logic = SwitchLogic(topo, make_config(shape, faults=tuple(faults)))
     return NetworkSimulator(
-        MDCrossbarAdapter(logic), SimConfig(stall_limit=stall_limit)
+        MDCrossbarAdapter(logic),
+        SimConfig(stall_limit=stall_limit, legacy_scan=legacy),
     )
 
 
 def _bernoulli_case(shape, load, cycles, faults=(), seed=1):
-    def build() -> Tuple[NetworkSimulator, int]:
-        sim = _md_sim(shape, faults=faults)
+    def build(legacy: bool = False) -> Tuple[NetworkSimulator, int]:
+        sim = _md_sim(shape, faults=faults, legacy=legacy)
         sim.add_generator(
             BernoulliInjector(
                 load=load,
@@ -82,8 +95,8 @@ def _bernoulli_case(shape, load, cycles, faults=(), seed=1):
 
 
 def _broadcast_case(shape, rounds, gap):
-    def build() -> Tuple[NetworkSimulator, int]:
-        sim = _md_sim(shape)
+    def build(legacy: bool = False) -> Tuple[NetworkSimulator, int]:
+        sim = _md_sim(shape, legacy=legacy)
         coords = sorted(MDCrossbar(shape).node_coords())
         for i in range(rounds):
             src = coords[i % len(coords)]
@@ -95,6 +108,25 @@ def _broadcast_case(shape, rounds, gap):
                 at_cycle=i * gap,
             )
         return sim, rounds * gap * 50 + 5000
+
+    return build
+
+
+def _stream_case(shape, packets, length, gap):
+    """Long packets with idle gaps between them: exercises the engine's
+    bulk flit-run windows (the body of each packet) and the idle-cycle
+    fast-forward (the gaps)."""
+
+    def build(legacy: bool = False) -> Tuple[NetworkSimulator, int]:
+        sim = _md_sim(shape, legacy=legacy)
+        coords = sorted(MDCrossbar(shape).node_coords())
+        src, dst = coords[0], coords[-1]
+        for i in range(packets):
+            sim.send(
+                Packet(Header(source=src, dest=dst), length=length),
+                at_cycle=i * gap,
+            )
+        return sim, packets * gap + 2000
 
     return build
 
@@ -120,6 +152,12 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         _bernoulli_case((4, 3), 0.15, 300, faults=(Fault.router((2, 0)),)),
     ),
     BenchCase(
+        "stream_8x1_long",
+        "12 length-64 packets across an 8x1 line, 120-cycle gaps",
+        True,
+        _stream_case((8, 1), 12, 64, 120),
+    ),
+    BenchCase(
         "p2p_8x8_mid",
         "uniform Bernoulli traffic, 8x8, load 0.3",
         False,
@@ -128,9 +166,9 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
 )
 
 
-def run_case(case: BenchCase) -> Dict:
-    """Build, run and measure one case (spans attached throughout)."""
-    sim, max_cycles = case.build()
+def _measure(case: BenchCase, legacy: bool = False) -> Dict:
+    """One timed run of a case (spans attached throughout)."""
+    sim, max_cycles = case.build(legacy=legacy)
     spans = PacketSpanCollector().attach(sim)
     t0 = time.perf_counter()
     res = sim.run(max_cycles=max_cycles, until_drained=False)
@@ -139,14 +177,9 @@ def run_case(case: BenchCase) -> Dict:
     totals = spans.span_set().totals()
     lats = res.latencies
     return {
-        "description": case.description,
-        "wall_time_s": round(wall, 6),
+        "wall_time_s": wall,
         "cycles": res.cycles,
-        "cycles_per_sec": round(res.cycles / wall, 1) if wall > 0 else 0.0,
         "flit_moves": res.flit_moves,
-        "flit_moves_per_sec": (
-            round(res.flit_moves / wall, 1) if wall > 0 else 0.0
-        ),
         "delivered": len(res.delivered),
         "mean_latency": (
             round(sum(lats) / len(lats), 3) if lats else None
@@ -159,19 +192,113 @@ def run_case(case: BenchCase) -> Dict:
     }
 
 
+def _profile_case(case: BenchCase, top: int) -> str:
+    """One extra run under cProfile; returns the top-``top`` cumulative
+    dump (never used for the timed measurements)."""
+    sim, max_cycles = case.build()
+    spans = PacketSpanCollector().attach(sim)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run(max_cycles=max_cycles, until_drained=False)
+    profiler.disable()
+    spans.detach(sim)
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
+
+
+def run_case(
+    case: BenchCase,
+    repeats: int = 3,
+    legacy_compare: bool = False,
+    profile_top: Optional[int] = None,
+) -> Dict:
+    """Measure one case: best-of-``repeats`` wall time (the simulated
+    quantities must agree across every repeat -- any disagreement is a
+    determinism bug and raises).  With ``legacy_compare`` the case also
+    runs once with ``legacy_scan=True`` and the result carries the
+    in-run ``speedup_vs_legacy`` (machine-independent, unlike the
+    wall-clock rates) plus ``legacy_drift``, the deterministic fields on
+    which the fast path disagreed with the full per-cycle scan (always
+    empty unless the active-set engine is broken).  ``profile_top``
+    adds a cProfile top-N cumulative dump from one extra run."""
+    runs = [_measure(case) for _ in range(max(1, repeats))]
+    for other in runs[1:]:
+        for field in DETERMINISTIC_FIELDS:
+            if other[field] != runs[0][field]:
+                raise AssertionError(
+                    f"{case.name}: {field} drifted between repeats "
+                    f"({runs[0][field]!r} != {other[field]!r})"
+                )
+    best = min(runs, key=lambda r: r["wall_time_s"])
+    wall = best["wall_time_s"]
+    out = {
+        "description": case.description,
+        "repeats": len(runs),
+        "wall_time_s": round(wall, 6),
+        "cycles": best["cycles"],
+        "cycles_per_sec": round(best["cycles"] / wall, 1) if wall > 0 else 0.0,
+        "flit_moves": best["flit_moves"],
+        "flit_moves_per_sec": (
+            round(best["flit_moves"] / wall, 1) if wall > 0 else 0.0
+        ),
+        "delivered": best["delivered"],
+        "mean_latency": best["mean_latency"],
+        "blocked_cycles": best["blocked_cycles"],
+        "sxb_wait_cycles": best["sxb_wait_cycles"],
+        "queue_wait_cycles": best["queue_wait_cycles"],
+        "detour_overhead_cycles": best["detour_overhead_cycles"],
+        "deadlocked": best["deadlocked"],
+    }
+    if legacy_compare:
+        # same best-of-repeats discipline: the speedup ratio is only as
+        # stable as its noisier (legacy) leg
+        legacy_runs = [
+            _measure(case, legacy=True) for _ in range(max(1, repeats))
+        ]
+        legacy = min(legacy_runs, key=lambda r: r["wall_time_s"])
+        lw = legacy["wall_time_s"]
+        legacy_rate = round(legacy["cycles"] / lw, 1) if lw > 0 else 0.0
+        out["legacy_cycles_per_sec"] = legacy_rate
+        out["speedup_vs_legacy"] = (
+            round(out["cycles_per_sec"] / legacy_rate, 3)
+            if legacy_rate
+            else None
+        )
+        out["legacy_drift"] = [
+            field
+            for field in DETERMINISTIC_FIELDS
+            if legacy[field] != best[field]
+        ]
+    if profile_top:
+        out["profile"] = _profile_case(case, profile_top)
+    return out
+
+
 def run_suite(
     smoke: bool = False,
     label: str = "local",
     progress: Optional[Callable[[str], None]] = None,
+    repeats: int = 3,
+    legacy_compare: bool = True,
+    profile_top: Optional[int] = None,
 ) -> Dict:
-    """Run the pinned suite (or its ``--smoke`` subset) into a bench doc."""
+    """Run the pinned suite (or its ``--smoke`` subset) into a bench doc.
+
+    ``legacy_compare`` applies to the smoke cases only (the legacy twin
+    of the big non-smoke cases would dominate suite runtime)."""
     cases: Dict[str, Dict] = {}
     for case in BENCH_CASES:
         if smoke and not case.smoke:
             continue
         if progress:
             progress(f"running {case.name}: {case.description}")
-        cases[case.name] = run_case(case)
+        cases[case.name] = run_case(
+            case,
+            repeats=repeats,
+            legacy_compare=legacy_compare and case.smoke,
+            profile_top=profile_top,
+        )
     return {
         "kind": "bench",
         "schema": BENCH_SCHEMA,
@@ -193,9 +320,9 @@ def write_bench(doc: Dict, path: str) -> None:
 def load_bench(path: str) -> Dict:
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("kind") != "bench" or doc.get("schema") != BENCH_SCHEMA:
+    if doc.get("kind") != "bench" or doc.get("schema") not in (1, BENCH_SCHEMA):
         raise ValueError(
-            f"{path} is not a schema-{BENCH_SCHEMA} bench file "
+            f"{path} is not a schema-1/{BENCH_SCHEMA} bench file "
             f"(kind={doc.get('kind')!r}, schema={doc.get('schema')!r})"
         )
     return doc
@@ -217,9 +344,15 @@ def compare_bench(
     Wall-clock rate: ``cycles_per_sec`` more than ``threshold_pct``
     percent below the baseline regresses.  Deterministic simulated
     quantities (:data:`DETERMINISTIC_FIELDS`) must match exactly --
-    any drift is reported regardless of the threshold.  Cases present
-    in the baseline but missing from the new run are regressions too
-    (a silently dropped case would hide anything).
+    any drift is reported regardless of the threshold.  A non-empty
+    ``legacy_drift`` in the new run (the fast path disagreeing with the
+    per-cycle scan in-run) regresses at any threshold, as does
+    ``speedup_vs_legacy`` falling more than 30% below the baseline's --
+    the machine-independent check that the fast path stays *on* (a
+    disabled fast path collapses the ratio to ~1x, well past 30%; the
+    margin absorbs the wall-clock noise in the ratio's two legs).
+    Cases present in the baseline but missing from the new run are
+    regressions too (a silently dropped case would hide anything).
     """
     out: List[Regression] = []
     for name, old_case in baseline.get("cases", {}).items():
@@ -251,6 +384,24 @@ def compare_bench(
                         "deterministic quantity drifted",
                     )
                 )
+        if new_case.get("legacy_drift"):
+            out.append(
+                Regression(
+                    name, "legacy_drift", [], new_case["legacy_drift"],
+                    "fast path disagrees with legacy_scan on these fields",
+                )
+            )
+        old_speedup = old_case.get("speedup_vs_legacy")
+        new_speedup = new_case.get("speedup_vs_legacy")
+        if old_speedup and new_speedup is not None:
+            if new_speedup < old_speedup * 0.7:
+                out.append(
+                    Regression(
+                        name, "speedup_vs_legacy", old_speedup, new_speedup,
+                        "fast-vs-legacy speedup fell more than 30% below "
+                        "baseline",
+                    )
+                )
     return out
 
 
@@ -261,11 +412,16 @@ def render_bench(doc: Dict) -> str:
         f"python {doc['python']}, peak RSS {doc['peak_rss_kb']} kB)"
     ]
     for name, c in doc["cases"].items():
-        lines.append(
+        line = (
             f"  {name:<18} {c['cycles']:>6} cycles in {c['wall_time_s']:.3f}s "
             f"({c['cycles_per_sec']:>10.0f} cyc/s, "
             f"{c['flit_moves_per_sec']:>10.0f} flits/s)  "
             f"delivered={c['delivered']} blocked={c['blocked_cycles']} "
             f"sxb={c['sxb_wait_cycles']}"
         )
+        if c.get("speedup_vs_legacy") is not None:
+            line += f" vs_legacy={c['speedup_vs_legacy']:.2f}x"
+            if c.get("legacy_drift"):
+                line += f" DRIFT={','.join(c['legacy_drift'])}"
+        lines.append(line)
     return "\n".join(lines)

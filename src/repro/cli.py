@@ -422,11 +422,20 @@ def cmd_bench(args) -> int:
         smoke=args.smoke,
         label=args.label,
         progress=lambda msg: print(msg, file=sys.stderr),
+        repeats=args.repeats,
+        legacy_compare=not args.no_legacy_compare,
+        profile_top=args.profile_top if args.profile else None,
     )
     os.makedirs(args.out_dir, exist_ok=True)
     out_path = os.path.join(args.out_dir, f"BENCH_{args.label}.json")
     write_bench(doc, out_path)
     print(render_bench(doc))
+    if args.profile:
+        for name, case in doc["cases"].items():
+            if "profile" in case:
+                print(f"\n--- cProfile {name} "
+                      f"(top {args.profile_top} cumulative) ---")
+                print(case["profile"].rstrip())
     print(f"wrote {out_path}")
     if args.compare:
         baseline = load_bench(args.compare)
@@ -792,6 +801,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "regression")
     p.add_argument("--threshold", type=float, default=20.0,
                    help="allowed cycles/sec drop in percent (default 20)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timed runs per case; best wall time wins and the "
+                        "simulated quantities must agree (default 3)")
+    p.add_argument("--no-legacy-compare", action="store_true",
+                   help="skip the in-run legacy_scan twin (faster, but "
+                        "drops the machine-independent speedup check)")
+    p.add_argument("--profile", action="store_true",
+                   help="also run each case once under cProfile and print "
+                        "the top cumulative entries")
+    p.add_argument("--profile-top", type=int, default=15,
+                   help="rows of the --profile dump (default 15)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("figures", help="replay the paper's figures")

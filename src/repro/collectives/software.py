@@ -66,14 +66,25 @@ class _Agent:
         #: (ready_cycle, source, dest) launches not yet issued
         self._queue: List[Tuple[int, Coord, Coord]] = []
         self._my_pids: Set[int] = set()
-        sim.add_generator(self._on_cycle)
+        # the agent itself is the generator (not a bound method) so the
+        # engine's idle fast-forward can see ``next_wake``
+        sim.add_generator(self)
         sim.add_delivery_listener(self._on_delivery)
 
     # -- plumbing ----------------------------------------------------------
     def _schedule_send(self, at: int, src: Coord, dst: Coord) -> None:
         self._queue.append((at, src, dst))
 
-    def _on_cycle(self, sim: NetworkSimulator) -> None:
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Idle fast-forward contract: the earliest queued launch, or
+        ``None`` when nothing is queued.  Deliveries (which queue follow-up
+        sends) only happen while flits are in flight -- never while the
+        fabric is idle -- so an empty queue really means quiescent."""
+        if not self._queue:
+            return None
+        return max(min(q[0] for q in self._queue), cycle)
+
+    def __call__(self, sim: NetworkSimulator) -> None:
         due = [q for q in self._queue if q[0] <= sim.cycle]
         if not due:
             return

@@ -33,6 +33,7 @@ from .collectors import (
     DeliveryCollector,
     GrantCollector,
     PhaseProfiler,
+    RouteCacheStats,
     attach_standard_collectors,
     element_label,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "DeliveryCollector",
     "GrantCollector",
     "PhaseProfiler",
+    "RouteCacheStats",
     "attach_standard_collectors",
     "element_label",
     "output_port_map",

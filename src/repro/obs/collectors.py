@@ -19,7 +19,9 @@ in worker processes merge byte-identically to a serial run
   flit moves, injections) plus the cycle count;
 * :class:`ChannelUtilization`  -- held cycles per (crossbar, port, VC)
   and busy cycles per channel, renderable as an ASCII heatmap;
-* :class:`DeadlockWatch`       -- deadlock count and detection cycle.
+* :class:`DeadlockWatch`       -- deadlock count and detection cycle;
+* :class:`RouteCacheStats`     -- hit/miss/eviction counters of the
+  adapter's route-decision memo (hookless; read on demand).
 
 :class:`CollectorSuite` bundles the standard set for one engine;
 :func:`attach_standard_collectors` is what ``RunSpec(metrics=True)`` uses.
@@ -274,6 +276,50 @@ class DeadlockWatch(Collector):
         return self._set
 
 
+class RouteCacheStats(Collector):
+    """Route-decision memo statistics from the adapter.
+
+    Subscribes to no hooks: the adapter's LRU counters
+    (:meth:`~repro.sim.adapter.MDCrossbarAdapter.cache_info`) are read on
+    demand, frozen on :meth:`detach`.  Adapters without a ``cache_info``
+    method contribute an empty metric set, so the collector is safe in
+    the standard bundle for any topology.  The counters are deterministic
+    functions of the simulated route requests, so per-process sets merge
+    identically to a serial run like every other collector here.
+    """
+
+    def __init__(self) -> None:
+        self._engine: Optional[CycleEngine] = None
+        self._frozen: Optional[Dict[str, int]] = None
+
+    def attach(self, engine: CycleEngine) -> "RouteCacheStats":
+        self._engine = engine
+        return self
+
+    def detach(self, engine: CycleEngine) -> None:
+        self._frozen = self._info()
+        super().detach(engine)
+
+    def _info(self) -> Optional[Dict[str, int]]:
+        if self._frozen is not None:
+            return self._frozen
+        if self._engine is None:
+            return None
+        info_fn = getattr(self._engine.adapter, "cache_info", None)
+        return info_fn() if info_fn is not None else None
+
+    def metrics(self) -> MetricSet:
+        out = MetricSet()
+        info = self._info()
+        if info is None:
+            return out
+        out.counter("route_cache.hits").inc(info["hits"])
+        out.counter("route_cache.misses").inc(info["misses"])
+        out.counter("route_cache.evictions").inc(info["evictions"])
+        out.gauge("route_cache.size").observe(info["size"])
+        return out
+
+
 class CollectorSuite:
     """The standard collector bundle for one engine.
 
@@ -300,6 +346,7 @@ class CollectorSuite:
                 PhaseProfiler(),
                 ChannelUtilization(),
                 DeadlockWatch(),
+                RouteCacheStats(),
             )
         )
         for c in self.collectors:

@@ -389,20 +389,40 @@ def dor_base_transfer(topo) -> Callable:
     Callers gate on whether a DOR baseline makes sense for their network
     (the span collector checks the adapter carries switch logic).
     """
-    from ..core import SwitchLogic, make_config
-    from ..core.routes import Unicast, compute_route
+    from ..topology.mdcrossbar import MDCrossbar
 
-    base_logic = SwitchLogic(topo, make_config(topo.shape))
     cache: Dict[Tuple, Optional[int]] = {}
+    #: the fault-free switch logic, built only if the analytic shortcut
+    #: does not apply (construction is a measurable cost at attach time)
+    state: Dict[str, object] = {}
+    analytic = isinstance(topo, MDCrossbar)
+
+    def full(src: Tuple[int, ...], dst: Tuple[int, ...]) -> Optional[int]:
+        from ..core import SwitchLogic, make_config
+        from ..core.routes import Unicast, compute_route
+
+        if "logic" not in state:
+            state["logic"] = SwitchLogic(topo, make_config(topo.shape))
+        try:
+            tree = compute_route(topo, state["logic"], Unicast(src, dst))
+            return len(tree.path_to(dst))
+        except Exception:
+            return None
 
     def base(src: Tuple[int, ...], dst: Tuple[int, ...]) -> Optional[int]:
         key = (src, dst)
         if key not in cache:
-            try:
-                tree = compute_route(topo, base_logic, Unicast(src, dst))
-                cache[key] = len(tree.path_to(dst))
-            except Exception:
-                cache[key] = None
+            if analytic and src != dst:
+                # fault-free dimension-order on the MD crossbar crosses
+                # PE->RTR, (RTR->XB, XB->RTR) per differing dimension,
+                # RTR->PE: 2 + 2*d_diff channels.  Exactly what
+                # ``compute_route`` counts (pinned by tests), without
+                # building the route tree per (source, dest) pair.
+                cache[key] = 2 + 2 * sum(
+                    1 for a, b in zip(src, dst) if a != b
+                )
+            else:
+                cache[key] = full(src, dst)
         return cache[key]
 
     return base
@@ -428,7 +448,30 @@ class PacketSpanCollector(Collector):
         base = None
         if self._dor_baseline and getattr(engine.adapter, "logic", None) is not None:
             base = dor_base_transfer(engine.topo)
-        self._label = lambda cid, vc: port_label(ports, cid, vc)
+
+        # the label vocabularies are tiny and hit on every hook event:
+        # memoize the rendered strings instead of re-formatting each time
+        port_memo: Dict[Tuple[int, Optional[int]], str] = {}
+
+        def _label(cid: int, vc: Optional[int]) -> str:
+            key = (cid, vc)
+            s = port_memo.get(key)
+            if s is None:
+                s = port_label(ports, cid, vc)
+                port_memo[key] = s
+            return s
+
+        el_memo: Dict[Tuple, str] = {}
+
+        def _elabel(el) -> str:
+            s = el_memo.get(el)
+            if s is None:
+                s = element_label(el)
+                el_memo[el] = s
+            return s
+
+        self._label = _label
+        self._elabel = _elabel
         self._builder = SpanBuilder(out_label=self._label, base_transfer=base)
         engine.hooks.on_inject(self._on_inject)
         engine.hooks.on_grant(self._on_grant)
@@ -459,11 +502,11 @@ class PacketSpanCollector(Collector):
                 packet.pid,
                 engine.cycle,
                 engine.expected_deliveries(packet),
-                element_label(("PE", coord)),
+                self._elabel(("PE", coord)),
             )
 
     def _on_grant(self, engine: CycleEngine, conn) -> None:
-        self._builder.granted(conn.pid, element_label(conn.element))
+        self._builder.granted(conn.pid, self._elabel(conn.element))
 
     def _on_block(self, engine: CycleEngine, ev: BlockEvent) -> None:
         cid, vc = ev.wanted[0]
@@ -471,7 +514,7 @@ class PacketSpanCollector(Collector):
             ev.pid,
             engine.cycle,
             ev.why,
-            element_label(ev.element),
+            self._elabel(ev.element),
             self._label(cid, vc),
         )
 

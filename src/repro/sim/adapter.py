@@ -13,8 +13,9 @@ that:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Protocol, Tuple
+from typing import Dict, Protocol, Tuple
 
 from ..core.packet import RC, Header
 from ..core.switch_logic import SwitchLogic
@@ -59,21 +60,41 @@ class RoutingAdapter(Protocol):
         ...
 
 
+#: default bound on the route-decision memo.  Uniform traffic on an 8x8
+#: network touches a few thousand distinct (element, input, dest, rc)
+#: keys, so the default leaves ample headroom while still bounding a
+#: long many-fault run; a much smaller bound would thrash on the
+#: standard sweep shapes.
+DEFAULT_MEMO_CAPACITY = 65536
+
+
 class MDCrossbarAdapter:
     """The SR2201 network: defer to the distributed switch logic, VC 0.
 
-    Decisions are memoized per ``(element, input, source, dest, rc)``: the
-    switch logic is deterministic and stateless for a fixed fault
-    configuration, so under steady traffic the simulator's route phase hits
-    the cache instead of re-running the distributed rules.  Swapping
+    Decisions are memoized per ``(element, input, dest, rc)`` -- the
+    rules never read the source coordinate: the switch logic is
+    deterministic and stateless for a fixed fault configuration, so
+    under steady traffic the simulator's route phase hits the cache
+    instead of re-running the distributed rules.  The memo is an
+    LRU bounded by ``memo_capacity`` and its hit/miss/eviction counters
+    are exposed through :meth:`cache_info` (the ``RouteCacheStats``
+    collector exports them into the metrics digest).  Swapping
     :attr:`logic` (an online facility reconfiguration) invalidates the
-    cache.
+    cache but keeps the cumulative counters.
     """
 
-    def __init__(self, logic: SwitchLogic) -> None:
+    def __init__(
+        self, logic: SwitchLogic, memo_capacity: int = DEFAULT_MEMO_CAPACITY
+    ) -> None:
+        if memo_capacity < 1:
+            raise ValueError("memo_capacity must be >= 1")
         self._logic = logic
         self.topo = logic.topo
-        self._cache: dict = {}
+        self._capacity = memo_capacity
+        self._cache: "OrderedDict[tuple, SimDecision]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     @property
     def logic(self) -> SwitchLogic:
@@ -84,13 +105,28 @@ class MDCrossbarAdapter:
         self._logic = new_logic
         self._cache.clear()
 
+    def cache_info(self) -> Dict[str, int]:
+        """Memo statistics: cumulative hits / misses / evictions plus the
+        current size and the configured capacity."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._cache),
+            "capacity": self._capacity,
+        }
+
     def decide(
         self, element: ElementId, in_from: ElementId, in_vc: int, header: Header
     ) -> SimDecision:
-        key = (element, in_from, header.source, header.dest, header.rc)
-        hit = self._cache.get(key)
+        key = (element, in_from, header.dest, header.rc)
+        cache = self._cache
+        hit = cache.get(key)
         if hit is not None:
+            self._hits += 1
+            cache.move_to_end(key)
             return hit
+        self._misses += 1
         d = self._logic.decide(element, in_from, header)
         decision = SimDecision(
             outputs=tuple((el, 0) for el in d.outputs),
@@ -98,5 +134,8 @@ class MDCrossbarAdapter:
             serialize=d.serialize,
             drop=d.drop,
         )
-        self._cache[key] = decision
+        cache[key] = decision
+        if len(cache) > self._capacity:
+            cache.popitem(last=False)
+            self._evictions += 1
         return decision

@@ -39,6 +39,12 @@ class SimConfig:
     max_cycles: int = 1_000_000
     #: flits per packet used by generators that do not specify a length
     default_packet_length: int = 4
+    #: disable the active-set fast path (idle-cycle fast-forward and bulk
+    #: flit-run transfer) and walk every fabric entity every cycle, as the
+    #: pre-active-set engine did.  The results must be byte-identical either
+    #: way -- this escape hatch exists as the parity oracle for tests and
+    #: for ``repro bench``'s fast-vs-legacy drift gate.
+    legacy_scan: bool = False
 
     def __post_init__(self) -> None:
         if self.buffer_depth < 1:

@@ -33,27 +33,58 @@ from .adapter import SimDecision
 VCKey = Tuple[int, int]
 
 
-@dataclass
+def flit_body_run(flits, pid: int, limit: int) -> int:
+    """Length of the run of ``pid``'s body flits at the head of ``flits``
+    (a buffer or an injection supply), capped at ``limit``.  A bulk
+    flit-run transfer may move exactly this many flits without crossing an
+    observable event: body flits carry no header, trigger no grant,
+    release or delivery, and emit nothing on the hook bus."""
+    run = 0
+    for flit in flits:
+        if flit.pid != pid or not flit.is_body:
+            break
+        run += 1
+        if run >= limit:
+            break
+    return run
+
+
 class SimFlit:
     """A flit in flight.  Only head flits carry a header (switches rewrite
     the RC bit on the header as the packet moves, so each multicast branch
-    gets its own copy)."""
+    gets its own copy).
 
-    pid: int
-    kind: FlitKind
-    seq: int
-    header: Optional[Header] = None
+    A hand-rolled slots class rather than a dataclass: flits are the
+    hottest objects in the simulator, and the transfer loop tests their
+    kind several times per move, so ``is_head``/``is_tail``/``is_body``
+    are precomputed plain attributes (``kind`` never changes after
+    construction).  ``is_body`` means neither head nor tail: carries no
+    header, triggers no grant, release or delivery event when it moves --
+    the flits the engine's bulk-transfer window may move as a run.
+    """
 
-    @property
-    def is_head(self) -> bool:
-        return self.kind in (FlitKind.HEAD, FlitKind.HEAD_TAIL)
+    __slots__ = ("pid", "kind", "seq", "header", "is_head", "is_tail", "is_body")
 
-    @property
-    def is_tail(self) -> bool:
-        return self.kind in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
+    def __init__(
+        self,
+        pid: int,
+        kind: FlitKind,
+        seq: int,
+        header: Optional[Header] = None,
+    ) -> None:
+        self.pid = pid
+        self.kind = kind
+        self.seq = seq
+        self.header = header
+        self.is_head = kind is FlitKind.HEAD or kind is FlitKind.HEAD_TAIL
+        self.is_tail = kind is FlitKind.TAIL or kind is FlitKind.HEAD_TAIL
+        self.is_body = kind is FlitKind.BODY
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimFlit(pid={self.pid}, kind={self.kind.name}, seq={self.seq})"
 
 
-@dataclass
+@dataclass(slots=True)
 class VCState:
     """One virtual channel of one physical channel."""
 
@@ -75,6 +106,11 @@ class VCState:
     def head(self) -> Optional[SimFlit]:
         return self.buffer[0] if self.buffer else None
 
+    def body_run(self, pid: int, limit: int) -> int:
+        """Length of the run of ``pid``'s body flits at the buffer head,
+        capped at ``limit`` (see :func:`flit_body_run`)."""
+        return flit_body_run(self.buffer, pid, limit)
+
     def popleft_checked(self, pid: int) -> SimFlit:
         flit = self.buffer.popleft()
         if flit.pid != pid:  # pragma: no cover - guards an engine invariant
@@ -85,7 +121,7 @@ class VCState:
         return flit
 
 
-@dataclass
+@dataclass(slots=True)
 class Connection:
     """An established input->outputs circuit through a switch.
 
@@ -106,7 +142,7 @@ class Connection:
         return self.cin is None
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingRequest:
     """A routed header waiting for its output grant at a switch."""
 
@@ -127,7 +163,7 @@ class PendingRequest:
         return not self.missing
 
 
-@dataclass
+@dataclass(slots=True)
 class InFlightPacket:
     """Book-keeping for one injected packet."""
 

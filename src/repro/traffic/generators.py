@@ -65,6 +65,18 @@ class BernoulliInjector:
     def packet_rate(self) -> float:
         return self.load / self.packet_length
 
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Earliest cycle >= ``cycle`` at which this generator may act (the
+        engine's idle fast-forward contract): ``None`` once past ``stop_at``
+        (never again), ``start_at`` before the window opens, else ``cycle``
+        itself -- inside the window the injector draws from its RNG every
+        cycle, so no cycle may be skipped."""
+        if self.stop_at is not None and cycle >= self.stop_at:
+            return None
+        if cycle < self.start_at:
+            return self.start_at
+        return cycle
+
     def __call__(self, sim: NetworkSimulator) -> None:
         cycle = sim.cycle
         if cycle < self.start_at:
@@ -72,13 +84,18 @@ class BernoulliInjector:
         if self.stop_at is not None and cycle >= self.stop_at:
             return
         shape = sim.topo.shape
-        for src in sim.live_nodes:
-            if self.rng.random() >= self.packet_rate:
+        live = sim.live_nodes
+        rng = self.rng
+        random = rng.random
+        rate = self.packet_rate
+        pattern = self.pattern
+        for src in live:
+            if random() >= rate:
                 continue
-            dest = self.pattern(src, shape, self.rng)
+            dest = pattern(src, shape, rng)
             if dest == src:
                 continue
-            if dest not in sim.live_nodes:
+            if dest not in live:
                 continue
             pkt = Packet(
                 Header(source=src, dest=dest), length=self.packet_length
@@ -122,6 +139,15 @@ class BroadcastInjector:
         self.start_at = start_at
         self.stop_at = stop_at
         self.offered = 0
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Same idle fast-forward contract as
+        :meth:`BernoulliInjector.next_wake`."""
+        if self.stop_at is not None and cycle >= self.stop_at:
+            return None
+        if cycle < self.start_at:
+            return self.start_at
+        return cycle
 
     def __call__(self, sim: NetworkSimulator) -> None:
         cycle = sim.cycle

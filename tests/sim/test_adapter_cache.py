@@ -1,0 +1,175 @@
+"""The adapter's bounded route-decision memo: LRU semantics, counters,
+invalidation on reconfiguration, and the metrics export."""
+
+import pytest
+
+from repro.core import Fault, Header, Packet, SwitchLogic, make_config
+from repro.obs import CollectorSuite, RouteCacheStats
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.topology import MDCrossbar
+from tests.conftest import make_logic
+
+
+def make_adapter(shape=(4, 3), capacity=65536, **cfg_kw):
+    topo = MDCrossbar(shape)
+    return MDCrossbarAdapter(
+        SwitchLogic(topo, make_config(shape, **cfg_kw)),
+        memo_capacity=capacity,
+    )
+
+
+def some_route_queries(topo, n=None):
+    """Distinct (element, in_from, header) route queries: every router
+    asked about every destination, entering from its PE input."""
+    queries = []
+    for el in topo.elements():
+        if el[0] != "RTR":
+            continue
+        src = ("PE", el[1])
+        for dest in sorted(topo.node_coords()):
+            if dest == el[1]:
+                continue
+            queries.append((el, src, 0, Header(source=el[1], dest=dest)))
+            if n is not None and len(queries) >= n:
+                return queries
+    return queries
+
+
+class TestLRU:
+    def test_repeat_queries_hit(self):
+        adapter = make_adapter()
+        el, src, vc, h = some_route_queries(adapter.topo, n=1)[0]
+        first = adapter.decide(el, src, vc, h)
+        again = adapter.decide(el, src, vc, h)
+        assert first is again  # memoized object, not a re-computation
+        info = adapter.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["size"] == 1
+
+    def test_source_is_not_part_of_the_key(self):
+        """Routing never reads the source coordinate, so two packets to
+        the same destination share a memo entry."""
+        adapter = make_adapter()
+        el, src, vc, h = some_route_queries(adapter.topo, n=1)[0]
+        adapter.decide(el, src, vc, h)
+        other = Header(source=(3, 2), dest=h.dest)
+        adapter.decide(el, src, vc, other)
+        assert adapter.cache_info()["hits"] == 1
+
+    def test_capacity_bound_and_eviction(self):
+        adapter = make_adapter(capacity=4)
+        queries = some_route_queries(adapter.topo, n=8)
+        for q in queries:
+            adapter.decide(*q)
+        info = adapter.cache_info()
+        assert info["size"] == 4
+        assert info["evictions"] == 4
+        assert info["capacity"] == 4
+
+    def test_eviction_is_least_recently_used(self):
+        adapter = make_adapter(capacity=2)
+        a, b, c = some_route_queries(adapter.topo, n=3)
+        adapter.decide(*a)
+        adapter.decide(*b)
+        adapter.decide(*a)  # refresh a: b is now the LRU entry
+        adapter.decide(*c)  # evicts b
+        adapter.decide(*a)
+        assert adapter.cache_info()["hits"] == 2
+        adapter.decide(*b)  # must miss: it was evicted
+        assert adapter.cache_info()["misses"] == 4
+
+    def test_capacity_must_be_positive(self):
+        topo = MDCrossbar((4, 3))
+        with pytest.raises(ValueError):
+            MDCrossbarAdapter(make_logic(topo), memo_capacity=0)
+
+
+class TestInvalidation:
+    def test_logic_swap_clears_cache_keeps_counters(self):
+        adapter = make_adapter()
+        queries = some_route_queries(adapter.topo, n=5)
+        for q in queries:
+            adapter.decide(*q)
+            adapter.decide(*q)
+        before = adapter.cache_info()
+        assert before["hits"] == 5 and before["size"] == 5
+        adapter.logic = SwitchLogic(
+            adapter.topo,
+            make_config(adapter.topo.shape, fault=Fault.router((2, 0))),
+        )
+        info = adapter.cache_info()
+        assert info["size"] == 0  # stale routes dropped
+        assert info["hits"] == 5 and info["misses"] == 5  # history kept
+
+    def test_decisions_recomputed_after_reconfiguration(self):
+        """A cached pre-fault route must not be served after the swap:
+        the decision is recomputed and matches a fresh adapter built on
+        the faulty configuration."""
+        shape = (4, 3)
+        adapter = make_adapter(shape)
+        el, src = ("RTR", (1, 0)), ("PE", (1, 0))
+        h = Header(source=(1, 0), dest=(3, 0))
+        adapter.decide(el, src, 0, h)
+        faulty = make_adapter(shape, fault=Fault.router((2, 0)))
+        adapter.logic = faulty.logic
+        after = adapter.decide(el, src, 0, h)
+        assert adapter.cache_info()["misses"] == 2  # not served stale
+        assert after == faulty.decide(el, src, 0, h)
+
+
+class TestMetricsExport:
+    def test_route_cache_counters_in_suite_digest(self):
+        topo = MDCrossbar((4, 3))
+        sim = NetworkSimulator(
+            MDCrossbarAdapter(make_logic(topo)), SimConfig(stall_limit=2000)
+        )
+        suite = CollectorSuite(sim)
+        coords = sorted(topo.node_coords())
+        for i in range(6):
+            sim.send(Packet(Header(source=coords[0], dest=coords[-1])))
+        sim.run(max_cycles=2000)
+        digest = suite.metrics().to_dict()
+        hits = digest["route_cache.hits"]["value"]
+        misses = digest["route_cache.misses"]["value"]
+        assert misses > 0
+        assert hits > 0  # six identical journeys: later ones hit
+        info = sim.adapter.cache_info()
+        assert hits == info["hits"] and misses == info["misses"]
+        assert digest["route_cache.size"]["last"] == info["size"]
+
+    def test_detach_freezes_counters(self):
+        topo = MDCrossbar((4, 3))
+        sim = NetworkSimulator(
+            MDCrossbarAdapter(make_logic(topo)), SimConfig(stall_limit=2000)
+        )
+        stats = RouteCacheStats().attach(sim)
+        coords = sorted(topo.node_coords())
+        sim.send(Packet(Header(source=coords[0], dest=coords[-1])))
+        sim.run(max_cycles=2000)
+        stats.detach(sim)
+        frozen = stats.metrics().to_dict()
+        # more traffic after detach must not leak into the frozen set
+        sim.send(Packet(Header(source=coords[-1], dest=coords[0])))
+        sim.run(max_cycles=2000)
+        assert stats.metrics().to_dict() == frozen
+
+    def test_hookless_on_foreign_adapter(self):
+        """An adapter without cache_info contributes an empty set."""
+
+        class Bare:
+            def __init__(self, inner):
+                self.topo = inner.topo
+                self.logic = inner.logic
+                self._inner = inner
+
+            def decide(self, *a):
+                return self._inner.decide(*a)
+
+        topo = MDCrossbar((4, 3))
+        sim = NetworkSimulator(
+            Bare(MDCrossbarAdapter(make_logic(topo))),
+            SimConfig(stall_limit=2000),
+        )
+        stats = RouteCacheStats().attach(sim)
+        sim.run(max_cycles=5, until_drained=False)
+        assert stats.metrics().to_dict() == {}

@@ -53,6 +53,29 @@ class TestSuite:
         for field in ("cycles", "delivered", "flit_moves", "blocked_cycles"):
             assert a[field] == b[field]
 
+    def test_legacy_compare_shows_no_drift(self, smoke_doc):
+        """The in-run fast-vs-legacy twin: every smoke case must agree
+        with the full per-cycle scan on all deterministic fields."""
+        for name, case in smoke_doc["cases"].items():
+            assert case["legacy_drift"] == [], name
+            assert case["speedup_vs_legacy"] > 0
+            assert case["legacy_cycles_per_sec"] > 0
+
+    def test_repeats_recorded(self, smoke_doc):
+        for case in smoke_doc["cases"].values():
+            assert case["repeats"] == 3
+
+    def test_stream_case_exercises_bulk_and_fast_forward(self, smoke_doc):
+        st = smoke_doc["cases"]["stream_8x1_long"]
+        assert st["delivered"] == 12
+        assert st["flit_moves"] > 12 * 64  # long bodies actually streamed
+
+    def test_profile_dump(self):
+        case = next(c for c in BENCH_CASES if c.name == "broadcast_4x3")
+        out = run_case(case, repeats=1, profile_top=5)
+        assert "cumulative" in out["profile"]
+        assert "run" in out["profile"]
+
     def test_render(self, smoke_doc):
         out = render_bench(smoke_doc)
         for name in smoke_doc["cases"]:
@@ -103,6 +126,41 @@ class TestCompare:
         regs = compare_bench(new, smoke_doc, threshold_pct=20)
         assert any(r.field == "presence" and r.case == name for r in regs)
 
+    def test_legacy_drift_is_always_a_regression(self, smoke_doc):
+        new = copy.deepcopy(smoke_doc)
+        name = next(iter(new["cases"]))
+        new["cases"][name]["legacy_drift"] = ["delivered"]
+        regs = compare_bench(new, smoke_doc, threshold_pct=99)
+        assert any(r.field == "legacy_drift" for r in regs)
+
+    def test_speedup_vs_legacy_floor(self, smoke_doc):
+        new = copy.deepcopy(smoke_doc)
+        name = next(iter(new["cases"]))
+        old_speedup = smoke_doc["cases"][name]["speedup_vs_legacy"]
+        new["cases"][name]["speedup_vs_legacy"] = old_speedup * 0.5
+        regs = compare_bench(new, smoke_doc, threshold_pct=99)
+        assert any(r.field == "speedup_vs_legacy" for r in regs)
+        # measurement wobble is not a regression
+        new["cases"][name]["speedup_vs_legacy"] = old_speedup * 0.8
+        assert compare_bench(new, smoke_doc, threshold_pct=99) == []
+
+    def test_schema1_baseline_still_loads_and_compares(
+        self, smoke_doc, tmp_path
+    ):
+        """Old baselines predate the legacy-compare fields: they load and
+        gate on the fields they have."""
+        old = copy.deepcopy(smoke_doc)
+        old["schema"] = 1
+        for case in old["cases"].values():
+            for f in ("repeats", "legacy_drift", "speedup_vs_legacy",
+                      "legacy_cycles_per_sec", "mean_latency",
+                      "queue_wait_cycles", "detour_overhead_cycles"):
+                case.pop(f, None)
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps(old))
+        loaded = load_bench(str(path))
+        assert compare_bench(smoke_doc, loaded, threshold_pct=20) == []
+
 
 class TestCli:
     def test_bench_cli_writes_and_gates(self, tmp_path, capsys):
@@ -129,3 +187,14 @@ class TestCli:
             "--compare", str(fast), "--threshold", "50",
         ]) == 1
         assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_bench_cli_profile_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "bench", "--smoke", "--label", "p", "--out-dir", str(tmp_path),
+            "--repeats", "1", "--no-legacy-compare",
+            "--profile", "--profile-top", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cProfile" in out and "cumulative" in out
