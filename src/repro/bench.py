@@ -25,6 +25,7 @@ relative drop on the *same* machine family is meaningful).
 from __future__ import annotations
 
 import cProfile
+import hashlib
 import io
 import json
 import pstats
@@ -43,9 +44,13 @@ from .traffic import BernoulliInjector, uniform
 #: schema 2: best-of-``repeats`` wall times, fast-vs-legacy in-run
 #: comparison (``speedup_vs_legacy``/``legacy_drift``) and three more
 #: deterministic span aggregates per case.
-BENCH_SCHEMA = 2
+#: schema 3: runner-style cases (the ``sweep_fanout`` runtime case with
+#: ``specs``/``identity_sha256`` and the warm/cold/cached sweep legs).
+BENCH_SCHEMA = 3
 
 #: simulated quantities that must be bit-identical between runs of a case
+#: (compared only where present; runner cases carry a subset plus their
+#: own ``specs``/``identity_sha256``)
 DETERMINISTIC_FIELDS = (
     "cycles",
     "delivered",
@@ -55,6 +60,8 @@ DETERMINISTIC_FIELDS = (
     "mean_latency",
     "queue_wait_cycles",
     "detour_overhead_cycles",
+    "specs",
+    "identity_sha256",
 )
 
 
@@ -62,8 +69,12 @@ class BenchCase(NamedTuple):
     name: str
     description: str
     smoke: bool  #: part of the fast CI subset
-    #: (legacy_scan) -> (sim, max_cycles)
-    build: Callable[..., Tuple[NetworkSimulator, int]]
+    #: (legacy_scan) -> (sim, max_cycles); engine cases only
+    build: Optional[Callable[..., Tuple[NetworkSimulator, int]]] = None
+    #: full-case measurement override: ``(repeats) -> case dict``.  The
+    #: sweep_fanout case times whole sweep legs (cold pools vs a warm
+    #: session vs cache replay) rather than one engine run.
+    runner: Optional[Callable[..., Dict]] = None
 
 
 def _md_sim(
@@ -131,6 +142,149 @@ def _stream_case(shape, packets, length, gap):
     return build
 
 
+#: worker processes used by the sweep_fanout legs (kept small and fixed
+#: so the case measures fixed-cost amortization, not machine parallelism)
+SWEEP_FANOUT_JOBS = 2
+
+
+def _sweep_fanout_batches():
+    """The workload: four load batches of the exhaustive single-fault
+    enumeration on 4x3 (the SR2201 paper's safety argument, at sweep
+    scale) with short measurement windows -- the per-spec fixed costs the
+    warm runtime amortizes are the point, not long simulations."""
+    from .runtime import fault_placement_specs
+
+    loads = (0.08, 0.12, 0.16, 0.2)
+    return [
+        fault_placement_specs(
+            "md-crossbar",
+            (4, 3),
+            load,
+            warmup=5,
+            window=10,
+            drain=60,
+            stall_limit=200,
+        )
+        for load in loads
+    ]
+
+
+def _run_sweep_fanout(repeats: int = 3) -> Dict:
+    """Measure the sweep runtime end-to-end: the same fault-enumeration
+    batches through (a) per-batch cold per-spec pools -- one
+    ``ProcessPoolExecutor.run`` per batch, the pre-session shape; (b) one
+    persistent warm :class:`SweepSession` (chunked dispatch + per-worker
+    network reuse); (c) a fully populated result cache.  Every leg must
+    reproduce the serial reference byte-identically
+    (:func:`repro.runtime.result_identity`); any drift raises.  Reported
+    speedups are in-run ratios, machine-independent like
+    ``speedup_vs_legacy``."""
+    import shutil
+    import tempfile
+
+    from .runtime import (
+        ProcessPoolExecutor as _SpecPool,
+        ResultCache,
+        SerialExecutor,
+        SweepSession,
+        result_identity,
+    )
+
+    batches = _sweep_fanout_batches()
+    specs = [s for batch in batches for s in batch]
+    repeats = max(1, repeats)
+
+    serial = SerialExecutor().run(specs)
+    reference = result_identity(serial)
+
+    def timed(leg: str, run_once: Callable[[], List]) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            out = run_once()
+            wall = time.perf_counter() - t0
+            if result_identity(out) != reference:
+                raise AssertionError(
+                    f"sweep_fanout: {leg} leg drifted from the serial "
+                    f"reference (determinism bug)"
+                )
+            best = min(best, wall)
+        return best
+
+    def cold_once() -> List:
+        out = []
+        for batch in batches:
+            out.extend(_SpecPool(SWEEP_FANOUT_JOBS).run(batch))
+        return out
+
+    cold_wall = timed("cold", cold_once)
+
+    with SweepSession(jobs=SWEEP_FANOUT_JOBS) as session:
+        session.run(batches[0])  # untimed: spawn workers, build networks
+        warm_wall = timed(
+            "warm",
+            lambda: [r for b in batches for r in session.run(b)],
+        )
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cache = ResultCache(cache_dir)
+        with SweepSession(jobs=SWEEP_FANOUT_JOBS, cache=cache) as cached:
+            cached.run(specs)  # untimed: populate the cache
+            cached_wall = timed(
+                "cached",
+                lambda: [r for b in batches for r in cached.run(b)],
+            )
+        if cache.hits < len(specs) * repeats:
+            raise AssertionError(
+                "sweep_fanout: cached leg was not fully served from cache"
+            )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    n = len(specs)
+    total_cycles = sum(r.point.cycles for r in serial)
+    counted = [r.point.latency for r in serial if r.point.latency.count]
+    mean_latency = (
+        round(
+            sum(lat.mean * lat.count for lat in counted)
+            / sum(lat.count for lat in counted),
+            3,
+        )
+        if counted
+        else None
+    )
+    return {
+        "description": (
+            f"{n}-spec single-fault enumeration x {len(batches)} load "
+            f"batches, jobs={SWEEP_FANOUT_JOBS}: warm session vs cold "
+            f"per-spec pools vs cache replay"
+        ),
+        "repeats": repeats,
+        "specs": n,
+        "batches": len(batches),
+        "jobs": SWEEP_FANOUT_JOBS,
+        "wall_time_s": round(warm_wall, 6),
+        "cold_wall_s": round(cold_wall, 6),
+        "cached_wall_s": round(cached_wall, 6),
+        "specs_per_sec_warm": round(n / warm_wall, 1),
+        "specs_per_sec_cold": round(n / cold_wall, 1),
+        "specs_per_sec_cached": round(n / cached_wall, 1),
+        "warm_speedup": round(cold_wall / warm_wall, 3),
+        "cache_speedup": round(cold_wall / cached_wall, 3),
+        "cycles": total_cycles,
+        "cycles_per_sec": (
+            round(total_cycles / warm_wall, 1) if warm_wall > 0 else 0.0
+        ),
+        "delivered": sum(r.point.latency.count for r in serial),
+        "mean_latency": mean_latency,
+        "deadlocked": any(r.point.deadlocked for r in serial),
+        "identity_sha256": hashlib.sha256(
+            reference.encode("utf-8")
+        ).hexdigest(),
+    }
+
+
 #: the pinned suite; order is the report order
 BENCH_CASES: Tuple[BenchCase, ...] = (
     BenchCase(
@@ -156,6 +310,13 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         "12 length-64 packets across an 8x1 line, 120-cycle gaps",
         True,
         _stream_case((8, 1), 12, 64, 120),
+    ),
+    BenchCase(
+        "sweep_fanout",
+        "76-spec fault-enumeration sweep: warm session vs cold pools "
+        "vs cache replay",
+        True,
+        runner=_run_sweep_fanout,
     ),
     BenchCase(
         "p2p_8x8_mid",
@@ -221,11 +382,18 @@ def run_case(
     wall-clock rates) plus ``legacy_drift``, the deterministic fields on
     which the fast path disagreed with the full per-cycle scan (always
     empty unless the active-set engine is broken).  ``profile_top``
-    adds a cProfile top-N cumulative dump from one extra run."""
+    adds a cProfile top-N cumulative dump from one extra run.
+
+    Runner cases (``case.runner``, e.g. ``sweep_fanout``) measure
+    themselves -- repeats are theirs to apply, and the legacy/profile
+    extras do not apply (there is no single engine run to twin or
+    profile)."""
+    if case.runner is not None:
+        return case.runner(repeats=max(1, repeats))
     runs = [_measure(case) for _ in range(max(1, repeats))]
     for other in runs[1:]:
         for field in DETERMINISTIC_FIELDS:
-            if other[field] != runs[0][field]:
+            if field in runs[0] and other[field] != runs[0][field]:
                 raise AssertionError(
                     f"{case.name}: {field} drifted between repeats "
                     f"({runs[0][field]!r} != {other[field]!r})"
@@ -268,7 +436,7 @@ def run_case(
         out["legacy_drift"] = [
             field
             for field in DETERMINISTIC_FIELDS
-            if legacy[field] != best[field]
+            if field in best and legacy[field] != best[field]
         ]
     if profile_top:
         out["profile"] = _profile_case(case, profile_top)
@@ -320,9 +488,13 @@ def write_bench(doc: Dict, path: str) -> None:
 def load_bench(path: str) -> Dict:
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("kind") != "bench" or doc.get("schema") not in (1, BENCH_SCHEMA):
+    if doc.get("kind") != "bench" or doc.get("schema") not in (
+        1,
+        2,
+        BENCH_SCHEMA,
+    ):
         raise ValueError(
-            f"{path} is not a schema-1/{BENCH_SCHEMA} bench file "
+            f"{path} is not a schema-1/2/{BENCH_SCHEMA} bench file "
             f"(kind={doc.get('kind')!r}, schema={doc.get('schema')!r})"
         )
     return doc
@@ -402,6 +574,19 @@ def compare_bench(
                         "baseline",
                     )
                 )
+        # the sweep-runtime in-run ratios, same machine-independent idea:
+        # a lost warm pool or a cache that stops hitting collapses these
+        # toward 1x, far past a 50% drop; the wide margin absorbs the
+        # noise of three short wall-clock legs on shared CI machines
+        for ratio in ("warm_speedup", "cache_speedup"):
+            old_r, new_r = old_case.get(ratio), new_case.get(ratio)
+            if old_r and new_r is not None and new_r < old_r * 0.5:
+                out.append(
+                    Regression(
+                        name, ratio, old_r, new_r,
+                        f"{ratio} fell more than 50% below baseline",
+                    )
+                )
     return out
 
 
@@ -412,6 +597,15 @@ def render_bench(doc: Dict) -> str:
         f"python {doc['python']}, peak RSS {doc['peak_rss_kb']} kB)"
     ]
     for name, c in doc["cases"].items():
+        if "specs" in c:  # runner case (sweep_fanout); wall_time_s = warm leg
+            lines.append(
+                f"  {name:<18} {c['specs']:>6} specs  in {c['wall_time_s']:.3f}s "
+                f"({c['specs_per_sec_warm']:>8.1f} specs/s warm)  "
+                f"warm={c['warm_speedup']:.2f}x "
+                f"cached={c['cache_speedup']:.2f}x vs cold  "
+                f"delivered={c['delivered']}"
+            )
+            continue
         line = (
             f"  {name:<18} {c['cycles']:>6} cycles in {c['wall_time_s']:.3f}s "
             f"({c['cycles_per_sec']:>10.0f} cyc/s, "

@@ -24,6 +24,7 @@ Examples::
     python -m repro census --shape 4x3 --pairs
     python -m repro simulate --shape 8x8 --load 0.3 --cycles 600
     python -m repro sweep --shape 8x8 --loads 0.05:0.4:8 --jobs 4 --json
+    python -m repro sweep --shape 8x8 --loads 0.05:0.4:8 --jobs 4 --cache
     python -m repro sweep --shape 4x3 --loads 0.1,0.3 --metrics
     python -m repro trace --shape 4x3 --load 0.2 --cycles 100 --out run.jsonl
     python -m repro machine --config SR2201/2048
@@ -227,7 +228,7 @@ def parse_loads(text: str) -> List[float]:
 def cmd_sweep(args) -> int:
     import json as _json
 
-    from .runtime import RunSpec, run_specs, seed_replicas
+    from .runtime import RunSpec, SweepSession, seed_replicas
 
     specs = [
         RunSpec(
@@ -248,14 +249,27 @@ def cmd_sweep(args) -> int:
     ]
     if args.seeds > 1:
         specs = seed_replicas(specs, list(range(args.seed, args.seed + args.seeds)))
-    results = run_specs(specs, jobs=args.jobs)
+    cache = None
+    if args.cache:
+        from .runtime import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    with SweepSession(jobs=args.jobs, cache=cache) as session:
+        results = session.run(specs)
+    info = session.last_run
+    # what actually ran (jobs<=1 and single-spec runs degrade to serial;
+    # cached points never reach a worker): stderr, so --json stays pure
+    print(f"ran {info.describe()}", file=sys.stderr)
+    if cache is not None:
+        print(cache.describe(), file=sys.stderr)
     if args.json:
         print(_json.dumps([r.to_dict() for r in results], indent=2))
     else:
         shape_s = "x".join(map(str, args.shape))
         print(
             f"{args.kind} {shape_s} {args.pattern} traffic, "
-            f"{len(specs)} points, jobs={args.jobs or 1}"
+            f"{len(specs)} points, jobs={args.jobs or 1} "
+            f"({info.workers} effective worker(s), {info.chunks} chunk(s))"
         )
         for r in results:
             seed_s = f" seed={r.spec.seed}" if args.seeds > 1 else ""
@@ -263,7 +277,10 @@ def cmd_sweep(args) -> int:
         if args.metrics:
             from .obs import merge_metric_sets
 
-            merged = merge_metric_sets(r.metrics for r in results)
+            sets = [r.metrics for r in results]
+            if cache is not None:
+                sets.append(cache.metrics())
+            merged = merge_metric_sets(sets)
             print("merged metrics across all points:")
             print("  " + merged.summary(top=5).replace("\n", "\n  "))
             if "latency_cycles" in merged:
@@ -741,6 +758,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="standing fault (md-crossbar only); repeatable")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes for the sweep (default: serial)")
+    p.add_argument("--cache", dest="cache", action="store_true",
+                   help="serve already-known points from the on-disk "
+                        "result cache and store fresh ones")
+    p.add_argument("--no-cache", dest="cache", action="store_false",
+                   help="force simulation even when a cache dir exists")
+    p.set_defaults(cache=False)
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="result cache directory (default: .repro-cache)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable per-point results on stdout")
     p.add_argument("--metrics", action="store_true",

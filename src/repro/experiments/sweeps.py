@@ -98,6 +98,8 @@ def sweep(
     pattern: Pattern = uniform,
     jobs: Optional[int] = None,
     executor=None,
+    cache=None,
+    progress=None,
     seed: int = 1,
     stall_limit: int = 2000,
     **kw,
@@ -106,8 +108,14 @@ def sweep(
 
     ``jobs`` > 1 (or an explicit runtime ``executor``) fans the points out
     over worker processes via :mod:`repro.runtime`; the default runs them
-    serially in-process.  Ad-hoc pattern callables (hotspot/permutation
-    closures) are not picklable and therefore always run serially.
+    serially in-process.  A ``cache``
+    (:class:`~repro.runtime.cache.ResultCache`) replays already-known
+    points from disk, and ``progress(result, done, total)`` streams
+    completions; either routes the batch through a warm
+    :class:`~repro.runtime.session.SweepSession` -- scripts issuing many
+    batches should hold a session themselves.  Ad-hoc pattern callables
+    (hotspot/permutation closures) are not picklable and therefore always
+    run serially, uncached.
     """
     name = pattern_name(pattern)
     if name is None:
@@ -134,7 +142,10 @@ def sweep(
         stall_limit=stall_limit,
         **kw,
     )
-    return [r.point for r in run_specs(specs, jobs=jobs, executor=executor)]
+    results = run_specs(
+        specs, jobs=jobs, executor=executor, cache=cache, progress=progress
+    )
+    return [r.point for r in results]
 
 
 def saturation_load(points: Sequence[LoadPoint], factor: float = 4.0) -> Optional[float]:

@@ -33,6 +33,7 @@ from .collectors import (
     DeliveryCollector,
     GrantCollector,
     PhaseProfiler,
+    ResultCacheStats,
     RouteCacheStats,
     attach_standard_collectors,
     element_label,
@@ -82,6 +83,7 @@ __all__ = [
     "DeliveryCollector",
     "GrantCollector",
     "PhaseProfiler",
+    "ResultCacheStats",
     "RouteCacheStats",
     "attach_standard_collectors",
     "element_label",

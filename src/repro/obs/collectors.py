@@ -320,6 +320,41 @@ class RouteCacheStats(Collector):
         return out
 
 
+class ResultCacheStats(Collector):
+    """Counters of the sweep runtime's on-disk result cache.
+
+    The cache lives *above* the engine (one per sweep, not per run), so
+    this collector subscribes to no hooks and never attaches to an
+    engine: it wraps any source with a ``stats() -> {name: int}`` method
+    -- :class:`repro.runtime.cache.ResultCache` is the intended one
+    (duck-typed to keep :mod:`repro.obs` free of runtime imports) -- and
+    exports the counters as a :class:`MetricSet` so cache behaviour
+    merges into the same digest as the per-point collectors.
+    :meth:`detach` freezes the counters like every other collector here.
+    """
+
+    def __init__(self, source) -> None:
+        self._source = source
+        self._frozen: Optional[Dict[str, int]] = None
+
+    def attach(self, engine: Optional[CycleEngine] = None) -> "ResultCacheStats":
+        return self
+
+    def detach(self, engine: Optional[CycleEngine] = None) -> None:
+        self._frozen = self._stats()
+
+    def _stats(self) -> Dict[str, int]:
+        if self._frozen is not None:
+            return self._frozen
+        return dict(self._source.stats())
+
+    def metrics(self) -> MetricSet:
+        out = MetricSet()
+        for name, value in sorted(self._stats().items()):
+            out.counter(f"result_cache.{name}").inc(value)
+        return out
+
+
 class CollectorSuite:
     """The standard collector bundle for one engine.
 

@@ -3,10 +3,14 @@
 Sits between the simulation engine (:mod:`repro.sim`) and the consumers
 (:mod:`repro.experiments`, the CLI, the benchmarks).  Work is described by
 picklable :class:`RunSpec`s, executed by an :class:`Executor` (serial or
-process-pool), and merged deterministically in spec order -- a parallel
-sweep returns byte-identical results to a serial one.
+process-pool) or a warm :class:`SweepSession` (persistent workers,
+chunked dispatch, per-worker network reuse, optional on-disk
+:class:`ResultCache`), and merged deterministically in spec order -- a
+parallel, chunked or cache-replayed sweep returns byte-identical results
+to a serial one.
 """
 
+from .cache import ResultCache, result_identity, spec_key
 from .executor import (
     Executor,
     ProcessPoolExecutor,
@@ -16,6 +20,7 @@ from .executor import (
     make_executor,
     run_specs,
 )
+from .session import NetworkCache, RunInfo, SweepSession, chunk_indices
 from .spec import (
     PointResult,
     RunSpec,
@@ -26,15 +31,22 @@ from .spec import (
 
 __all__ = [
     "Executor",
+    "NetworkCache",
     "PointResult",
     "ProcessPoolExecutor",
+    "ResultCache",
+    "RunInfo",
     "RunSpec",
     "SerialExecutor",
     "SpecExecutionError",
+    "SweepSession",
+    "chunk_indices",
     "execute_spec",
     "fault_placement_specs",
     "load_sweep_specs",
     "make_executor",
+    "result_identity",
     "run_specs",
     "seed_replicas",
+    "spec_key",
 ]

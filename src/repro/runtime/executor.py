@@ -53,6 +53,14 @@ class Executor:
     def run(self, specs: Sequence[RunSpec]) -> List[PointResult]:
         raise NotImplementedError
 
+    def effective_workers(self, num_specs: int) -> int:
+        """Worker processes a ``run()`` of ``num_specs`` would actually
+        use (1 = in-process serial).  :class:`ProcessPoolExecutor`
+        silently takes the serial path for degenerate inputs, so
+        consumers report this number instead of echoing a ``--jobs``
+        request that never happened."""
+        return 1
+
     def map_points(self, specs: Sequence[RunSpec]):
         """Convenience: the bare :class:`LoadPoint` per spec, in order."""
         return [r.point for r in self.run(specs)]
@@ -88,10 +96,15 @@ class ProcessPoolExecutor(Executor):
     def __init__(self, jobs: Optional[int] = None) -> None:
         self.jobs = jobs or os.cpu_count() or 1
 
+    def effective_workers(self, num_specs: int) -> int:
+        if num_specs <= 1 or self.jobs <= 1:
+            return 1
+        return min(self.jobs, num_specs)
+
     def run(self, specs: Sequence[RunSpec]) -> List[PointResult]:
-        if len(specs) <= 1 or self.jobs <= 1:
+        workers = self.effective_workers(len(specs))
+        if workers <= 1:
             return SerialExecutor().run(specs)
-        workers = min(self.jobs, len(specs))
         with _futures.ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(execute_spec, spec) for spec in specs]
             out: List[PointResult] = []
@@ -99,8 +112,14 @@ class ProcessPoolExecutor(Executor):
                 try:
                     out.append(fut.result())
                 except Exception as exc:
-                    for pending in futures:
-                        pending.cancel()
+                    # Future.cancel() cannot stop a *running* task, so a
+                    # plain cancel loop would leave the pool grinding
+                    # through every queued spec before the context
+                    # manager could exit.  shutdown(cancel_futures=True)
+                    # drops the queue; only the <= ``workers`` specs
+                    # already running are awaited (by the with-block's
+                    # final shutdown(wait=True)).
+                    pool.shutdown(wait=False, cancel_futures=True)
                     raise SpecExecutionError(spec, exc) from exc
             return out
 
@@ -116,8 +135,21 @@ def run_specs(
     specs: Sequence[RunSpec],
     jobs: Optional[int] = None,
     executor: Optional[Executor] = None,
+    cache=None,
+    progress=None,
 ) -> List[PointResult]:
-    """Run a batch of specs on an executor (built from ``jobs`` if not
-    given) and return results in spec order."""
-    ex = executor if executor is not None else make_executor(jobs)
-    return ex.run(specs)
+    """Run a batch of specs and return results in spec order.
+
+    The executor is built from ``jobs`` unless given explicitly.  A
+    ``cache`` (:class:`~repro.runtime.cache.ResultCache`) or a
+    ``progress`` callback routes the batch through a one-shot
+    :class:`~repro.runtime.session.SweepSession` instead -- for repeated
+    batches, hold a session yourself and keep its workers warm."""
+    if executor is not None:
+        return executor.run(specs)
+    if cache is not None or progress is not None:
+        from .session import SweepSession
+
+        with SweepSession(jobs=jobs, cache=cache) as session:
+            return session.run(specs, progress=progress)
+    return make_executor(jobs).run(specs)

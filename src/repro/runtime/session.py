@@ -1,0 +1,377 @@
+"""Warm-worker sweep sessions: chunked scheduling, network reuse, caching.
+
+``ProcessPoolExecutor.run`` is stateless: every call spins up a pool,
+ships every spec as its own task, and every task builds its network from
+scratch.  Fine for one big sweep; wasteful for the experiment shapes the
+repo is built on -- fault-placement enumerations, seed replicas and load
+batches issue hundreds of short deterministic points, and the fixed costs
+(pool spinup, per-spec pickle/IPC, per-spec topology construction)
+dominate the actual simulation.  :class:`SweepSession` amortizes all
+three:
+
+* **persistent warm pool** -- worker processes survive across ``run()``
+  calls, so pool spinup and interpreter warmup are paid once per session,
+  not once per sweep;
+* **chunked scheduling** -- specs ship in size-balanced contiguous chunks
+  (one pickle/IPC round-trip per chunk instead of per spec), streamed
+  back through an optional progress callback while the merged result list
+  stays in spec order;
+* **per-worker network reuse** -- each process memoizes built simulators
+  in a :class:`NetworkCache` keyed by :meth:`RunSpec.network_key` and
+  winds them back with :meth:`CycleEngine.reset` between specs instead of
+  reconstructing the topology (fingerprint parity with a fresh build is
+  tested in ``tests/sim/test_reset.py`` / ``tests/runtime``);
+* **result cache** -- give the session a
+  :class:`~repro.runtime.cache.ResultCache` and already-known specs skip
+  simulation entirely, streaming straight from disk.
+
+The runtime's determinism contract is unchanged: serial, chunked-parallel
+and cache-replayed runs of the same specs produce byte-identical results
+(``wall_time`` aside -- and a cache hit even preserves the *original*
+wall time, so a fully cached rerun's JSON is byte-identical too).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as _futures
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
+
+from .cache import ResultCache
+from .executor import SpecExecutionError
+from .spec import PointResult, RunSpec
+
+#: built networks kept per process.  Large enough that a full single-fault
+#: enumeration on the standard shapes stays resident even when its specs
+#: are split across a few workers; small enough to bound memory on
+#: many-shape sessions.
+DEFAULT_NETWORK_CAPACITY = 32
+
+#: chunks submitted per worker per ``run()``: >1 rebalances stragglers
+#: (a worker that drew slow specs hands later chunks to idle peers) while
+#: keeping the per-chunk IPC overhead amortized over many specs
+CHUNKS_PER_WORKER = 4
+
+
+def chunk_indices(n: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most ``chunks`` contiguous slices whose
+    sizes differ by at most one (larger slices first)."""
+    chunks = max(1, min(chunks, n))
+    base, extra = divmod(n, chunks)
+    out: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+class NetworkCache:
+    """Per-process memo of built simulators, keyed by ``network_key()``.
+
+    :meth:`get` hands back a simulator ready for :meth:`RunSpec.execute`:
+    a fresh build on a miss; on a hit the cached simulator is wound back
+    to its just-built state -- :meth:`CycleEngine.reset` for the fabric,
+    and the pristine routing logic captured at build time reasserted in
+    case an online fault event swapped it.  For metrics-bearing specs the
+    adapter's route memo is also cleared with its counters zeroed
+    (``reset_cache``), so the ``RouteCacheStats`` export matches a cold
+    build byte-for-byte.  For plain specs the route memo is left warm:
+    decisions are pure functions of a fixed logic, so warm entries can
+    only turn route-phase misses into hits without touching any
+    observable quantity.
+
+    Bounded LRU: least-recently-used networks are dropped beyond
+    ``capacity``.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_NETWORK_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._sims: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self.builds = 0
+        self.reuses = 0
+
+    def get(self, spec: RunSpec):
+        key = spec.network_key()
+        entry = self._sims.get(key)
+        if entry is None:
+            from ..experiments.sweeps import build_network
+
+            sim = build_network(
+                spec.kind,
+                spec.shape,
+                stall_limit=spec.stall_limit,
+                faults=spec.faults,
+            )()
+            self._sims[key] = (sim, getattr(sim.adapter, "logic", None))
+            if len(self._sims) > self.capacity:
+                self._sims.popitem(last=False)
+            self.builds += 1
+            return sim
+        self._sims.move_to_end(key)
+        sim, pristine_logic = entry
+        if (
+            pristine_logic is not None
+            and sim.adapter.logic is not pristine_logic
+        ):
+            # an online fault event swapped the logic mid-run; the setter
+            # also clears the route memo, which is now stale
+            sim.adapter.logic = pristine_logic
+        if spec.metrics and hasattr(sim.adapter, "reset_cache"):
+            sim.adapter.reset_cache()
+        sim.reset()
+        self.reuses += 1
+        return sim
+
+
+#: the per-process NetworkCache the chunk workers share (created lazily;
+#: under the fork start method each worker process gets its own copy)
+_process_networks: Optional[NetworkCache] = None
+
+
+def _networks() -> NetworkCache:
+    global _process_networks
+    if _process_networks is None:
+        _process_networks = NetworkCache()
+    return _process_networks
+
+
+class _ChunkFailure(NamedTuple):
+    """Picklable failure sentinel a chunk worker returns instead of
+    raising.  :class:`SpecExecutionError` carries its spec via a custom
+    ``__init__`` and does not survive the exception-pickling round trip,
+    so the worker ships the offset of the failing spec plus the original
+    cause, and the parent rebuilds the rich error against the real spec.
+    """
+
+    index: int
+    cause: BaseException
+
+
+def execute_chunk(specs: Sequence[RunSpec]):
+    """Module-level chunk entry point (importable, hence picklable).
+
+    Runs every spec on this process's warm :class:`NetworkCache` and
+    returns the :class:`PointResult` list -- or a :class:`_ChunkFailure`
+    for the first spec that raised (later specs in the chunk are not
+    attempted; sibling chunks are cancelled by the session).
+    """
+    networks = _networks()
+    out: List[PointResult] = []
+    for i, spec in enumerate(specs):
+        try:
+            out.append(spec.execute(sim=networks.get(spec)))
+        except Exception as exc:
+            return _ChunkFailure(i, exc)
+    return out
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """What one :meth:`SweepSession.run` actually did.
+
+    ``workers`` is the *effective* count -- degenerate inputs (one spec,
+    ``jobs<=1``, everything served from cache) run serially no matter
+    what was requested, and consumers report this number instead of
+    echoing ``--jobs``.
+    """
+
+    specs: int
+    workers: int
+    chunks: int
+    cache_hits: int
+    cache_misses: int
+
+    def describe(self) -> str:
+        bits = [
+            f"{self.specs} spec(s) on {self.workers} worker(s) "
+            f"in {self.chunks} chunk(s)"
+        ]
+        if self.cache_hits or self.cache_misses:
+            bits.append(
+                f"{self.cache_hits} from cache, {self.cache_misses} simulated"
+            )
+        return ", ".join(bits)
+
+
+class SweepSession:
+    """A reusable sweep runner that keeps its worker pool warm.
+
+    Use it as a context manager (or call :meth:`close`)::
+
+        with SweepSession(jobs=4, cache=ResultCache()) as session:
+            for batch in batches:
+                results = session.run(batch, progress=on_point)
+
+    ``jobs`` follows :func:`make_executor` semantics: ``None``/0/1 runs
+    in-process (still with network reuse); more fans chunks out over a
+    persistent process pool.  ``run()`` preserves the executor contract
+    -- one :class:`PointResult` per spec, in spec order, byte-identical
+    to a serial run -- and records a :class:`RunInfo` in :attr:`last_run`.
+
+    ``progress(result, done, total)`` fires once per completed spec as
+    results stream in (completion order; the returned list is still
+    merged in spec order).  Cache hits stream first.
+
+    A failed run raises :class:`SpecExecutionError` naming the spec,
+    cancels queued chunks, and discards the pool; the session itself
+    stays usable -- the next ``run()`` starts a fresh pool.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        chunks_per_worker: int = CHUNKS_PER_WORKER,
+        network_capacity: int = DEFAULT_NETWORK_CAPACITY,
+    ) -> None:
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be >= 1")
+        self.jobs = 1 if jobs is None else jobs
+        self.cache = cache
+        self.chunks_per_worker = chunks_per_worker
+        self.network_capacity = network_capacity
+        self.last_run: Optional[RunInfo] = None
+        self._pool: Optional[_futures.ProcessPoolExecutor] = None
+        self._local_networks: Optional[NetworkCache] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "SweepSession":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Shut the worker pool down (queued work is cancelled)."""
+        self._discard_pool()
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> _futures.ProcessPoolExecutor:
+        if self._pool is None:
+            # workers spawn on demand up to max_workers, so sizing the
+            # pool by ``jobs`` costs nothing on small runs
+            self._pool = _futures.ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # ------------------------------------------------------------ execution
+    def effective_workers(self, num_specs: int) -> int:
+        """Worker processes a ``run()`` of this size would actually use
+        (1 = in-process serial)."""
+        if self.jobs <= 1 or num_specs <= 1:
+            return 1
+        return min(self.jobs, num_specs)
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[Callable[[PointResult, int, int], None]] = None,
+    ) -> List[PointResult]:
+        specs = list(specs)
+        total = len(specs)
+        results: List[Optional[PointResult]] = [None] * total
+        todo: List[int] = []
+        if self.cache is not None:
+            for i, spec in enumerate(specs):
+                hit = self.cache.get(spec)
+                if hit is None:
+                    todo.append(i)
+                else:
+                    results[i] = hit
+        else:
+            todo = list(range(total))
+        hits = total - len(todo)
+        done = 0
+        if progress is not None:
+            for r in results:
+                if r is not None:
+                    done += 1
+                    progress(r, done, total)
+
+        workers = self.effective_workers(len(todo))
+        if not todo:
+            chunks = 0
+        elif workers <= 1:
+            chunks = 1
+            done = self._run_serial(specs, todo, results, progress, done, total)
+        else:
+            slices = chunk_indices(
+                len(todo), workers * self.chunks_per_worker
+            )
+            chunks = len(slices)
+            done = self._run_chunked(
+                specs, todo, slices, results, progress, done, total
+            )
+
+        self.last_run = RunInfo(
+            specs=total,
+            workers=workers,
+            chunks=chunks,
+            cache_hits=hits,
+            cache_misses=len(todo) if self.cache is not None else 0,
+        )
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _run_serial(
+        self, specs, todo, results, progress, done, total
+    ) -> int:
+        if self._local_networks is None:
+            self._local_networks = NetworkCache(self.network_capacity)
+        for i in todo:
+            spec = specs[i]
+            try:
+                result = spec.execute(sim=self._local_networks.get(spec))
+            except Exception as exc:
+                raise SpecExecutionError(spec, exc) from exc
+            results[i] = result
+            if self.cache is not None:
+                self.cache.put(result)
+            done += 1
+            if progress is not None:
+                progress(result, done, total)
+        return done
+
+    def _run_chunked(
+        self, specs, todo, slices, results, progress, done, total
+    ) -> int:
+        pool = self._ensure_pool()
+        futures = {}
+        try:
+            for a, b in slices:
+                idxs = todo[a:b]
+                fut = pool.submit(
+                    execute_chunk, [specs[i] for i in idxs]
+                )
+                futures[fut] = idxs
+            for fut in _futures.as_completed(futures):
+                payload = fut.result()
+                idxs = futures[fut]
+                if isinstance(payload, _ChunkFailure):
+                    spec = specs[idxs[payload.index]]
+                    raise SpecExecutionError(
+                        spec, payload.cause
+                    ) from payload.cause
+                for i, result in zip(idxs, payload):
+                    results[i] = result
+                    if self.cache is not None:
+                        self.cache.put(result)
+                    done += 1
+                    if progress is not None:
+                        progress(result, done, total)
+        except BaseException:
+            # a dead worker (BrokenProcessPool) or a failing spec poisons
+            # in-flight chunks: cancel what is queued, drop the pool, and
+            # let the next run() start fresh
+            self._discard_pool()
+            raise
+        return done

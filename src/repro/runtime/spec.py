@@ -88,22 +88,47 @@ class RunSpec:
             "spans": self.spans,
         }
 
-    def execute(self) -> "PointResult":
-        """Run this spec in the current process."""
+    def network_key(self) -> Tuple:
+        """Everything a built network depends on.
+
+        Specs agreeing on this key can run on the same simulator: the
+        measurement knobs (load, pattern, windows, seed) parameterize the
+        *workload*, not the fabric.  The warm-worker runtime's per-process
+        :class:`~repro.runtime.session.NetworkCache` memoizes built
+        networks under it and resets state between specs.
+        """
+        return (self.kind, self.shape, self.stall_limit, self.faults)
+
+    def execute(self, sim=None) -> "PointResult":
+        """Run this spec in the current process.
+
+        ``sim`` short-circuits the network build with a prepared
+        simulator -- freshly built or reset to its just-built state; the
+        warm-worker runtime passes reused ones.  The caller guarantees it
+        matches :meth:`network_key`; results must be byte-identical
+        either way.
+        """
         from ..experiments.sweeps import build_network, run_load_point
         from ..traffic import get_pattern
 
         start = time.perf_counter()
-        make_sim = build_network(
-            self.kind,
-            self.shape,
-            stall_limit=self.stall_limit,
-            faults=self.faults,
-        )
         suite = None
         span_collector = None
-        if self.metrics or self.spans:
-            sim = make_sim()
+        if sim is None and not (self.metrics or self.spans):
+            make_sim = build_network(
+                self.kind,
+                self.shape,
+                stall_limit=self.stall_limit,
+                faults=self.faults,
+            )
+        else:
+            if sim is None:
+                sim = build_network(
+                    self.kind,
+                    self.shape,
+                    stall_limit=self.stall_limit,
+                    faults=self.faults,
+                )()
             if self.metrics:
                 from ..obs.collectors import attach_standard_collectors
 

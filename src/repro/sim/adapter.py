@@ -105,6 +105,17 @@ class MDCrossbarAdapter:
         self._logic = new_logic
         self._cache.clear()
 
+    def reset_cache(self) -> None:
+        """Clear the memo *and* zero its counters, as a freshly built
+        adapter's would be.  The warm-worker runtime calls this before
+        reusing a network for a metrics-bearing sweep point, so the
+        ``cache_info`` counters -- exported into the metrics digest by
+        ``RouteCacheStats`` -- match a cold build's byte-for-byte."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
     def cache_info(self) -> Dict[str, int]:
         """Memo statistics: cumulative hits / misses / evictions plus the
         current size and the configured capacity."""

@@ -405,6 +405,61 @@ class CycleEngine:
             if not self._node_is_dead(c)
         )
 
+    # ------------------------------------------------------------ lifecycle
+    def reset(self) -> None:
+        """Return the engine to its just-constructed state, keeping the
+        built fabric.
+
+        Everything expensive survives -- the topology, the adapter, the
+        precomputed input/injection tables and the pure-topology wanted
+        memo -- while every piece of mutable run state (buffers,
+        connections, queues, counters, the deadlock report, the hook bus)
+        is restored to what ``__init__`` left it.  A reset engine must
+        behave byte-identically to a freshly built one; the warm-worker
+        runtime (:mod:`repro.runtime.session`) leans on this to reuse
+        networks across sweep points, and ``tests/sim/test_reset.py``
+        holds it to fingerprint parity.
+
+        Workload and instrumentation do not survive: generators,
+        scheduled sends and every hook subscription are dropped
+        (collectors must be re-attached), mirroring a fresh construction.
+        Live nodes are recomputed from the adapter's *current* logic --
+        a caller undoing an online fault event must restore the pristine
+        logic first (see ``NetworkCache``).
+        """
+        self.cycle = 0
+        for vc in self.vcs.values():
+            vc.buffer.clear()
+            vc.owner = None
+        self._eject_pending.clear()
+        self._serial_active.clear()
+        self.connections.clear()
+        self.pending.clear()
+        self._pending_by_cin.clear()
+        self._route_candidates.clear()
+        self.serial_queues.clear()
+        for q in self.source_queues.values():
+            q.clear()
+        self._nonempty_sources.clear()
+        self._scheduled.clear()
+        self.generators.clear()
+        self.in_flight.clear()
+        # fresh lists: past SimResults got copies, but external holders of
+        # the live attributes must not see a reused engine's traffic
+        self.delivered = []
+        self.dropped = []
+        self.flit_moves = 0
+        self.injected = 0
+        self.channel_busy.clear()
+        self._last_progress = 0
+        self.deadlock = None
+        self.hooks = HookBus()
+        if self.trace is not None:
+            self.hooks.log.append(self.trace)
+        self._live_nodes = tuple(
+            c for c in self.topo.node_coords() if not self._node_is_dead(c)
+        )
+
     # ------------------------------------------------------------- helpers
     def _node_is_dead(self, coord: Coord) -> bool:
         logic = getattr(self.adapter, "logic", None)

@@ -1,0 +1,165 @@
+"""The content-addressed result cache: key definition, round-trips,
+invalidation of corrupt/stale entries, and the wall_time-excluding
+result identity."""
+
+import json
+import pickle
+from dataclasses import replace
+
+from repro.core import Fault
+from repro.runtime import ResultCache, RunSpec, result_identity, spec_key
+from repro.runtime.cache import CACHE_SCHEMA
+
+SHAPE = (3, 3)
+FAST = dict(shape=SHAPE, warmup=30, window=60, drain=600)
+
+
+def spec(**kw):
+    base = dict(load=0.1, **FAST)
+    base.update(kw)
+    return RunSpec(**base)
+
+
+class TestSpecKey:
+    def test_stable_for_equal_specs(self):
+        assert spec_key(spec()) == spec_key(spec())
+
+    def test_sensitive_to_every_content_field(self):
+        base = spec()
+        variants = [
+            spec(load=0.2),
+            spec(seed=2),
+            spec(shape=(4, 3)),
+            spec(warmup=31),
+            spec(window=61),
+            spec(drain=601),
+            spec(stall_limit=999),
+            spec(pattern="transpose"),
+            spec(packet_length=8),
+            spec(metrics=True),
+            spec(faults=(Fault.router((1, 1)),)),
+            spec(label="named"),
+        ]
+        keys = {spec_key(v) for v in variants}
+        assert spec_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_is_hex_sha256(self):
+        key = spec_key(spec())
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+
+class TestResultIdentity:
+    def test_excludes_wall_time_only(self):
+        result = spec().execute()
+        other = replace(result, wall_time=result.wall_time + 1.0)
+        assert result_identity([result]) == result_identity([other])
+        moved = replace(result, spec=spec(load=0.2))
+        assert result_identity([result]) != result_identity([moved])
+
+    def test_order_sensitive(self):
+        a, b = spec().execute(), spec(load=0.2).execute()
+        assert result_identity([a, b]) != result_identity([b, a])
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        s = spec()
+        assert cache.get(s) is None
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "invalidations": 0, "puts": 0,
+        }
+        result = s.execute()
+        cache.put(result)
+        got = cache.get(s)
+        assert got is not None
+        # the stored result replays byte-identically, wall_time included
+        assert json.dumps(got.to_dict()) == json.dumps(result.to_dict())
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "invalidations": 0, "puts": 1,
+        }
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        s = spec()
+        cache.put(s.execute())
+        key = spec_key(s)
+        assert (tmp_path / key[:2] / f"{key}.pkl").exists()
+
+    def test_metrics_payload_rides_along(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        s = spec(metrics=True)
+        cache.put(s.execute())
+        got = cache.get(s)
+        assert got.metrics is not None
+        assert got.metrics["deliveries"].value > 0
+
+
+class TestInvalidation:
+    def test_corrupt_payload_is_dropped_and_recovered(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        s = spec()
+        cache.put(s.execute())
+        path = cache.path_for(s)
+        with open(path, "wb") as f:
+            f.write(b"not a pickle")
+        assert cache.get(s) is None
+        assert cache.invalidations == 1
+        assert not list(tmp_path.glob("*/*.pkl"))  # entry unlinked
+        cache.put(s.execute())  # rewrites cleanly
+        assert cache.get(s) is not None
+
+    def test_foreign_schema_is_dropped(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        s = spec()
+        result = s.execute()
+        cache.put(result)
+        path = cache.path_for(s)
+        payload = {
+            "schema": CACHE_SCHEMA + 1,
+            "key": spec_key(s),
+            "spec": s.to_dict(),
+            "result": result,
+        }
+        with open(path, "wb") as f:
+            pickle.dump(payload, f)
+        assert cache.get(s) is None
+        assert cache.invalidations == 1
+
+    def test_key_collision_guard(self, tmp_path):
+        """A payload whose embedded spec disagrees with the probing spec
+        (hash collision, or a file renamed by hand) reads as a miss."""
+        cache = ResultCache(str(tmp_path))
+        a, b = spec(), spec(load=0.2)
+        cache.put(a.execute())
+        import os
+        import shutil
+
+        src, dst = cache.path_for(a), cache.path_for(b)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        shutil.copy(src, dst)
+        assert cache.get(b) is None
+        assert cache.invalidations == 1
+        assert cache.get(a) is not None  # the honest entry still hits
+
+    def test_describe_mentions_counts_and_root(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.get(spec())
+        text = cache.describe()
+        assert "1 miss(es)" in text and str(tmp_path) in text
+
+
+class TestObsIntegration:
+    def test_counters_export_as_metrics(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        s = spec()
+        cache.get(s)
+        cache.put(s.execute())
+        cache.get(s)
+        ms = cache.metrics()
+        assert ms["result_cache.hits"].value == 1
+        assert ms["result_cache.misses"].value == 1
+        assert ms["result_cache.puts"].value == 1
+        assert ms["result_cache.invalidations"].value == 0

@@ -165,6 +165,91 @@ class TestFailurePaths:
             run_specs([self.crashing_spec(), self.crashing_spec()], jobs=2)
 
 
+class TestEffectiveWorkers:
+    """Consumers report the worker count a run *actually* used: ``--jobs``
+    silently degrades to serial for one spec or ``jobs<=1``."""
+
+    def test_serial_is_always_one(self):
+        assert SerialExecutor().effective_workers(100) == 1
+
+    def test_pool_degenerate_inputs_run_serially(self):
+        assert ProcessPoolExecutor(jobs=4).effective_workers(1) == 1
+        assert ProcessPoolExecutor(jobs=1).effective_workers(100) == 1
+
+    def test_pool_is_capped_by_specs_and_jobs(self):
+        assert ProcessPoolExecutor(jobs=4).effective_workers(2) == 2
+        assert ProcessPoolExecutor(jobs=2).effective_workers(100) == 2
+
+
+class TestFailureCancelsSiblings:
+    """A failing spec must fail the sweep promptly: queued siblings are
+    cancelled (``shutdown(cancel_futures=True)``), not ground through
+    before the error can propagate."""
+
+    SLOW = dict(
+        kind="md-crossbar", shape=(8, 8), load=0.3,
+        warmup=100, window=300, drain=3000,
+    )
+
+    def test_failure_does_not_drain_queued_slow_specs(self):
+        import time
+
+        slow = RunSpec(**self.SLOW)
+        t0 = time.perf_counter()
+        slow.execute()  # calibrate one slow point on this machine
+        t_slow = time.perf_counter() - t0
+
+        # the crasher is submitted first; a dozen slow siblings queue
+        # behind it on two workers
+        specs = [RunSpec(kind="no-such-network", load=0.1, **FAST)] + [
+            replace(slow, seed=seed) for seed in range(2, 14)
+        ]
+        t0 = time.perf_counter()
+        with pytest.raises(SpecExecutionError):
+            ProcessPoolExecutor(jobs=2).run(specs)
+        elapsed = time.perf_counter() - t0
+        # without cancel_futures the exit shutdown awaits the whole
+        # queue: >= 6 * t_slow.  With it, only the <= 2 specs already
+        # running are awaited.
+        budget = max(3 * t_slow, 1.0)
+        assert elapsed < budget, (
+            f"failure path took {elapsed:.2f}s (budget {budget:.2f}s; "
+            f"one slow spec is {t_slow:.2f}s) -- queued specs were not "
+            f"cancelled"
+        )
+
+
+class TestSessionIdentity:
+    """Satellite acceptance: seed replicas of the fault-placement family
+    run serial, chunked-parallel, and cache-replayed -- all three
+    byte-identical (``result_identity`` strips only ``wall_time``; the
+    replay leg is byte-identical *including* wall times)."""
+
+    def family(self):
+        return seed_replicas(
+            fault_placement_specs("md-crossbar", SHAPE, 0.1, **WINDOWS),
+            seeds=[7, 8],
+        )
+
+    def test_serial_chunked_cached_byte_identity(self, tmp_path):
+        from repro.runtime import ResultCache, SweepSession, result_identity
+
+        specs = self.family()
+        reference = result_identity(SerialExecutor().run(specs))
+        with SweepSession(jobs=2) as session:
+            chunked = session.run(specs)
+        assert result_identity(chunked) == reference
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = run_specs(specs, jobs=2, cache=cache)
+        assert result_identity(first) == reference
+        replay = run_specs(specs, cache=cache)
+        assert cache.hits == len(specs)
+        assert json.dumps([r.to_dict() for r in replay]) == json.dumps(
+            [r.to_dict() for r in first]
+        )
+
+
 class TestSeedDivergence:
     def test_specs_differing_only_in_seed_inject_differently(self):
         """Regression: the experiment-level seed must reach the injector,

@@ -1,0 +1,250 @@
+"""The warm-worker session: chunked scheduling over a persistent pool,
+per-process network reuse, and result-cache integration, all holding the
+runtime's determinism contract (serial == chunked == cached, spec order
+preserved)."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    NetworkCache,
+    ProcessPoolExecutor,
+    ResultCache,
+    RunSpec,
+    SerialExecutor,
+    SpecExecutionError,
+    SweepSession,
+    chunk_indices,
+    fault_placement_specs,
+    result_identity,
+    run_specs,
+    seed_replicas,
+)
+
+SHAPE = (3, 3)
+WINDOWS = dict(warmup=30, window=60, drain=600)
+FAST = dict(shape=SHAPE, **WINDOWS)
+
+
+def small_specs():
+    return seed_replicas(
+        [
+            RunSpec(load=0.05, **FAST),
+            RunSpec(load=0.15, **FAST),
+        ],
+        seeds=[7, 8],
+    )
+
+
+class TestChunkIndices:
+    def test_even_split(self):
+        assert chunk_indices(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_to_the_front(self):
+        slices = chunk_indices(10, 4)
+        assert slices == [(0, 3), (3, 6), (6, 8), (8, 10)]
+        sizes = [b - a for a, b in slices]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_fewer_items_than_chunks(self):
+        assert chunk_indices(2, 8) == [(0, 1), (1, 2)]
+
+    def test_degenerate(self):
+        assert chunk_indices(1, 1) == [(0, 1)]
+        assert chunk_indices(5, 1) == [(0, 5)]
+
+    def test_covers_range_without_gaps(self):
+        for n in (1, 7, 16, 33):
+            for chunks in (1, 3, 8):
+                slices = chunk_indices(n, chunks)
+                flat = [i for a, b in slices for i in range(a, b)]
+                assert flat == list(range(n))
+
+
+class TestNetworkCache:
+    def test_reuses_by_network_key(self):
+        cache = NetworkCache()
+        a = RunSpec(load=0.05, **FAST)
+        b = RunSpec(load=0.15, seed=9, **FAST)  # same fabric, other traffic
+        sim = cache.get(a)
+        assert cache.get(b) is sim
+        assert cache.builds == 1 and cache.reuses == 1
+
+    def test_distinct_fabrics_get_distinct_networks(self):
+        from repro.core import Fault
+
+        cache = NetworkCache()
+        plain = RunSpec(load=0.05, **FAST)
+        faulted = RunSpec(
+            load=0.05, faults=(Fault.router((1, 1)),), **FAST
+        )
+        assert cache.get(plain) is not cache.get(faulted)
+        assert cache.builds == 2
+
+    def test_lru_eviction(self):
+        cache = NetworkCache(capacity=1)
+        a = RunSpec(load=0.05, **FAST)
+        b = RunSpec(load=0.05, shape=(4, 3), **WINDOWS)
+        first = cache.get(a)
+        cache.get(b)  # evicts a
+        assert cache.get(a) is not first
+        assert cache.builds == 3 and cache.reuses == 0
+
+    def test_reused_network_reproduces_fresh_results(self):
+        cache = NetworkCache()
+        spec = RunSpec(load=0.2, **FAST)
+        fresh = spec.execute()
+        again = spec.execute(sim=cache.get(spec))
+        reused = spec.execute(sim=cache.get(spec))
+        assert fresh.point == again.point == reused.point
+
+    def test_metrics_parity_through_reuse(self):
+        """RouteCacheStats counters ride the metrics payload, so a warm
+        route memo must be wound back for metrics-bearing specs."""
+        spec = RunSpec(load=0.2, metrics=True, **FAST)
+        cache = NetworkCache()
+        cache.get(RunSpec(load=0.1, **FAST)).run(
+            max_cycles=200, until_drained=False
+        )  # dirty the shared network and its route memo
+        warm = spec.execute(sim=cache.get(spec))
+        fresh = spec.execute()
+        assert json.dumps(warm.metrics.to_dict()) == json.dumps(
+            fresh.metrics.to_dict()
+        )
+        assert warm.point == fresh.point
+
+
+class TestSessionDeterminism:
+    def test_serial_session_matches_executor(self):
+        specs = small_specs()
+        reference = SerialExecutor().run(specs)
+        with SweepSession() as session:
+            got = session.run(specs)
+        assert [r.spec for r in got] == specs
+        assert result_identity(got) == result_identity(reference)
+        assert session.last_run.workers == 1
+
+    def test_chunked_session_matches_serial(self):
+        specs = small_specs()
+        reference = result_identity(SerialExecutor().run(specs))
+        with SweepSession(jobs=2, chunks_per_worker=2) as session:
+            got = session.run(specs)
+            again = session.run(specs)  # warm pool + warm networks
+        assert result_identity(got) == reference
+        assert result_identity(again) == reference
+        assert session.last_run.workers == 2
+        assert session.last_run.chunks > 1
+
+    def test_fault_enumeration_across_session_legs(self):
+        """Satellite acceptance: seed replicas of the fault-placement
+        family -- serial, chunked-parallel and cache-replayed runs are
+        byte-identical."""
+        specs = seed_replicas(
+            fault_placement_specs("md-crossbar", SHAPE, 0.1, **WINDOWS),
+            seeds=[7, 8],
+        )
+        reference = result_identity(SerialExecutor().run(specs))
+        with SweepSession(jobs=2) as session:
+            assert result_identity(session.run(specs)) == reference
+
+    def test_progress_streams_every_spec(self):
+        specs = small_specs()
+        seen = []
+        with SweepSession(jobs=2) as session:
+            session.run(
+                specs,
+                progress=lambda r, done, total: seen.append(
+                    (r.spec, done, total)
+                ),
+            )
+        assert len(seen) == len(specs)
+        assert [done for _, done, _ in seen] == list(
+            range(1, len(specs) + 1)
+        )
+        assert all(total == len(specs) for _, _, total in seen)
+        assert {s for s, _, _ in seen} == set(specs)
+
+    def test_effective_workers(self):
+        assert SweepSession().effective_workers(10) == 1
+        assert SweepSession(jobs=4).effective_workers(1) == 1
+        assert SweepSession(jobs=4).effective_workers(2) == 2
+        assert SweepSession(jobs=2).effective_workers(10) == 2
+
+
+class TestSessionFailure:
+    def crashing_spec(self):
+        return RunSpec(kind="no-such-network", load=0.1, **FAST)
+
+    def test_failure_names_the_spec_and_session_survives(self):
+        good = small_specs()
+        bad = self.crashing_spec()
+        with SweepSession(jobs=2) as session:
+            with pytest.raises(SpecExecutionError) as err:
+                session.run(good[:2] + [bad] + good[2:])
+            assert err.value.spec == bad
+            assert "no-such-network" in str(err.value)
+            # the session stays usable after a failed run
+            results = session.run(good)
+            assert [r.spec for r in results] == good
+
+    def test_serial_failure_path(self):
+        with SweepSession() as session:
+            with pytest.raises(SpecExecutionError):
+                session.run([self.crashing_spec()])
+
+
+class TestSessionCache:
+    def test_replay_is_byte_identical_including_wall_time(self, tmp_path):
+        specs = small_specs()
+        cache = ResultCache(str(tmp_path / "cache"))
+        with SweepSession(jobs=2, cache=cache) as session:
+            first = session.run(specs)
+            assert session.last_run.cache_misses == len(specs)
+            replay = session.run(specs)
+        assert session.last_run.cache_hits == len(specs)
+        assert session.last_run.cache_misses == 0
+        assert session.last_run.workers == 1  # nothing left to simulate
+        # full JSON equality, wall_time included: the hit preserves the
+        # originally measured wall time
+        assert json.dumps([r.to_dict() for r in replay]) == json.dumps(
+            [r.to_dict() for r in first]
+        )
+
+    def test_partial_hits_fill_only_the_gaps(self, tmp_path):
+        specs = small_specs()
+        cache = ResultCache(str(tmp_path / "cache"))
+        with SweepSession(cache=cache) as session:
+            session.run(specs[:2])
+            out = session.run(specs)
+        assert session.last_run.cache_hits == 2
+        assert session.last_run.cache_misses == len(specs) - 2
+        assert [r.spec for r in out] == specs
+
+    def test_cache_hits_stream_before_simulated_points(self, tmp_path):
+        specs = small_specs()
+        cache = ResultCache(str(tmp_path / "cache"))
+        with SweepSession(cache=cache) as session:
+            session.run(specs[2:])
+            order = []
+            session.run(
+                specs, progress=lambda r, d, t: order.append(r.spec)
+            )
+        assert order[:2] == specs[2:]  # the cached pair streamed first
+
+    def test_run_specs_front_door_routes_through_session(self, tmp_path):
+        specs = small_specs()
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = run_specs(specs, jobs=2, cache=cache)
+        assert cache.puts == len(specs)
+        replay = run_specs(specs, cache=cache)
+        assert cache.hits == len(specs)
+        assert json.dumps([r.to_dict() for r in replay]) == json.dumps(
+            [r.to_dict() for r in first]
+        )
+
+    def test_explicit_executor_wins_over_session(self):
+        specs = small_specs()[:2]
+        results = run_specs(specs, executor=ProcessPoolExecutor(jobs=2))
+        assert [r.spec for r in results] == specs

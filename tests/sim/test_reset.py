@@ -1,0 +1,157 @@
+"""``CycleEngine.reset()``: restore a warm simulator to just-constructed
+state.
+
+The warm-worker runtime (:mod:`repro.runtime.session`) reuses one built
+network across many sweep points, calling ``reset()`` between specs.
+That is only sound if a reset engine is *observationally identical* to a
+freshly built one -- same order-sensitive :meth:`SimResult.fingerprint`
+on the same workload -- including after faulted runs, deadlocks, and
+attached instrumentation.  These tests pin that contract.
+"""
+
+from repro.core import Fault, Header, Packet, RC
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.topology import MDCrossbar
+from repro.traffic import BernoulliInjector, uniform
+from tests.conftest import make_logic
+
+
+def make_sim(shape=(4, 3), stall_limit=2000, **logic_kw):
+    topo = MDCrossbar(shape)
+    return NetworkSimulator(
+        MDCrossbarAdapter(make_logic(topo, **logic_kw)),
+        SimConfig(stall_limit=stall_limit),
+    )
+
+
+def bernoulli(sim, seed=7):
+    sim.add_generator(
+        BernoulliInjector(load=0.2, pattern=uniform, seed=seed, stop_at=120)
+    )
+    return 1500
+
+
+def run_fp(sim, workload):
+    max_cycles = workload(sim)
+    return sim.run(max_cycles=max_cycles, until_drained=False).fingerprint()
+
+
+class TestResetParity:
+    def test_reset_matches_fresh_build(self):
+        fresh_fp = run_fp(make_sim(), bernoulli)
+        warm = make_sim()
+        run_fp(warm, bernoulli)  # dirty the engine first
+        warm.reset()
+        assert run_fp(warm, bernoulli) == fresh_fp
+
+    def test_reset_reproduces_itself_repeatedly(self):
+        sim = make_sim()
+        first = run_fp(sim, bernoulli)
+        for _ in range(3):
+            sim.reset()
+            assert run_fp(sim, bernoulli) == first
+
+    def test_reset_with_standing_fault(self):
+        """Detour state (the faulted route tables live in the logic, not
+        the engine) must survive a reset untouched."""
+        kw = dict(fault=Fault.router((2, 0)))
+        fresh_fp = run_fp(make_sim(**kw), bernoulli)
+        warm = make_sim(**kw)
+        run_fp(warm, bernoulli)
+        warm.reset()
+        assert run_fp(warm, bernoulli) == fresh_fp
+        assert fresh_fp != run_fp(make_sim(), bernoulli)  # fault mattered
+
+    def test_reset_after_deadlock(self):
+        """A deadlocked engine (stalled buffers, a DeadlockReport, dead
+        connections everywhere) resets to a clean, working fabric."""
+
+        def fig9(sim):
+            sim.send(
+                Packet(
+                    Header(source=(3, 2), dest=(3, 2),
+                           rc=RC.BROADCAST_REQUEST),
+                    length=6,
+                ),
+                at_cycle=0,
+            )
+            sim.send(
+                Packet(Header(source=(0, 0), dest=(2, 2)), length=6),
+                at_cycle=1,
+            )
+            sim.send(
+                Packet(Header(source=(1, 0), dest=(3, 1)), length=6),
+                at_cycle=1,
+            )
+            sim.send(
+                Packet(Header(source=(0, 1), dest=(1, 2)), length=6),
+                at_cycle=2,
+            )
+            return 5000
+
+        kw = dict(fault=Fault.router((2, 0)))
+        from repro.core.config import DetourScheme
+
+        kw["detour_scheme"] = DetourScheme.NAIVE
+        sim = make_sim(stall_limit=200, **kw)
+        max_cycles = fig9(sim)
+        res = sim.run(max_cycles=max_cycles, until_drained=False)
+        assert res.deadlocked
+        sim.reset()
+        assert sim.deadlock is None
+        after = sim.run(max_cycles=500, until_drained=False)
+        assert not after.deadlocked
+        assert after.cycles == 0 or after.delivered == []  # no stale traffic
+
+    def test_reset_drops_pending_traffic_and_generators(self):
+        sim = make_sim()
+        coords = sorted(sim.topo.node_coords())
+        sim.send(
+            Packet(Header(source=coords[0], dest=coords[-1])), at_cycle=10
+        )
+        sim.add_generator(
+            BernoulliInjector(load=0.5, pattern=uniform, seed=1, stop_at=50)
+        )
+        sim.reset()
+        res = sim.run(max_cycles=200, until_drained=False)
+        assert res.delivered == [] and res.injected == 0
+
+
+class TestResetIsolation:
+    def test_past_results_are_not_aliased(self):
+        """SimResult holders from before a reset must not see the reused
+        engine's new traffic."""
+        sim = make_sim()
+        first = sim.run(max_cycles=bernoulli(sim), until_drained=False)
+        count = len(first.delivered)
+        sim.reset()
+        sim.run(max_cycles=bernoulli(sim, seed=8), until_drained=False)
+        assert len(first.delivered) == count
+
+    def test_reset_clears_hook_subscribers(self):
+        """Instrumentation is per-run state: a collector attached before
+        the reset must not fire afterwards."""
+        sim = make_sim()
+        seen = []
+        sim.hooks.on_deliver(lambda packet, coord, cycle: seen.append(packet))
+        run_fp(sim, bernoulli)
+        assert seen
+        before = len(seen)
+        sim.reset()
+        assert sim.hooks.deliver == []
+        run_fp(sim, bernoulli)
+        assert len(seen) == before
+
+    def test_route_memo_survives_reset(self):
+        """The adapter's route memo is pure w.r.t. the logic, so reset
+        keeps it warm -- only ``reset_cache()`` clears it."""
+        sim = make_sim()
+        run_fp(sim, bernoulli)
+        info = sim.adapter.cache_info()
+        assert info["size"] > 0
+        sim.reset()
+        assert sim.adapter.cache_info()["size"] == info["size"]
+        sim.adapter.reset_cache()
+        cleared = sim.adapter.cache_info()
+        assert cleared["size"] == 0
+        assert cleared["hits"] == 0 and cleared["misses"] == 0

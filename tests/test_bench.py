@@ -54,9 +54,17 @@ class TestSuite:
             assert a[field] == b[field]
 
     def test_legacy_compare_shows_no_drift(self, smoke_doc):
-        """The in-run fast-vs-legacy twin: every smoke case must agree
-        with the full per-cycle scan on all deterministic fields."""
-        for name, case in smoke_doc["cases"].items():
+        """The in-run fast-vs-legacy twin: every smoke *engine* case must
+        agree with the full per-cycle scan on all deterministic fields.
+        Runner cases (sweep_fanout) have no legacy twin and carry none of
+        these fields."""
+        engine_cases = {
+            name: case
+            for name, case in smoke_doc["cases"].items()
+            if "legacy_drift" in case
+        }
+        assert len(engine_cases) >= 3
+        for name, case in engine_cases.items():
             assert case["legacy_drift"] == [], name
             assert case["speedup_vs_legacy"] > 0
             assert case["legacy_cycles_per_sec"] > 0
@@ -80,6 +88,51 @@ class TestSuite:
         out = render_bench(smoke_doc)
         for name in smoke_doc["cases"]:
             assert name in out
+
+
+class TestSweepFanoutCase:
+    """The runner-style runtime case: warm-session and cache-replay legs
+    over the fault-enumeration sweep, gated on in-run speedup ratios."""
+
+    def test_case_shape(self, smoke_doc):
+        sf = smoke_doc["cases"]["sweep_fanout"]
+        assert sf["specs"] > 1 and sf["batches"] > 1
+        assert sf["specs_per_sec_warm"] > 0
+        assert sf["specs_per_sec_cold"] > 0
+        assert sf["specs_per_sec_cached"] > 0
+        # the identity hash pins the serial reference every leg matched
+        assert len(sf["identity_sha256"]) == 64
+        assert not sf["deadlocked"]
+
+    def test_acceptance_speedups(self, smoke_doc):
+        """The warm session beats cold per-spec pools and a fully
+        cache-hit rerun beats them by an order of magnitude.  The full
+        acceptance floors (>= 2x warm, >= 10x cached) are pinned by the
+        committed baseline plus the CI compare gate; the unit floors
+        here are lower so a loaded test machine cannot flake them."""
+        sf = smoke_doc["cases"]["sweep_fanout"]
+        assert sf["warm_speedup"] >= 1.5
+        assert sf["cache_speedup"] >= 10.0
+
+    def test_warm_speedup_collapse_is_a_regression(self, smoke_doc):
+        new = copy.deepcopy(smoke_doc)
+        sf = new["cases"]["sweep_fanout"]
+        sf["warm_speedup"] = smoke_doc["cases"]["sweep_fanout"][
+            "warm_speedup"
+        ] * 0.4
+        regs = compare_bench(new, smoke_doc, threshold_pct=99)
+        assert any(r.field == "warm_speedup" for r in regs)
+        # wobble within 50% is not a regression
+        sf["warm_speedup"] = smoke_doc["cases"]["sweep_fanout"][
+            "warm_speedup"
+        ] * 0.8
+        assert compare_bench(new, smoke_doc, threshold_pct=99) == []
+
+    def test_identity_drift_is_a_regression(self, smoke_doc):
+        new = copy.deepcopy(smoke_doc)
+        new["cases"]["sweep_fanout"]["identity_sha256"] = "0" * 64
+        regs = compare_bench(new, smoke_doc, threshold_pct=99)
+        assert any(r.field == "identity_sha256" for r in regs)
 
 
 class TestBenchFiles:

@@ -262,6 +262,52 @@ class TestSweepCommand:
             d["metrics"] for d in serial
         ]
 
+    def test_sweep_reports_effective_workers(self, capsys):
+        """--jobs echoes what actually ran: two specs on --jobs 8 use
+        two workers; --jobs 1 (or none) runs serially."""
+        rc = main(["sweep", "--loads", "0.05,0.15", "--jobs", "8",
+                   *SWEEP_FAST])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "jobs=8 (2 effective worker(s)" in captured.out
+        assert "2 spec(s) on 2 worker(s)" in captured.err
+        rc = main(["sweep", "--loads", "0.05,0.15", *SWEEP_FAST])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "jobs=1 (1 effective worker(s)" in captured.out
+
+    def test_sweep_cache_replay_is_byte_identical(self, tmp_path, capsys):
+        argv = ["sweep", "--loads", "0.05,0.15", "--json", "--cache",
+                "--cache-dir", str(tmp_path / "cache"), *SWEEP_FAST]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "0 hit(s)" in first.err and "2 put(s)" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        # stdout byte-identical, wall_time included -- the CI smoke step
+        # cmp(1)s exactly this
+        assert second.out == first.out
+        assert "2 hit(s)" in second.err
+        assert "0 from cache, 2 simulated" in first.err
+        assert "2 from cache, 0 simulated" in second.err
+
+    def test_sweep_no_cache_skips_the_cache_dir(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        base = ["sweep", "--loads", "0.05", "--cache-dir", str(cache_dir),
+                *SWEEP_FAST]
+        assert main(base + ["--no-cache"]) == 0
+        assert not cache_dir.exists()
+        assert "cache:" not in capsys.readouterr().err
+
+    def test_sweep_cache_metrics_exports_counters(self, tmp_path, capsys):
+        argv = ["sweep", "--loads", "0.05", "--metrics", "--cache",
+                "--cache-dir", str(tmp_path / "cache"), *SWEEP_FAST]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "result_cache.hits" in out
+
 
 class TestTraceCommand:
     def test_trace_stdout_is_jsonl(self, capsys):
