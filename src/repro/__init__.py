@@ -42,7 +42,7 @@ from .core import (
     compute_route,
     make_config,
 )
-from .topology import FullCrossbar, Hypercube, MDCrossbar, Mesh, Torus
+from .topology import FullCrossbar, FullMesh, Hypercube, MDCrossbar, Mesh, Torus
 
 __version__ = "1.0.0"
 
@@ -54,6 +54,7 @@ __all__ = [
     "Fault",
     "FaultRegistry",
     "FullCrossbar",
+    "FullMesh",
     "Header",
     "Hypercube",
     "MDCrossbar",

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..core.coords import all_coords, hop_distance, num_nodes
 from ..topology.base import Topology
+from ..topology.fullcrossbar import FullMesh
 from ..topology.hypercube import Hypercube
 from ..topology.mdcrossbar import MDCrossbar
 from ..topology.mesh import Mesh
@@ -97,6 +98,10 @@ def profile(topo: Topology, name: Optional[str] = None) -> NetworkProfile:
         diameter, avg = _pairwise_hops(shape, mesh_distance)
         ports = topo.router_ports
         label = name or "mesh"
+    elif isinstance(topo, FullMesh):
+        diameter, avg = (1, 1.0) if topo.n > 1 else (0, 0.0)
+        ports = topo.router_ports
+        label = name or "fullmesh"
     else:  # pragma: no cover - future topologies
         raise TypeError(f"no profile rule for {type(topo).__name__}")
     return NetworkProfile(
@@ -132,6 +137,59 @@ def comparison_table(n_target: int = 64) -> Dict[str, NetworkProfile]:
         "torus": profile(Torus(shape2d)),
         "hypercube": profile(Hypercube.with_nodes(n_target)),
         "crossbar": profile(MDCrossbar((n_target,)), name="crossbar"),
+    }
+
+
+def route_stats(scheme) -> Dict[str, float]:
+    """Path-length statistics of a routing scheme's static route relation.
+
+    Walks the scheme's preferred-branch route for every deliverable pair
+    (see :meth:`repro.routing.RoutingScheme.static_route`) and compares
+    against the shortest channel path in the element graph, giving the
+    scheme's **path stretch** -- 1.0 for minimal routing, above 1.0 when
+    detours/misroutes lengthen paths (e.g. the D-XB detour under a
+    standing fault).  Lengths count traversed channels, injection and
+    ejection included, so they are comparable across topologies.
+    """
+    from collections import deque
+
+    topo = scheme.topo
+    # unweighted shortest element-path lengths from every PE
+    adjacency: Dict = {}
+    for ch in topo.channels():
+        adjacency.setdefault(ch.src, []).append(ch.dst)
+    shortest: Dict[Tuple, int] = {}
+    live = scheme.live_nodes()
+    from ..topology.base import pe as pe_el
+
+    for s in live:
+        dist = {pe_el(s): 0}
+        q = deque([pe_el(s)])
+        while q:
+            el = q.popleft()
+            for nxt in adjacency.get(el, ()):
+                if nxt not in dist:
+                    dist[nxt] = dist[el] + 1
+                    q.append(nxt)
+        for d in live:
+            if d != s:
+                shortest[(s, d)] = dist[pe_el(d)]
+    actual_total = 0
+    minimal_total = 0
+    longest = 0
+    pairs = 0
+    for (s, d), route in scheme.static_routes().items():
+        pairs += 1
+        actual_total += len(route)
+        minimal_total += shortest[(s, d)]
+        longest = max(longest, len(route))
+    if pairs == 0:
+        return {"pairs": 0, "avg_channels": 0.0, "max_channels": 0, "stretch": 1.0}
+    return {
+        "pairs": pairs,
+        "avg_channels": round(actual_total / pairs, 4),
+        "max_channels": longest,
+        "stretch": round(actual_total / minimal_total, 4),
     }
 
 

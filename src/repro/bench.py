@@ -46,7 +46,9 @@ from .traffic import BernoulliInjector, uniform
 #: deterministic span aggregates per case.
 #: schema 3: runner-style cases (the ``sweep_fanout`` runtime case with
 #: ``specs``/``identity_sha256`` and the warm/cold/cached sweep legs).
-BENCH_SCHEMA = 3
+#: schema 4: the ``scheme_shootout`` runner case -- per-scheme latency /
+#: path-stretch / CDG-acyclicity / fault-coverage table (``schemes``).
+BENCH_SCHEMA = 4
 
 #: simulated quantities that must be bit-identical between runs of a case
 #: (compared only where present; runner cases carry a subset plus their
@@ -61,6 +63,7 @@ DETERMINISTIC_FIELDS = (
     "queue_wait_cycles",
     "detour_overhead_cycles",
     "specs",
+    "schemes",
     "identity_sha256",
 )
 
@@ -285,6 +288,162 @@ def _run_sweep_fanout(repeats: int = 3) -> Dict:
     }
 
 
+def _scheme_faults(cls, shape) -> List[Fault]:
+    """The single-fault enumeration a scheme's coverage leg must survive
+    (e11-style: every placement, one at a time)."""
+    if cls.kind == "md-crossbar":
+        from .core.multifault import all_single_faults
+
+        return list(all_single_faults(shape))
+    # the full mesh has routers only; every router is a placement
+    from .core.coords import all_coords
+
+    return [Fault.router(c) for c in all_coords(shape)]
+
+
+def _shootout_latency(name: str, shape) -> Dict:
+    """One deterministic Bernoulli leg on a scheme's bench grid."""
+    from .routing import make_scheme
+
+    sch = make_scheme(name, shape)
+    sim = NetworkSimulator(
+        sch.adapter, SimConfig(num_vcs=sch.num_vcs, stall_limit=5000)
+    )
+    sim.add_generator(
+        BernoulliInjector(
+            load=0.15, packet_length=4, pattern=uniform, seed=1, stop_at=300
+        )
+    )
+    t0 = time.perf_counter()
+    res = sim.run(max_cycles=3000, until_drained=False)
+    wall = time.perf_counter() - t0
+    lats = res.latencies
+    return {
+        "wall_time_s": wall,
+        "cycles": res.cycles,
+        "flit_moves": res.flit_moves,
+        "delivered": len(res.delivered),
+        "mean_latency": round(sum(lats) / len(lats), 3) if lats else None,
+        "deadlocked": res.deadlocked,
+    }
+
+
+def _shootout_coverage(name: str, cls, shape) -> Tuple[int, int]:
+    """Total-exchange delivery under every single-fault placement.
+
+    For each fault the scheme claims to tolerate, every live (src, dest)
+    pair sends one packet at cycle 0 and the run must drain with zero
+    drops and zero deadlocks.  Returns (placements survived, packets
+    delivered); any loss raises -- fault coverage is a correctness
+    property, not a statistic."""
+    from .routing import make_scheme
+
+    covered = 0
+    delivered = 0
+    for fault in _scheme_faults(cls, shape):
+        sch = make_scheme(name, shape, faults=(fault,))
+        sim = NetworkSimulator(
+            sch.adapter, SimConfig(num_vcs=sch.num_vcs, stall_limit=5000)
+        )
+        live = sorted(sch.live_nodes())
+        sent = 0
+        for s in live:
+            for d in live:
+                if s != d:
+                    sim.send(Packet(Header(source=s, dest=d), length=4))
+                    sent += 1
+        res = sim.run(max_cycles=50_000)
+        if res.deadlocked:
+            raise AssertionError(
+                f"scheme_shootout: {name} deadlocked under {fault}"
+            )
+        if res.dropped or len(res.delivered) != sent:
+            raise AssertionError(
+                f"scheme_shootout: {name} lost packets under {fault} "
+                f"({len(res.delivered)}/{sent} delivered, "
+                f"{len(res.dropped)} dropped)"
+            )
+        covered += 1
+        delivered += sent
+    return covered, delivered
+
+
+def _run_scheme_shootout(repeats: int = 3) -> Dict:
+    """Cross-scheme shoot-out: every registered routing scheme on its
+    bench grid, measured on one table -- zero-ish-load latency, path
+    stretch vs shortest channel paths, CDG cycle-freedom (raises on any
+    cyclic scheme), and, for the fault-modelling schemes, full delivery
+    under the single-fault enumeration.  The latency leg runs ``repeats``
+    times and every simulated quantity must agree across repeats; the
+    per-scheme table is a deterministic field (``schemes``), so any
+    cross-machine drift trips the baseline comparison exactly like a
+    ``cycles`` drift would."""
+    from .analysis.properties import route_stats
+    from .routing import get_scheme, make_scheme, scheme_names
+
+    schemes: Dict[str, Dict] = {}
+    total_wall = 0.0
+    total_cycles = 0
+    for name in scheme_names():
+        cls = get_scheme(name)
+        shape = cls.bench_shape
+        audit = make_scheme(name, shape).check_cycle_free()
+        if not audit.cycle_free:
+            raise AssertionError(f"scheme_shootout: {audit.row()}")
+        stats = route_stats(make_scheme(name, shape))
+        runs = [_shootout_latency(name, shape) for _ in range(max(1, repeats))]
+        for other in runs[1:]:
+            for field in ("cycles", "delivered", "flit_moves", "mean_latency"):
+                if other[field] != runs[0][field]:
+                    raise AssertionError(
+                        f"scheme_shootout: {name}.{field} drifted between "
+                        f"repeats ({runs[0][field]!r} != {other[field]!r})"
+                    )
+        best = min(runs, key=lambda r: r["wall_time_s"])
+        if best["deadlocked"]:
+            raise AssertionError(f"scheme_shootout: {name} deadlocked")
+        covered = fault_delivered = None
+        if cls.supports_faults:
+            covered, fault_delivered = _shootout_coverage(name, cls, shape)
+        total_wall += best["wall_time_s"]
+        total_cycles += best["cycles"]
+        schemes[name] = {
+            "kind": cls.kind,
+            "shape": "x".join(map(str, shape)),
+            "cdg_edges": audit.num_edges,
+            "cycle_free": audit.cycle_free,
+            "pairs": stats["pairs"],
+            "avg_channels": stats["avg_channels"],
+            "stretch": stats["stretch"],
+            "cycles": best["cycles"],
+            "delivered": best["delivered"],
+            "flit_moves": best["flit_moves"],
+            "mean_latency": best["mean_latency"],
+            "faults_covered": covered,
+            "fault_delivered": fault_delivered,
+        }
+    identity = json.dumps(schemes, sort_keys=True, separators=(",", ":"))
+    return {
+        "description": (
+            f"{len(schemes)}-scheme shoot-out: latency, path stretch, "
+            f"CDG acyclicity and single-fault coverage per registered "
+            f"routing scheme"
+        ),
+        "repeats": max(1, repeats),
+        # no cycles_per_sec: the latency legs are deliberately tiny, so a
+        # wall-clock rate would be all noise -- this case gates on the
+        # deterministic ``schemes`` table, not throughput
+        "wall_time_s": round(total_wall, 6),
+        "cycles": total_cycles,
+        "delivered": sum(s["delivered"] for s in schemes.values()),
+        "deadlocked": False,
+        "schemes": schemes,
+        "identity_sha256": hashlib.sha256(
+            identity.encode("utf-8")
+        ).hexdigest(),
+    }
+
+
 #: the pinned suite; order is the report order
 BENCH_CASES: Tuple[BenchCase, ...] = (
     BenchCase(
@@ -317,6 +476,13 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         "vs cache replay",
         True,
         runner=_run_sweep_fanout,
+    ),
+    BenchCase(
+        "scheme_shootout",
+        "every registered routing scheme: latency, stretch, CDG "
+        "acyclicity, single-fault coverage",
+        True,
+        runner=_run_scheme_shootout,
     ),
     BenchCase(
         "p2p_8x8_mid",
@@ -491,10 +657,11 @@ def load_bench(path: str) -> Dict:
     if doc.get("kind") != "bench" or doc.get("schema") not in (
         1,
         2,
+        3,
         BENCH_SCHEMA,
     ):
         raise ValueError(
-            f"{path} is not a schema-1/2/{BENCH_SCHEMA} bench file "
+            f"{path} is not a schema-1/2/3/{BENCH_SCHEMA} bench file "
             f"(kind={doc.get('kind')!r}, schema={doc.get('schema')!r})"
         )
     return doc
@@ -597,6 +764,25 @@ def render_bench(doc: Dict) -> str:
         f"python {doc['python']}, peak RSS {doc['peak_rss_kb']} kB)"
     ]
     for name, c in doc["cases"].items():
+        if "schemes" in c:  # runner case (scheme_shootout): one row/scheme
+            lines.append(
+                f"  {name:<18} {len(c['schemes'])} schemes in "
+                f"{c['wall_time_s']:.3f}s (latency legs)"
+            )
+            for sname, s in c["schemes"].items():
+                cov = (
+                    f" faults={s['faults_covered']}"
+                    if s["faults_covered"] is not None
+                    else ""
+                )
+                lines.append(
+                    f"    {sname:<14} {s['shape']:<6} "
+                    f"lat={s['mean_latency']:<6} stretch={s['stretch']:<7} "
+                    f"cdg={'acyclic' if s['cycle_free'] else 'CYCLIC'}"
+                    f"({s['cdg_edges']})"
+                    f" delivered={s['delivered']}{cov}"
+                )
+            continue
         if "specs" in c:  # runner case (sweep_fanout); wall_time_s = warm leg
             lines.append(
                 f"  {name:<18} {c['specs']:>6} specs  in {c['wall_time_s']:.3f}s "

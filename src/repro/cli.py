@@ -20,14 +20,18 @@ Subcommands:
 Examples::
 
     python -m repro route --shape 4x3 --src 0,0 --dst 2,2 --fault rtr:2,0
-    python -m repro check --shape 4x3 --fault rtr:2,0 --scheme naive
+    python -m repro check --shape 4x3 --fault rtr:2,0 --detour naive
     python -m repro census --shape 4x3 --pairs
     python -m repro simulate --shape 8x8 --load 0.3 --cycles 600
     python -m repro sweep --shape 8x8 --loads 0.05:0.4:8 --jobs 4 --json
-    python -m repro sweep --shape 8x8 --loads 0.05:0.4:8 --jobs 4 --cache
+    python -m repro sweep --shape 8x8 --loads 0.05:0.4:8 --scheme hyperx_ft
     python -m repro sweep --shape 4x3 --loads 0.1,0.3 --metrics
     python -m repro trace --shape 4x3 --load 0.2 --cycles 100 --out run.jsonl
     python -m repro machine --config SR2201/2048
+
+``--scheme`` selects a registered routing scheme (see ``repro.routing``);
+``--detour`` picks the paper facility's D-XB variant (safe vs naive) and
+only applies to the default ``dxb`` scheme.
 """
 
 from __future__ import annotations
@@ -84,10 +88,42 @@ def _build(args) -> tuple:
     cfg = make_config(
         args.shape,
         faults=tuple(args.fault or ()),
-        detour_scheme=DetourScheme(args.scheme),
+        detour_scheme=DetourScheme(args.detour),
         broadcast_mode=BroadcastMode(args.broadcast),
     )
     return topo, SwitchLogic(topo, cfg)
+
+
+def _build_sim(args, stall_limit: int):
+    """A simulator honoring ``--scheme`` (trace/report).
+
+    An explicit routing scheme dispatches through the
+    :mod:`repro.routing` registry; the default keeps the legacy paper
+    facility path, which additionally honors ``--detour``/``--broadcast``.
+    """
+    from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+
+    scheme = getattr(args, "scheme", "") or ""
+    if scheme in ("", "dxb"):
+        _, logic = _build(args)
+        return NetworkSimulator(
+            MDCrossbarAdapter(logic), SimConfig(stall_limit=stall_limit)
+        )
+    from .routing import make_scheme
+
+    sch = make_scheme(scheme, args.shape, faults=tuple(args.fault or ()))
+    return NetworkSimulator(
+        sch.adapter, SimConfig(num_vcs=sch.num_vcs, stall_limit=stall_limit)
+    )
+
+
+def _add_scheme(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scheme", default="",
+        help="routing scheme from the repro.routing registry "
+             "(dxb/adaptive/hyperx_ft/mesh/torus/hypercube/fullmesh_novc; "
+             "default: the kind's default scheme)",
+    )
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -97,7 +133,7 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         help="rtr:x,y or xb:dim:line; repeatable for multi-fault analysis",
     )
     p.add_argument(
-        "--scheme", choices=[s.value for s in DetourScheme], default="safe",
+        "--detour", choices=[s.value for s in DetourScheme], default="safe",
         help="detour scheme: safe (D-XB = S-XB, paper Sec. 5) or naive",
     )
     p.add_argument(
@@ -157,7 +193,7 @@ def cmd_census(args) -> int:
     )
 
     topo = MDCrossbar(args.shape)
-    scheme = DetourScheme(args.scheme)
+    scheme = DetourScheme(args.detour)
     if args.pairs:
         summary = fault_pair_census(
             args.shape, detour_scheme=scheme, max_pairs=args.max_sets
@@ -228,8 +264,12 @@ def parse_loads(text: str) -> List[float]:
 def cmd_sweep(args) -> int:
     import json as _json
 
+    from .routing import resolve_scheme
     from .runtime import RunSpec, SweepSession, seed_replicas
 
+    # fail fast on unknown schemes / kind-scheme mismatches, before any
+    # spec reaches an executor
+    resolve_scheme(args.kind, args.scheme)
     specs = [
         RunSpec(
             kind=args.kind,
@@ -244,6 +284,7 @@ def cmd_sweep(args) -> int:
             stall_limit=args.stall_limit,
             faults=tuple(args.fault or ()),
             metrics=args.metrics,
+            scheme=args.scheme,
         )
         for load in args.loads
     ]
@@ -295,13 +336,9 @@ def cmd_trace(args) -> int:
     import contextlib
 
     from .obs import TraceRecorder
-    from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
     from .traffic import BernoulliInjector, get_pattern
 
-    topo, logic = _build(args)
-    sim = NetworkSimulator(
-        MDCrossbarAdapter(logic), SimConfig(stall_limit=args.stall_limit)
-    )
+    sim = _build_sim(args, stall_limit=args.stall_limit)
     events = (
         tuple(args.event)
         if args.event
@@ -374,13 +411,9 @@ def cmd_report(args) -> int:
         return 0
 
     from .obs.collectors import CollectorSuite
-    from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
     from .traffic import BernoulliInjector, get_pattern
 
-    topo, logic = _build(args)
-    sim = NetworkSimulator(
-        MDCrossbarAdapter(logic), SimConfig(stall_limit=args.stall_limit)
-    )
+    sim = _build_sim(args, stall_limit=args.stall_limit)
     suite = CollectorSuite(sim)
     spans = PacketSpanCollector().attach(sim)
     gen = BernoulliInjector(
@@ -604,7 +637,7 @@ def cmd_replay(args) -> int:
     cfg = make_config(
         trace.shape,
         faults=tuple(args.fault or ()),
-        detour_scheme=DetourScheme(args.scheme),
+        detour_scheme=DetourScheme(args.detour),
         broadcast_mode=BroadcastMode(args.broadcast),
     )
     sim = NetworkSimulator(
@@ -687,6 +720,24 @@ def _doctor_obs() -> List[Tuple[str, bool]]:
     return checks
 
 
+def _doctor_routing() -> List[Tuple[str, bool]]:
+    """Routing-scheme health: every registered scheme must present an
+    acyclic (channel, vc) dependency graph on its doctor grid."""
+    from .routing import get_scheme, make_scheme, scheme_names
+
+    checks: List[Tuple[str, bool]] = []
+    names = scheme_names()
+    checks.append(
+        (f"routing: {len(names)} scheme(s) registered ({', '.join(names)})",
+         len(names) > 0)
+    )
+    for name in names:
+        shape = get_scheme(name).doctor_shape
+        audit = make_scheme(name, shape).check_cycle_free()
+        checks.append((f"routing: {audit.row()}", audit.cycle_free))
+    return checks
+
+
 def cmd_doctor(args) -> int:
     from .core.selfcheck import self_check
 
@@ -695,7 +746,7 @@ def cmd_doctor(args) -> int:
     print(f"self-check on {'x'.join(map(str, args.shape))}:")
     for line in report.rows():
         print(" ", line)
-    obs_checks = _doctor_obs()
+    obs_checks = _doctor_obs() + _doctor_routing()
     for name, ok in obs_checks:
         print(f"  {name}: {'ok' if ok else 'FAIL'}")
     healthy = report.healthy and all(ok for _, ok in obs_checks)
@@ -755,7 +806,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replicate each point over this many seeds")
     p.add_argument("--stall-limit", type=int, default=2000)
     p.add_argument("--fault", type=parse_fault, action="append",
-                   help="standing fault (md-crossbar only); repeatable")
+                   help="standing fault (fault-modelling schemes only); "
+                        "repeatable")
+    _add_scheme(p)
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes for the sweep (default: serial)")
     p.add_argument("--cache", dest="cache", action="store_true",
@@ -777,6 +830,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="capture a structured JSONL event trace of one run"
     )
     _add_common(p)
+    _add_scheme(p)
     p.add_argument("--load", type=float, default=0.2)
     p.add_argument("--pattern", default="uniform")
     p.add_argument("--packet-length", type=int, default=4)
@@ -798,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a span/metric report from a live run or a saved trace",
     )
     _add_common(p)
+    _add_scheme(p)
     p.add_argument("--trace", help="render from a saved JSONL trace instead "
                                    "of running a simulation")
     p.add_argument("--load", type=float, default=0.2)

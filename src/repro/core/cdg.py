@@ -53,16 +53,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
-from ..topology.base import Channel
-from ..topology.mdcrossbar import MDCrossbar
+from ..topology.base import Channel, Topology
 from .config import BroadcastMode
 from .routes import (
+    RouteRelation,
     RouteTree,
     Unicast,
     route_all_broadcasts,
     route_all_unicasts,
 )
-from .switch_logic import SwitchLogic
 
 
 @dataclass
@@ -334,20 +333,32 @@ class ChannelDependencyGraph:
 
 
 def build_cdg(
-    topo: MDCrossbar,
-    logic: SwitchLogic,
+    topo: Topology,
+    logic: RouteRelation,
     *,
     include_unicasts: bool = True,
     include_broadcasts: bool = True,
     unicast_flows: Optional[Sequence[Unicast]] = None,
     broadcast_sources: Optional[Sequence] = None,
 ) -> ChannelDependencyGraph:
-    """Build the tiered dependency structure for all (or given) flows."""
+    """Build the tiered dependency structure for all (or given) flows.
+
+    ``logic`` is any route relation (see
+    :class:`~repro.core.routes.RouteRelation`).  The broadcast tiers and
+    the S-XB barrier are features of the paper's facility, so they engage
+    only when the relation carries a
+    :class:`~repro.core.config.RoutingConfig`; for a config-less scheme
+    relation the analysis covers its unicast flows.
+    """
     from .routes import compute_route
 
-    cfg = logic.config
+    cfg = getattr(logic, "config", None)
+    if cfg is None:
+        include_broadcasts = False
     cdg = ChannelDependencyGraph()
-    serialized = cfg.broadcast_mode is BroadcastMode.SERIALIZED
+    serialized = (
+        cfg is not None and cfg.broadcast_mode is BroadcastMode.SERIALIZED
+    )
     # The drain-then-serve barrier at the S-XB only ever engages when a
     # broadcast is pending there; without broadcasts the S-XB behaves like
     # any other crossbar and unicasts wait for single ports only.
@@ -377,8 +388,8 @@ def build_cdg(
 
 
 def analyze_deadlock_freedom(
-    topo: MDCrossbar,
-    logic: SwitchLogic,
+    topo: Topology,
+    logic: RouteRelation,
     **kwargs,
 ) -> CDGResult:
     """One-call tiered deadlock analysis (see :func:`build_cdg`)."""

@@ -1,24 +1,56 @@
-"""Static route computation: walk the distributed switch logic to a tree.
+"""Static route computation: walk a routing relation to a channel tree.
 
-The simulator exercises the switch logic dynamically; this module walks the
-same :class:`~repro.core.switch_logic.SwitchLogic` statically, producing the
-complete channel tree a packet (or broadcast) traverses.  The trees feed the
-channel-dependency-graph deadlock analysis (:mod:`repro.core.cdg`), the
-per-figure experiments, and the tests that cross-check the logic against an
-independent route oracle.
+The simulator exercises routing dynamically; this module walks the same
+relation statically, producing the complete channel tree a packet (or
+broadcast) traverses.  The trees feed the channel-dependency-graph
+deadlock analysis (:mod:`repro.core.cdg`), the per-figure experiments,
+and the tests that cross-check the logic against an independent route
+oracle.
+
+Historically this walked :class:`~repro.core.switch_logic.SwitchLogic`
+only; it now accepts any **route relation** -- an object exposing
+``decide(element, in_from, header) -> Decision`` and
+``check_deliverable(source, dest)`` (the :class:`RouteRelation`
+protocol).  ``SwitchLogic`` is the paper's relation; every registered
+routing scheme provides one via
+:meth:`repro.routing.RoutingScheme.route_relation`.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple, Union
 
-from ..topology.base import Channel, ElementId, element_kind, ElementKind
-from ..topology.mdcrossbar import MDCrossbar
+from ..topology.base import Channel, ElementId, element_kind, ElementKind, Topology
 from .coords import Coord
 from .packet import RC, Header
-from .switch_logic import RoutingError, SwitchLogic
+from .switch_logic import Decision, RoutingError
+
+
+class RouteRelation(Protocol):
+    """The routing relation the static analyses walk.
+
+    :class:`~repro.core.switch_logic.SwitchLogic` implements it directly;
+    scheme adapters are bridged by
+    :class:`~repro.routing.SchemeRouteRelation`.
+    """
+
+    def decide(self, el: ElementId, in_from: ElementId, header: Header) -> Decision:
+        ...
+
+    def check_deliverable(self, source: Coord, dest: Coord) -> None:
+        ...
+
+
+def relation_dead_nodes(logic: RouteRelation) -> Tuple[Coord, ...]:
+    """Nodes a relation's standing faults disconnect (empty when the
+    relation has no fault registry)."""
+    registry = getattr(logic, "registry", None)
+    if registry is not None:
+        return tuple(registry.dead_pes())
+    dead = getattr(logic, "dead_nodes", None)
+    return tuple(dead()) if dead is not None else ()
 
 
 @dataclass(frozen=True)
@@ -123,16 +155,16 @@ class RouteLoopError(RoutingError):
 
 
 def compute_route(
-    topo: MDCrossbar,
-    logic: SwitchLogic,
+    topo: Topology,
+    logic: RouteRelation,
     flow: Flow,
     max_steps: Optional[int] = None,
 ) -> RouteTree:
-    """Trace ``flow`` through the switch logic and return its route tree.
+    """Trace ``flow`` through a routing relation and return its route tree.
 
     Raises :class:`RouteLoopError` if a channel repeats (which a correct
     configuration never produces) and propagates :class:`RoutingError` from
-    the switch logic for invalid states.
+    the relation for invalid states.
     """
 
     header = flow.initial_header()
@@ -183,13 +215,13 @@ def compute_route(
 
 
 def route_all_unicasts(
-    topo: MDCrossbar,
-    logic: SwitchLogic,
+    topo: Topology,
+    logic: RouteRelation,
     sources: Optional[Sequence[Coord]] = None,
     dests: Optional[Sequence[Coord]] = None,
 ) -> List[RouteTree]:
     """Routes of every healthy (source, dest) pair (or given subsets)."""
-    dead = set(logic.registry.dead_pes())
+    dead = set(relation_dead_nodes(logic))
     nodes = [c for c in topo.node_coords() if c not in dead]
     srcs = [c for c in (sources if sources is not None else nodes) if c not in dead]
     dsts = [c for c in (dests if dests is not None else nodes) if c not in dead]
@@ -202,11 +234,15 @@ def route_all_unicasts(
 
 
 def route_all_broadcasts(
-    topo: MDCrossbar,
-    logic: SwitchLogic,
+    topo: Topology,
+    logic: RouteRelation,
     sources: Optional[Sequence[Coord]] = None,
 ) -> List[RouteTree]:
-    """Broadcast route trees from every healthy source (or a subset)."""
+    """Broadcast route trees from every healthy source (or a subset).
+
+    Broadcast is the paper facility's feature, so ``logic`` must carry a
+    :class:`~repro.core.config.RoutingConfig` (``SwitchLogic`` does).
+    """
     from .config import BroadcastMode
 
     rc0 = (
@@ -214,7 +250,7 @@ def route_all_broadcasts(
         if logic.config.broadcast_mode is BroadcastMode.SERIALIZED
         else RC.BROADCAST
     )
-    dead = set(logic.registry.dead_pes())
+    dead = set(relation_dead_nodes(logic))
     nodes = [c for c in topo.node_coords() if c not in dead]
     srcs = [c for c in (sources if sources is not None else nodes) if c not in dead]
     return [compute_route(topo, logic, Broadcast(s, rc0)) for s in srcs]

@@ -22,35 +22,27 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..baselines import make_baseline
-from ..core import SwitchLogic, make_config
-from ..sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from ..sim import NetworkSimulator, SimConfig
 from ..sim.stats import LatencyStats, LoadPoint
 from ..traffic import BernoulliInjector, Pattern, pattern_name, uniform
 
 
-def build_network(kind: str, shape, stall_limit: int = 2000, faults=()):
-    """(simulator factory) for 'md-crossbar' or a baseline name.
+def build_network(kind: str, shape, stall_limit: int = 2000, faults=(), scheme: str = ""):
+    """(simulator factory) for a network kind and routing scheme.
 
-    ``faults`` (MD crossbar only) pre-configures the facility with the
-    given fault set, as a standing fault would be in the hardware.
+    Dispatches through the :mod:`repro.routing` registry: ``scheme`` names
+    a registered routing scheme (``""`` resolves to the kind's default --
+    ``dxb`` for the MD crossbar), and ``faults`` pre-configures schemes
+    that model standing faults, as a standing fault would be in the
+    hardware.  Unknown kinds/schemes and kind/scheme mismatches raise
+    :class:`~repro.core.config.ConfigError`.
     """
-    if kind == "md-crossbar":
-        from ..topology import MDCrossbar
+    from ..routing import make_scheme, resolve_scheme
 
-        topo = MDCrossbar(shape)
-        logic = SwitchLogic(topo, make_config(shape, faults=tuple(faults)))
-        adapter = MDCrossbarAdapter(logic)
-        vcs = 1
-    else:
-        if faults:
-            raise ValueError(
-                f"fault modelling is the MD crossbar facility's job; "
-                f"the {kind!r} baseline does not support faults"
-            )
-        topo, adapter, vcs = make_baseline(kind, shape)
+    kind, scheme = resolve_scheme(kind, scheme)
+    sch = make_scheme(scheme, shape, faults=tuple(faults))
     return lambda: NetworkSimulator(
-        adapter, SimConfig(num_vcs=vcs, stall_limit=stall_limit)
+        sch.adapter, SimConfig(num_vcs=sch.num_vcs, stall_limit=stall_limit)
     )
 
 
@@ -102,6 +94,7 @@ def sweep(
     progress=None,
     seed: int = 1,
     stall_limit: int = 2000,
+    scheme: str = "",
     **kw,
 ) -> List[LoadPoint]:
     """Sweep the load axis; each point is an independent fixed-seed run.
@@ -125,7 +118,7 @@ def sweep(
                 "(see repro.traffic.PATTERNS); ad-hoc callables cannot "
                 "cross process boundaries"
             )
-        make_sim = build_network(kind, shape, stall_limit=stall_limit)
+        make_sim = build_network(kind, shape, stall_limit=stall_limit, scheme=scheme)
         return [
             run_load_point(make_sim, load, pattern, seed=seed, **kw)
             for load in loads
@@ -140,6 +133,7 @@ def sweep(
         pattern=name,
         seed=seed,
         stall_limit=stall_limit,
+        scheme=scheme,
         **kw,
     )
     results = run_specs(

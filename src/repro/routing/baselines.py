@@ -1,0 +1,65 @@
+"""The comparison fabrics as registered plug-ins: ``mesh``, ``torus``,
+``hypercube``.
+
+Thin wrappers over :func:`repro.baselines.make_baseline`: dimension-order
+routing on the mesh, dateline virtual-channel DOR on the torus (VC 1
+after the wrap crossing breaks the ring cycle), and e-cube routing on the
+hypercube.  All three are deterministic, so their full routing relation
+is their CDG contribution and the generic cycle check applies as-is --
+for the torus the (channel, vc) resolution is what proves the dateline
+split: the same physical ring is cyclic at channel level and acyclic at
+(channel, vc) level.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..baselines import make_baseline
+from ..topology.base import Topology
+from .base import RoutingScheme
+from .registry import register_scheme
+
+
+class _BaselineScheme(RoutingScheme):
+    supports_faults = False
+
+    def build(self) -> Tuple[Topology, object, int]:
+        return make_baseline(self.kind, self.shape)
+
+
+class MeshScheme(_BaselineScheme):
+    """Dimension-order routing on the 2D/ND mesh (single VC)."""
+
+    name = "mesh"
+    kind = "mesh"
+    doctor_shape = (3, 3)
+    bench_shape = (4, 3)
+
+
+class TorusScheme(_BaselineScheme):
+    """Dateline DOR on the torus (two VCs break the ring cycles)."""
+
+    name = "torus"
+    kind = "torus"
+    doctor_shape = (3, 3)
+    bench_shape = (4, 3)
+
+
+class HypercubeScheme(_BaselineScheme):
+    """E-cube routing on the hypercube (single VC).
+
+    Shape semantics follow ``make_baseline``: the number of dimensions is
+    ``len(shape)`` (each extent is 2), e.g. shape ``(2, 2, 2)`` is the
+    3-cube with 8 nodes.
+    """
+
+    name = "hypercube"
+    kind = "hypercube"
+    doctor_shape = (2, 2, 2)
+    bench_shape = (2, 2, 2)
+
+
+register_scheme(MeshScheme, default_for_kind=True)
+register_scheme(TorusScheme, default_for_kind=True)
+register_scheme(HypercubeScheme, default_for_kind=True)

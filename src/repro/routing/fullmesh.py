@@ -1,0 +1,146 @@
+"""Single-VC deadlock-free full-mesh routing: ``fullmesh_novc``.
+
+Valley-free misrouting on the fully connected network
+(:class:`~repro.topology.fullcrossbar.FullMesh`), after the VC-free
+deadlock-free full-mesh routing construction of arXiv 2510.14730: one
+virtual channel, minimal-first adaptivity, and an index-ordering rule
+that makes the channel dependency graph acyclic without any VC split.
+
+Rules, for a packet at node ``s`` addressed to ``d``:
+
+* at the **source router** the wait set is ``policy="any"`` over the
+  direct link ``s -> d`` first, then every *valley* intermediate ``v``
+  with ``v < s`` **and** ``v < d`` (index order), skipping faulty nodes;
+* at a **non-source router** (one misroute taken) the packet goes
+  directly to ``d`` -- at most one misroute, so no livelock.
+
+Deadlock-freedom on one VC: the only dependency between router-router
+channels is first-hop ``(s -> v)`` waiting on second-hop ``(v -> d)``,
+which the valley rule admits only when ``v < s`` and ``v < d``.  Two such
+edges cannot chain -- ``(a -> b) -> (b -> c)`` needs ``b < c`` while
+``(b -> c) -> (c -> e)`` needs ``c < b`` -- so every path in the CDG has
+length at most one and the graph is trivially acyclic; the generic
+(channel, vc) cycle check verifies it mechanically.
+
+Fault model: router faults only (there is no crossbar to break; the
+directly attached PE drops out exactly as on the MD crossbar).  A faulty
+node is skipped as a valley and excluded from traffic; every surviving
+pair still has its direct link, so all packets deliver under the
+single-fault enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.config import ConfigError
+from ..core.coords import Coord
+from ..core.fault import Fault, FaultKind
+from ..core.packet import RC, Header
+from ..core.switch_logic import RoutingError, UnreachableDestinationError
+from ..sim.adapter import SimDecision
+from ..topology.base import ElementId, ElementKind, Topology, element_kind, pe, rtr
+from ..topology.fullcrossbar import FullMesh
+from .base import RoutingScheme
+from .registry import register_scheme
+
+
+class _FullMeshRegistry:
+    """Duck-typed fault registry: the few queries the engine and the
+    scheme layer make (`router_is_faulty`, `dead_pes`, `faults`)."""
+
+    def __init__(self, faults: Tuple[Fault, ...]) -> None:
+        self.faults = tuple(faults)
+        self._dead = frozenset(f.coord for f in self.faults)
+
+    def router_is_faulty(self, coord: Coord) -> bool:
+        return tuple(coord) in self._dead
+
+    def dead_pes(self) -> Tuple[Coord, ...]:
+        return tuple(sorted(self._dead))
+
+
+class _FullMeshLogic:
+    """Duck-typed ``adapter.logic``: registry access for the engine's
+    live-node computation plus the deliverability predicate."""
+
+    def __init__(self, registry: _FullMeshRegistry) -> None:
+        self.registry = registry
+
+    def check_deliverable(self, source: Coord, dest: Coord) -> None:
+        if self.registry.router_is_faulty(source):
+            raise UnreachableDestinationError(
+                f"source PE{tuple(source)} is disconnected (its router is faulty)"
+            )
+        if self.registry.router_is_faulty(dest):
+            raise UnreachableDestinationError(
+                f"destination PE{tuple(dest)} is disconnected (its router is faulty)"
+            )
+
+
+class FullMeshAdapter:
+    """Valley-free single-VC routing on the full mesh."""
+
+    required_vcs = 1
+
+    def __init__(self, topo: FullMesh, logic: _FullMeshLogic) -> None:
+        self.topo = topo
+        self.logic = logic
+
+    def decide(
+        self, element: ElementId, in_from: ElementId, in_vc: int, header: Header
+    ) -> SimDecision:
+        if header.rc is not RC.NORMAL:
+            raise RoutingError(
+                "full-mesh routing carries point-to-point traffic only "
+                f"(got RC={header.rc.name})"
+            )
+        if element_kind(element) is not ElementKind.RTR:
+            raise RoutingError(f"element {element} does not route packets")
+        c: Coord = element[1]
+        if c == header.dest:
+            return SimDecision(outputs=((pe(c), 0),), rc=RC.NORMAL)
+        if element_kind(in_from) is not ElementKind.PE:
+            # one misroute maximum: a relayed packet goes straight home
+            return SimDecision(outputs=((rtr(header.dest), 0),), rc=RC.NORMAL)
+        s, d = c[0], header.dest[0]
+        outputs: List[Tuple[ElementId, int]] = [(rtr(header.dest), 0)]
+        registry = self.logic.registry
+        for v in range(min(s, d)):
+            if not registry.router_is_faulty((v,)):
+                outputs.append((rtr((v,)), 0))
+        if len(outputs) == 1:
+            return SimDecision(outputs=tuple(outputs), rc=RC.NORMAL)
+        return SimDecision(outputs=tuple(outputs), rc=RC.NORMAL, policy="any")
+
+
+class FullMeshNoVCScheme(RoutingScheme):
+    """VC-free deadlock-free valley routing on the full mesh."""
+
+    name = "fullmesh_novc"
+    kind = "fullmesh"
+    supports_faults = True
+    doctor_shape = (5,)
+    bench_shape = (6,)
+
+    def build(self) -> Tuple[Topology, FullMeshAdapter, int]:
+        n = self.shape[0] if len(self.shape) == 1 else None
+        if n is None:
+            raise ConfigError(
+                f"the full mesh is one-dimensional; got shape {self.shape}"
+            )
+        for f in self.faults:
+            if f.kind is not FaultKind.ROUTER:
+                raise ConfigError(
+                    "the full mesh has no crossbar switches; only router "
+                    f"faults are meaningful (got {f})"
+                )
+        topo = FullMesh(n)
+        for f in self.faults:
+            f.validate(topo)
+        logic = _FullMeshLogic(_FullMeshRegistry(self.faults))
+        adapter = FullMeshAdapter(topo, logic)
+        return topo, adapter, adapter.required_vcs
+
+
+register_scheme(FullMeshNoVCScheme, default_for_kind=True)

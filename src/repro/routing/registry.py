@@ -1,0 +1,86 @@
+"""The routing-scheme registry.
+
+Schemes register by identity string at import time
+(``repro.routing.__init__`` imports every scheme module, so importing the
+package populates the registry).  Everything that selects a scheme --
+``build_network``, the CLI ``--scheme`` flag, the doctor's routing health
+section, the shoot-out bench -- resolves names here, and an unknown name
+raises :class:`~repro.core.config.ConfigError` with the registered
+alternatives spelled out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Type
+
+from ..core.config import ConfigError
+from .base import RoutingScheme
+
+_SCHEMES: Dict[str, Type[RoutingScheme]] = {}
+
+#: scheme used when a spec names a network kind but no scheme
+DEFAULT_SCHEME_FOR_KIND: Dict[str, str] = {}
+
+
+def register_scheme(cls: Type[RoutingScheme], default_for_kind: bool = False):
+    """Class decorator/registrar: add ``cls`` under its ``name``."""
+    if not cls.name or not cls.kind:
+        raise ValueError(f"{cls.__name__} must set both .name and .kind")
+    if cls.name in _SCHEMES and _SCHEMES[cls.name] is not cls:
+        raise ValueError(f"routing scheme {cls.name!r} registered twice")
+    _SCHEMES[cls.name] = cls
+    if default_for_kind:
+        DEFAULT_SCHEME_FOR_KIND[cls.kind] = cls.name
+    return cls
+
+
+def scheme_names() -> List[str]:
+    """All registered scheme identities, sorted."""
+    return sorted(_SCHEMES)
+
+
+def get_scheme(name: str) -> Type[RoutingScheme]:
+    """The scheme class registered under ``name``."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown routing scheme {name!r}; registered schemes: "
+            + ", ".join(scheme_names())
+        ) from None
+
+
+def make_scheme(name: str, shape, faults=()) -> RoutingScheme:
+    """Instantiate the scheme ``name`` on ``shape`` with standing faults."""
+    return get_scheme(name)(shape, faults=faults)
+
+
+def default_scheme(kind: str) -> str:
+    """The scheme a bare network kind resolves to."""
+    try:
+        return DEFAULT_SCHEME_FOR_KIND[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown network kind {kind!r}; known kinds: "
+            + ", ".join(sorted(DEFAULT_SCHEME_FOR_KIND))
+        ) from None
+
+
+def resolve_scheme(kind: Optional[str], scheme: str = "") -> Tuple[str, str]:
+    """Resolve a (kind, scheme) pair where either side may be omitted.
+
+    * both empty: the paper's network and scheme (``md-crossbar``/``dxb``);
+    * scheme only: the scheme implies its network kind;
+    * kind only: the kind's default scheme;
+    * both: they must agree (a scheme routes exactly one kind).
+    """
+    if not scheme:
+        kind = kind or "md-crossbar"
+        return kind, default_scheme(kind)
+    cls = get_scheme(scheme)
+    if kind and kind != cls.kind:
+        raise ConfigError(
+            f"routing scheme {scheme!r} routes the {cls.kind!r} network, "
+            f"not {kind!r}"
+        )
+    return cls.kind, scheme

@@ -40,7 +40,9 @@ CACHE_SCHEMA = 1
 #: observable-results version of the simulator.  Part of every cache key:
 #: bump it whenever an engine/routing change alters what any spec
 #: produces, and every stale entry silently becomes a miss.
-CODE_VERSION = 1
+#: 2: the pluggable routing-scheme layer -- ``RunSpec.to_dict()`` gained
+#:    the ``scheme`` identity, so every spec's canonical form changed.
+CODE_VERSION = 2
 
 
 def spec_key(spec: RunSpec) -> str:

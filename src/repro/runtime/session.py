@@ -106,6 +106,7 @@ class NetworkCache:
                 spec.shape,
                 stall_limit=spec.stall_limit,
                 faults=spec.faults,
+                scheme=spec.scheme,
             )()
             self._sims[key] = (sim, getattr(sim.adapter, "logic", None))
             if len(self._sims) > self.capacity:

@@ -57,10 +57,16 @@ class RunSpec:
     #: gathered SpanSet rides back on the PointResult with its pids
     #: rebased, so serial and parallel sweeps merge byte-identically
     spans: bool = False
+    #: routing-scheme identity (see ``repro.routing``); ``""`` resolves to
+    #: the kind's default scheme (``dxb`` on the MD crossbar), keeping
+    #: pre-scheme specs and pickles valid
+    scheme: str = ""
 
     def describe(self) -> str:
         shape_s = "x".join(map(str, self.shape))
         bits = [f"{self.kind} {shape_s} load={self.load:g} seed={self.seed}"]
+        if self.scheme:
+            bits.append(f"scheme={self.scheme}")
         if self.pattern != "uniform":
             bits.append(f"pattern={self.pattern}")
         if self.faults:
@@ -86,6 +92,7 @@ class RunSpec:
             "label": self.label,
             "metrics": self.metrics,
             "spans": self.spans,
+            "scheme": self.scheme,
         }
 
     def network_key(self) -> Tuple:
@@ -93,11 +100,14 @@ class RunSpec:
 
         Specs agreeing on this key can run on the same simulator: the
         measurement knobs (load, pattern, windows, seed) parameterize the
-        *workload*, not the fabric.  The warm-worker runtime's per-process
+        *workload*, not the fabric.  The routing-scheme identity is part
+        of the key -- two schemes on the same fabric are different
+        networks, and a warm worker must never replay one scheme's
+        simulator for another.  The warm-worker runtime's per-process
         :class:`~repro.runtime.session.NetworkCache` memoizes built
         networks under it and resets state between specs.
         """
-        return (self.kind, self.shape, self.stall_limit, self.faults)
+        return (self.kind, self.shape, self.stall_limit, self.faults, self.scheme)
 
     def execute(self, sim=None) -> "PointResult":
         """Run this spec in the current process.
@@ -120,6 +130,7 @@ class RunSpec:
                 self.shape,
                 stall_limit=self.stall_limit,
                 faults=self.faults,
+                scheme=self.scheme,
             )
         else:
             if sim is None:
@@ -128,6 +139,7 @@ class RunSpec:
                     self.shape,
                     stall_limit=self.stall_limit,
                     faults=self.faults,
+                    scheme=self.scheme,
                 )()
             if self.metrics:
                 from ..obs.collectors import attach_standard_collectors

@@ -71,7 +71,7 @@ DEFAULT_MEMO_CAPACITY = 65536
 class MDCrossbarAdapter:
     """The SR2201 network: defer to the distributed switch logic, VC 0.
 
-    Decisions are memoized per ``(element, input, dest, rc)`` -- the
+    Decisions are memoized per ``(scheme, element, input, dest, rc)`` -- the
     rules never read the source coordinate: the switch logic is
     deterministic and stateless for a fixed fault configuration, so
     under steady traffic the simulator's route phase hits the cache
@@ -84,12 +84,18 @@ class MDCrossbarAdapter:
     """
 
     def __init__(
-        self, logic: SwitchLogic, memo_capacity: int = DEFAULT_MEMO_CAPACITY
+        self,
+        logic: SwitchLogic,
+        memo_capacity: int = DEFAULT_MEMO_CAPACITY,
+        scheme: str = "dxb",
     ) -> None:
         if memo_capacity < 1:
             raise ValueError("memo_capacity must be >= 1")
         self._logic = logic
         self.topo = logic.topo
+        #: routing-scheme identity; part of the memo key so a memo entry
+        #: produced under one scheme can never answer for another
+        self.scheme = scheme
         self._capacity = memo_capacity
         self._cache: "OrderedDict[tuple, SimDecision]" = OrderedDict()
         self._hits = 0
@@ -130,7 +136,7 @@ class MDCrossbarAdapter:
     def decide(
         self, element: ElementId, in_from: ElementId, in_vc: int, header: Header
     ) -> SimDecision:
-        key = (element, in_from, header.dest, header.rc)
+        key = (self.scheme, element, in_from, header.dest, header.rc)
         cache = self._cache
         hit = cache.get(key)
         if hit is not None:

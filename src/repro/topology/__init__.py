@@ -10,7 +10,7 @@ from .base import (
     rtr,
     xb,
 )
-from .fullcrossbar import FullCrossbar
+from .fullcrossbar import FullCrossbar, FullMesh
 from .hypercube import Hypercube
 from .mdcrossbar import MDCrossbar
 from .mesh import Mesh
@@ -21,6 +21,7 @@ __all__ = [
     "ElementId",
     "ElementKind",
     "FullCrossbar",
+    "FullMesh",
     "Hypercube",
     "MDCrossbar",
     "Mesh",

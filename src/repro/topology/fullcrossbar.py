@@ -5,10 +5,21 @@ is conflict free for (almost) all communication patterns (paper Section 3.1);
 it is the ideal the MD crossbar approximates at much lower switch cost.
 Implemented as the one-dimensional :class:`MDCrossbar` so that all routing
 and simulation machinery applies unchanged.
+
+:class:`FullMesh` is the *switchless* counterpart: every router is wired
+directly to every other (a complete graph of point-to-point links, no
+shared crossbar).  This is the substrate for the single-virtual-channel
+deadlock-free full-mesh routing scheme
+(:mod:`repro.routing.fullmesh`): on the shared-crossbar
+:class:`FullCrossbar`, a packet holds an XB input port while waiting for
+an output port, and those turn dependencies provably close cycles under
+any single-VC minimal+misroute relation -- the direct pairwise links are
+what make the one-VC valley argument sound.
 """
 
 from __future__ import annotations
 
+from .base import Topology, pe, rtr
 from .mdcrossbar import MDCrossbar
 
 
@@ -23,3 +34,42 @@ class FullCrossbar(MDCrossbar):
     @property
     def n(self) -> int:
         return self.shape[0]
+
+
+class FullMesh(Topology):
+    """A fully connected network: every router links to every other.
+
+    Element graph::
+
+        PE(i)  <->  RTR(i)            for every node i
+        RTR(i) <->  RTR(j)            for every pair i < j
+
+    Shape is ``(n,)`` -- node coordinates are 1-tuples -- so the traffic
+    generators, the simulator and the coordinate helpers apply unchanged.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError("a full mesh needs at least two PEs")
+        super().__init__((n,))
+        for i in range(n):
+            self._add_element(pe((i,)))
+            self._add_element(rtr((i,)))
+        for i in range(n):
+            self._add_duplex(pe((i,)), rtr((i,)))
+            for j in range(i + 1, n):
+                self._add_duplex(rtr((i,)), rtr((j,)))
+
+    @property
+    def n(self) -> int:
+        return self.shape[0]
+
+    @property
+    def router_ports(self) -> int:
+        """Ports per router: one PE port plus one per peer router."""
+        return self.n
+
+    @property
+    def diameter_hops(self) -> int:
+        """Every pair is directly linked."""
+        return 1

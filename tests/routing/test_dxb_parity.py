@@ -1,0 +1,144 @@
+"""Refactor guard: the extracted ``dxb`` scheme is byte-identical to the
+pre-refactor direct construction (``SwitchLogic`` + ``MDCrossbarAdapter``
+built by hand) on every observable -- engine fingerprints, span totals,
+static route trees and RC traces -- across the paper's parity cases:
+plain point-to-point, serialized broadcast, the D-XB detour under a
+router fault, and an XB-line fault."""
+
+import pytest
+
+from repro.core import (
+    Broadcast,
+    Fault,
+    Header,
+    Packet,
+    RC,
+    SwitchLogic,
+    Unicast,
+    compute_route,
+    make_config,
+)
+from repro.experiments import build_network
+from repro.obs import PacketSpanCollector
+from repro.routing import make_scheme
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.topology import MDCrossbar
+from repro.traffic import BernoulliInjector, uniform
+
+SHAPE = (4, 3)
+
+CASES = {
+    "p2p": (),
+    "detour_rtr": (Fault.router((2, 0)),),
+    "detour_xb": (Fault.crossbar(0, (1,)),),
+}
+
+
+def legacy_sim(faults=()):
+    """The pre-refactor construction, verbatim."""
+    topo = MDCrossbar(SHAPE)
+    logic = SwitchLogic(topo, make_config(SHAPE, faults=tuple(faults)))
+    return NetworkSimulator(
+        MDCrossbarAdapter(logic), SimConfig(stall_limit=2000)
+    )
+
+
+def scheme_sim(faults=()):
+    """The same network through the routing registry."""
+    return build_network("md-crossbar", SHAPE, faults=faults, scheme="dxb")()
+
+
+def bernoulli_fingerprint(sim):
+    spans = PacketSpanCollector().attach(sim)
+    sim.add_generator(
+        BernoulliInjector(
+            load=0.2, packet_length=4, pattern=uniform, seed=7, stop_at=250
+        )
+    )
+    res = sim.run(max_cycles=2500, until_drained=False)
+    spans.detach(sim)
+    return (
+        res.cycles,
+        res.flit_moves,
+        len(res.delivered),
+        sorted(res.latencies),
+        res.deadlocked,
+        spans.span_set().totals(),
+    )
+
+
+def broadcast_fingerprint(sim):
+    spans = PacketSpanCollector().attach(sim)
+    for i, src in enumerate(sorted(MDCrossbar(SHAPE).node_coords())[:6]):
+        sim.send(
+            Packet(
+                Header(source=src, dest=src, rc=RC.BROADCAST_REQUEST), length=4
+            ),
+            at_cycle=i * 3,
+        )
+    res = sim.run(max_cycles=20_000)
+    spans.detach(sim)
+    return (
+        res.cycles,
+        res.flit_moves,
+        len(res.delivered),
+        sorted(res.latencies),
+        spans.span_set().totals(),
+    )
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_bernoulli_fingerprint_is_byte_identical(self, case):
+        faults = CASES[case]
+        assert bernoulli_fingerprint(legacy_sim(faults)) == (
+            bernoulli_fingerprint(scheme_sim(faults))
+        )
+
+    def test_broadcast_fingerprint_is_byte_identical(self):
+        assert broadcast_fingerprint(legacy_sim()) == (
+            broadcast_fingerprint(scheme_sim())
+        )
+
+
+class TestRouteParity:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_every_unicast_route_tree_matches(self, case):
+        faults = CASES[case]
+        topo = MDCrossbar(SHAPE)
+        logic = SwitchLogic(topo, make_config(SHAPE, faults=tuple(faults)))
+        sch = make_scheme("dxb", SHAPE, faults=faults)
+        relation = sch.route_relation()
+        assert relation is sch.adapter.logic  # dxb exposes SwitchLogic itself
+        live = sch.live_nodes()
+        for s in live:
+            for d in live:
+                if s == d:
+                    continue
+                a = compute_route(topo, logic, Unicast(s, d))
+                b = compute_route(sch.topo, relation, Unicast(s, d))
+                assert a.parent == b.parent
+                assert a.rc_on == b.rc_on
+                assert a.rc_trace_to(d) == b.rc_trace_to(d)
+
+    def test_broadcast_route_trees_match(self):
+        topo = MDCrossbar(SHAPE)
+        logic = SwitchLogic(topo, make_config(SHAPE))
+        sch = make_scheme("dxb", SHAPE)
+        for s in sch.live_nodes():
+            a = compute_route(topo, logic, Broadcast(s))
+            b = compute_route(sch.topo, sch.route_relation(), Broadcast(s))
+            assert a.parent == b.parent
+            assert a.delivered == b.delivered
+            assert a.serialize_entries == b.serialize_entries
+
+    def test_detour_rc_trace_survives_the_extraction(self):
+        """The signature D-XB trace (NORMAL.. DETOUR.. NORMAL) on the
+        paper's Fig. 9/10 placement."""
+        sch = make_scheme("dxb", SHAPE, faults=(Fault.router((2, 0)),))
+        tree = compute_route(
+            sch.topo, sch.route_relation(), Unicast((0, 0), (2, 2))
+        )
+        trace = tree.rc_trace_to((2, 2))
+        assert RC.DETOUR in trace
+        assert trace[0] is RC.NORMAL and trace[-1] is RC.NORMAL

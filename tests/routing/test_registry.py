@@ -1,0 +1,138 @@
+"""The routing-scheme registry: name resolution, kind/scheme agreement,
+RunSpec round-trips, and the scheme identity's presence in every cache
+key (the pollution fix: two schemes on the same kind/shape must never
+share a cached result or a warm network)."""
+
+import pickle
+
+import pytest
+
+from repro.core import Fault
+from repro.core.config import ConfigError
+from repro.routing import (
+    RoutingScheme,
+    get_scheme,
+    make_scheme,
+    resolve_scheme,
+    scheme_names,
+)
+from repro.routing.registry import register_scheme
+from repro.runtime import RunSpec, spec_key
+
+ZOO = {
+    "dxb",
+    "adaptive",
+    "hyperx_ft",
+    "mesh",
+    "torus",
+    "hypercube",
+    "fullmesh_novc",
+}
+
+
+class TestRegistry:
+    def test_the_zoo_is_registered(self):
+        assert ZOO <= set(scheme_names())
+
+    def test_names_are_sorted(self):
+        assert scheme_names() == sorted(scheme_names())
+
+    def test_unknown_scheme_is_a_config_error_listing_alternatives(self):
+        with pytest.raises(ConfigError, match="unknown routing scheme 'nope'"):
+            get_scheme("nope")
+        with pytest.raises(ConfigError, match="dxb"):
+            make_scheme("nope", (3, 3))
+
+    def test_duplicate_registration_rejected(self):
+        class Impostor(RoutingScheme):
+            name = "dxb"
+            kind = "md-crossbar"
+
+        with pytest.raises(ValueError, match="registered twice"):
+            register_scheme(Impostor)
+
+    def test_registration_requires_name_and_kind(self):
+        class Anonymous(RoutingScheme):
+            pass
+
+        with pytest.raises(ValueError, match="name and .kind"):
+            register_scheme(Anonymous)
+
+    def test_faultless_scheme_rejects_faults(self):
+        for name in ("adaptive", "mesh", "torus", "hypercube"):
+            with pytest.raises(ConfigError, match="does not model faults"):
+                make_scheme(name, get_scheme(name).doctor_shape,
+                            faults=(Fault.router((0, 0)),))
+
+
+class TestResolve:
+    def test_both_empty_is_the_paper(self):
+        assert resolve_scheme("", "") == ("md-crossbar", "dxb")
+        assert resolve_scheme(None) == ("md-crossbar", "dxb")
+
+    def test_kind_alone_picks_its_default_scheme(self):
+        assert resolve_scheme("md-crossbar") == ("md-crossbar", "dxb")
+        assert resolve_scheme("torus") == ("torus", "torus")
+        assert resolve_scheme("fullmesh") == ("fullmesh", "fullmesh_novc")
+
+    def test_scheme_alone_implies_its_kind(self):
+        assert resolve_scheme("", "hyperx_ft") == ("md-crossbar", "hyperx_ft")
+        assert resolve_scheme("", "fullmesh_novc") == ("fullmesh", "fullmesh_novc")
+
+    def test_agreeing_pair_passes_through(self):
+        assert resolve_scheme("md-crossbar", "adaptive") == (
+            "md-crossbar", "adaptive",
+        )
+
+    def test_mismatched_pair_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="routes the 'md-crossbar'"):
+            resolve_scheme("fullmesh", "dxb")
+
+    def test_unknown_kind_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="unknown network kind"):
+            resolve_scheme("clos")
+
+
+class TestRunSpecScheme:
+    def test_scheme_defaults_empty_for_legacy_specs(self):
+        assert RunSpec().scheme == ""
+
+    def test_to_dict_carries_the_scheme(self):
+        assert RunSpec(scheme="hyperx_ft").to_dict()["scheme"] == "hyperx_ft"
+
+    def test_pickle_roundtrip_preserves_the_scheme(self):
+        spec = RunSpec(shape=(4, 3), load=0.1, scheme="hyperx_ft")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert pickle.loads(pickle.dumps(spec)).scheme == "hyperx_ft"
+
+    def test_describe_mentions_an_explicit_scheme(self):
+        assert "scheme=hyperx_ft" in RunSpec(scheme="hyperx_ft").describe()
+        assert "scheme" not in RunSpec().describe()
+
+    def test_network_key_separates_schemes_on_one_kind(self):
+        """The warm-worker NetworkCache must not hand an adaptive run a
+        dxb network (same kind, same shape, different routing)."""
+        keys = {
+            RunSpec(shape=(4, 3), scheme=s).network_key()
+            for s in ("", "dxb", "adaptive", "hyperx_ft")
+        }
+        assert len(keys) == 4
+
+    def test_spec_key_separates_schemes_on_one_kind(self):
+        """The on-disk result cache must not replay a dxb point as a
+        hyperx_ft point."""
+        keys = {
+            spec_key(RunSpec(shape=(4, 3), load=0.1, scheme=s))
+            for s in ("", "dxb", "adaptive", "hyperx_ft")
+        }
+        assert len(keys) == 4
+
+    def test_adapter_memo_is_scheme_tagged(self):
+        from repro.core import SwitchLogic, make_config
+        from repro.sim import MDCrossbarAdapter
+        from repro.topology import MDCrossbar
+
+        topo = MDCrossbar((3, 3))
+        logic = SwitchLogic(topo, make_config((3, 3)))
+        assert MDCrossbarAdapter(logic).scheme == "dxb"
+        assert MDCrossbarAdapter(logic, scheme="other").scheme == "other"

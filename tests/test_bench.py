@@ -37,9 +37,12 @@ class TestSuite:
         assert smoke_doc["peak_rss_kb"] > 0
         for case in smoke_doc["cases"].values():
             assert case["cycles"] > 0
-            assert case["cycles_per_sec"] > 0
             assert case["delivered"] > 0
             assert not case["deadlocked"]
+            if "schemes" not in case:
+                # the shoot-out deliberately reports no wall rate (its
+                # latency legs are too short for one to be meaningful)
+                assert case["cycles_per_sec"] > 0
 
     def test_span_aggregates_are_present(self, smoke_doc):
         bc = smoke_doc["cases"]["broadcast_4x3"]
@@ -133,6 +136,42 @@ class TestSweepFanoutCase:
         new["cases"]["sweep_fanout"]["identity_sha256"] = "0" * 64
         regs = compare_bench(new, smoke_doc, threshold_pct=99)
         assert any(r.field == "identity_sha256" for r in regs)
+
+
+class TestSchemeShootoutCase:
+    """The cross-scheme runner case: one deterministic table over every
+    registered routing scheme."""
+
+    def test_every_registered_scheme_appears(self, smoke_doc):
+        from repro.routing import scheme_names
+
+        table = smoke_doc["cases"]["scheme_shootout"]["schemes"]
+        assert sorted(table) == scheme_names()
+
+    def test_per_scheme_row_shape(self, smoke_doc):
+        from repro.routing import get_scheme
+
+        table = smoke_doc["cases"]["scheme_shootout"]["schemes"]
+        for name, row in table.items():
+            assert row["cycle_free"] is True
+            assert row["cdg_edges"] > 0
+            assert row["delivered"] > 0
+            assert row["stretch"] >= 1.0
+            if get_scheme(name).supports_faults:
+                assert row["faults_covered"] > 0
+                assert row["fault_delivered"] > 0
+            else:
+                assert row["faults_covered"] is None
+
+    def test_identity_hash_present(self, smoke_doc):
+        case = smoke_doc["cases"]["scheme_shootout"]
+        assert len(case["identity_sha256"]) == 64
+
+    def test_scheme_table_drift_is_a_regression(self, smoke_doc):
+        new = copy.deepcopy(smoke_doc)
+        new["cases"]["scheme_shootout"]["schemes"]["dxb"]["delivered"] += 1
+        regs = compare_bench(new, smoke_doc, threshold_pct=99)
+        assert any(r.field == "schemes" for r in regs)
 
 
 class TestBenchFiles:
@@ -232,7 +271,8 @@ class TestCli:
         # a doctored, impossibly fast baseline trips the gate
         doc = json.loads(base.read_text())
         for case in doc["cases"].values():
-            case["cycles_per_sec"] *= 1000
+            if "cycles_per_sec" in case:  # the shoot-out carries no rate
+                case["cycles_per_sec"] *= 1000
         fast = tmp_path / "BENCH_fast.json"
         fast.write_text(json.dumps(doc))
         assert main([

@@ -89,7 +89,7 @@ class TestCommands:
 
     def test_check_naive_fails(self, capsys):
         rc = main(
-            ["check", "--shape", "4x3", "--fault", "rtr:2,0", "--scheme", "naive"]
+            ["check", "--shape", "4x3", "--fault", "rtr:2,0", "--detour", "naive"]
         )
         out = capsys.readouterr().out
         assert rc == 1
