@@ -48,7 +48,10 @@ from .traffic import BernoulliInjector, uniform
 #: ``specs``/``identity_sha256`` and the warm/cold/cached sweep legs).
 #: schema 4: the ``scheme_shootout`` runner case -- per-scheme latency /
 #: path-stretch / CDG-acyclicity / fault-coverage table (``schemes``).
-BENCH_SCHEMA = 4
+#: schema 5: the ``recovery_shootout`` runner case -- VC avoidance vs
+#: online drain/rotate recovery vs halt-and-report on the Fig. 9
+#: deadlock workload (``legs``).
+BENCH_SCHEMA = 5
 
 #: simulated quantities that must be bit-identical between runs of a case
 #: (compared only where present; runner cases carry a subset plus their
@@ -64,6 +67,7 @@ DETERMINISTIC_FIELDS = (
     "detour_overhead_cycles",
     "specs",
     "schemes",
+    "legs",
     "identity_sha256",
 )
 
@@ -444,6 +448,153 @@ def _run_scheme_shootout(repeats: int = 3) -> Dict:
     }
 
 
+#: (leg name, detour scheme, recovery flag) for the recovery shoot-out
+RECOVERY_LEGS: Tuple[Tuple[str, str, bool], ...] = (
+    ("avoidance", "safe", False),
+    ("recovery", "naive", True),
+    ("halt", "naive", False),
+)
+
+
+def _fig9_recovery_sim(detour: str, recovery: bool):
+    """The paper's Fig. 9 deadlock interleaving on a (4, 3) network with
+    router (2, 0) faulty: one broadcast plus three unicasts whose naive
+    detours close a cyclic wait.  Returns (sim, packets)."""
+    from .core.config import DetourScheme
+
+    shape = (4, 3)
+    topo = MDCrossbar(shape)
+    logic = SwitchLogic(
+        topo,
+        make_config(
+            shape,
+            fault=Fault.router((2, 0)),
+            detour_scheme=DetourScheme(detour),
+        ),
+    )
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(logic),
+        SimConfig(stall_limit=200, recovery=recovery),
+    )
+    pkts = [
+        Packet(
+            Header(source=(3, 2), dest=(3, 2), rc=RC.BROADCAST_REQUEST),
+            length=6,
+        ),
+        Packet(Header(source=(0, 0), dest=(2, 2)), length=6),
+        Packet(Header(source=(1, 0), dest=(3, 1)), length=6),
+        Packet(Header(source=(0, 1), dest=(1, 2)), length=6),
+    ]
+    for pkt, dt in zip(pkts, (0, 1, 1, 2)):
+        sim.send(pkt, at_cycle=dt)
+    return sim, pkts
+
+
+def _run_recovery_shootout(repeats: int = 3) -> Dict:
+    """Avoidance vs recovery vs halt on the same deadlock-prone workload.
+
+    Three legs, one table (``legs``): (a) *avoidance* -- the paper's
+    safe detour scheme, which never deadlocks in the first place; (b)
+    *recovery* -- the naive scheme plus the engine's online drain/rotate
+    mode, which must still deliver 100% with at least one rotation; (c)
+    *halt* -- the naive scheme bare, which must end in a
+    :class:`DeadlockReport`.  Every leg runs ``repeats`` times and every
+    simulated quantity (including the rebased victim pids) must agree
+    across repeats; the whole table is a deterministic field, so
+    cross-machine drift trips the baseline comparison."""
+    import itertools
+
+    import repro.core.packet as packet_mod
+
+    legs: Dict[str, Dict] = {}
+    total_wall = 0.0
+    total_cycles = 0
+    for leg, detour, recovery in RECOVERY_LEGS:
+        runs = []
+        for _ in range(max(1, repeats)):
+            # pid counter restart: victim pids rebase identically per run
+            packet_mod._packet_ids = itertools.count(1_000_000)
+            sim, pkts = _fig9_recovery_sim(detour, recovery)
+            base = min(p.pid for p in pkts)
+            t0 = time.perf_counter()
+            res = sim.run(max_cycles=20_000)
+            wall = time.perf_counter() - t0
+            runs.append(
+                {
+                    "wall_time_s": wall,
+                    "cycles": res.cycles,
+                    "flit_moves": res.flit_moves,
+                    "delivered": len(res.delivered),
+                    "recoveries": res.recoveries,
+                    "victims": [v - base for v in res.recovery_victims],
+                    "deadlocked": res.deadlocked,
+                    "deadlock_cycle": (
+                        None if res.deadlock is None else res.deadlock.cycle
+                    ),
+                    "in_flight": res.in_flight_at_end,
+                }
+            )
+        for other in runs[1:]:
+            for field in sorted(set(runs[0]) - {"wall_time_s"}):
+                if other[field] != runs[0][field]:
+                    raise AssertionError(
+                        f"recovery_shootout: {leg}.{field} drifted between "
+                        f"repeats ({runs[0][field]!r} != {other[field]!r})"
+                    )
+        best = min(runs, key=lambda r: r["wall_time_s"])
+        sent = 4
+        if leg in ("avoidance", "recovery"):
+            if best["deadlocked"] or best["delivered"] != sent:
+                raise AssertionError(
+                    f"recovery_shootout: {leg} leg must deliver all {sent} "
+                    f"packets without a final deadlock "
+                    f"({best['delivered']} delivered, "
+                    f"deadlocked={best['deadlocked']})"
+                )
+        if leg == "avoidance" and best["recoveries"]:
+            raise AssertionError(
+                "recovery_shootout: the safe scheme must not need recovery"
+            )
+        if leg == "recovery" and best["recoveries"] < 1:
+            raise AssertionError(
+                "recovery_shootout: the recovery leg never deadlocked -- "
+                "the workload no longer exercises the rotate path"
+            )
+        if leg == "halt" and not best["deadlocked"]:
+            raise AssertionError(
+                "recovery_shootout: the halt leg must end in a "
+                "DeadlockReport"
+            )
+        total_wall += best["wall_time_s"]
+        total_cycles += best["cycles"]
+        legs[leg] = {
+            "detour": detour,
+            "recovery": recovery,
+            **{k: v for k, v in best.items() if k != "wall_time_s"},
+        }
+    identity = json.dumps(legs, sort_keys=True, separators=(",", ":"))
+    return {
+        "description": (
+            "Fig. 9 deadlock workload three ways: VC avoidance (safe "
+            "detours) vs online drain/rotate recovery vs halt-and-report"
+        ),
+        "repeats": max(1, repeats),
+        # no cycles_per_sec: the legs are tiny (a few hundred cycles); the
+        # case gates on the deterministic ``legs`` table, not throughput
+        "wall_time_s": round(total_wall, 6),
+        "cycles": total_cycles,
+        "delivered": sum(leg["delivered"] for leg in legs.values()),
+        # the halt leg deadlocks *by design* (asserted above); the
+        # case-level flag keeps the "nothing unexpected deadlocked"
+        # meaning the other cases use
+        "deadlocked": False,
+        "legs": legs,
+        "identity_sha256": hashlib.sha256(
+            identity.encode("utf-8")
+        ).hexdigest(),
+    }
+
+
 #: the pinned suite; order is the report order
 BENCH_CASES: Tuple[BenchCase, ...] = (
     BenchCase(
@@ -483,6 +634,12 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         "acyclicity, single-fault coverage",
         True,
         runner=_run_scheme_shootout,
+    ),
+    BenchCase(
+        "recovery_shootout",
+        "Fig. 9 deadlock workload: avoidance vs online recovery vs halt",
+        True,
+        runner=_run_recovery_shootout,
     ),
     BenchCase(
         "p2p_8x8_mid",
@@ -658,10 +815,11 @@ def load_bench(path: str) -> Dict:
         1,
         2,
         3,
+        4,
         BENCH_SCHEMA,
     ):
         raise ValueError(
-            f"{path} is not a schema-1/2/3/{BENCH_SCHEMA} bench file "
+            f"{path} is not a schema-1/2/3/4/{BENCH_SCHEMA} bench file "
             f"(kind={doc.get('kind')!r}, schema={doc.get('schema')!r})"
         )
     return doc
@@ -781,6 +939,25 @@ def render_bench(doc: Dict) -> str:
                     f"cdg={'acyclic' if s['cycle_free'] else 'CYCLIC'}"
                     f"({s['cdg_edges']})"
                     f" delivered={s['delivered']}{cov}"
+                )
+            continue
+        if "legs" in c:  # runner case (recovery_shootout): one row/leg
+            lines.append(
+                f"  {name:<18} {len(c['legs'])} legs in "
+                f"{c['wall_time_s']:.3f}s"
+            )
+            for lname, leg in c["legs"].items():
+                end = (
+                    f"deadlock@{leg['deadlock_cycle']}"
+                    if leg["deadlocked"]
+                    else "drained"
+                )
+                lines.append(
+                    f"    {lname:<10} detour={leg['detour']:<5} "
+                    f"recovery={'on' if leg['recovery'] else 'off':<3} "
+                    f"cycles={leg['cycles']:<5} "
+                    f"delivered={leg['delivered']} "
+                    f"rotations={leg['recoveries']} {end}"
                 )
             continue
         if "specs" in c:  # runner case (sweep_fanout); wall_time_s = warm leg

@@ -31,7 +31,10 @@ Examples::
 
 ``--scheme`` selects a registered routing scheme (see ``repro.routing``);
 ``--detour`` picks the paper facility's D-XB variant (safe vs naive) and
-only applies to the default ``dxb`` scheme.
+only applies to the default ``dxb`` scheme.  ``--recovery`` (on sweep,
+trace, report and figures) switches the engine from deadlock *avoidance*
+to online deadlock *recovery*: detected cycles are broken by rotating one
+victim packet back to its source instead of halting the run.
 """
 
 from __future__ import annotations
@@ -95,7 +98,7 @@ def _build(args) -> tuple:
 
 
 def _build_sim(args, stall_limit: int):
-    """A simulator honoring ``--scheme`` (trace/report).
+    """A simulator honoring ``--scheme`` and ``--recovery`` (trace/report).
 
     An explicit routing scheme dispatches through the
     :mod:`repro.routing` registry; the default keeps the legacy paper
@@ -103,17 +106,22 @@ def _build_sim(args, stall_limit: int):
     """
     from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
 
+    recovery = bool(getattr(args, "recovery", False))
     scheme = getattr(args, "scheme", "") or ""
     if scheme in ("", "dxb"):
         _, logic = _build(args)
         return NetworkSimulator(
-            MDCrossbarAdapter(logic), SimConfig(stall_limit=stall_limit)
+            MDCrossbarAdapter(logic),
+            SimConfig(stall_limit=stall_limit, recovery=recovery),
         )
     from .routing import make_scheme
 
     sch = make_scheme(scheme, args.shape, faults=tuple(args.fault or ()))
     return NetworkSimulator(
-        sch.adapter, SimConfig(num_vcs=sch.num_vcs, stall_limit=stall_limit)
+        sch.adapter,
+        SimConfig(
+            num_vcs=sch.num_vcs, stall_limit=stall_limit, recovery=recovery
+        ),
     )
 
 
@@ -123,6 +131,14 @@ def _add_scheme(p: argparse.ArgumentParser) -> None:
         help="routing scheme from the repro.routing registry "
              "(dxb/adaptive/hyperx_ft/mesh/torus/hypercube/fullmesh_novc; "
              "default: the kind's default scheme)",
+    )
+
+
+def _add_recovery(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--recovery", action="store_true",
+        help="recover from detected deadlock online (drain one victim of "
+             "the cyclic wait and re-inject it) instead of halting",
     )
 
 
@@ -285,6 +301,7 @@ def cmd_sweep(args) -> int:
             faults=tuple(args.fault or ()),
             metrics=args.metrics,
             scheme=args.scheme,
+            recovery=args.recovery,
         )
         for load in args.loads
     ]
@@ -342,7 +359,8 @@ def cmd_trace(args) -> int:
     events = (
         tuple(args.event)
         if args.event
-        else ("inject", "grant", "block", "deliver", "deadlock", "log")
+        else ("inject", "grant", "block", "deliver", "deadlock",
+              "recovery", "log")
     )
     sink_cm = (
         open(args.out, "w")
@@ -392,6 +410,7 @@ def cmd_report(args) -> int:
                 file=sys.stderr,
             )
         spans = spans_from_trace(header, records)
+        recoveries = [r for r in records if r.get("kind") == "recovery"]
         run_info = {"trace": args.trace, "records": len(records)}
         if header is not None:
             run_info["schema"] = header.get("schema")
@@ -405,6 +424,7 @@ def cmd_report(args) -> int:
                 run_info=run_info,
                 fmt=args.format,
                 top=args.top,
+                recoveries=recoveries,
             ),
             end="",
         )
@@ -416,6 +436,19 @@ def cmd_report(args) -> int:
     sim = _build_sim(args, stall_limit=args.stall_limit)
     suite = CollectorSuite(sim)
     spans = PacketSpanCollector().attach(sim)
+    recovery_records: List[dict] = []
+
+    @sim.hooks.on_recovery
+    def _saw_recovery(engine, event):
+        recovery_records.append(
+            {
+                "cycle": event.cycle,
+                "victim": event.victim,
+                "attempt": event.attempt,
+                "cycle_pids": list(event.cycle_pids),
+            }
+        )
+
     gen = BernoulliInjector(
         load=args.load,
         packet_length=args.packet_length,
@@ -448,6 +481,7 @@ def cmd_report(args) -> int:
             },
             fmt=args.format,
             top=args.top,
+            recoveries=recovery_records,
         ),
         end="",
     )
@@ -512,11 +546,22 @@ def cmd_figures(args) -> int:
             broadcast_mode=mode, detour_scheme=scheme,
         )
         sim = NetworkSimulator(
-            MDCrossbarAdapter(SwitchLogic(topo, cfg)), SimConfig(stall_limit=200)
+            MDCrossbarAdapter(SwitchLogic(topo, cfg)),
+            SimConfig(stall_limit=200, recovery=args.recovery),
         )
         for cycle, src, dst, rc in sends:
             sim.send(Packet(Header(source=src, dest=dst, rc=rc), length=6), at_cycle=cycle)
         res = sim.run(max_cycles=5000)
+        if args.recovery and expect_deadlock:
+            # the scenarios that deadlock by design must instead drain
+            # after >= 1 online rotation
+            okay = not res.deadlocked and res.recoveries >= 1
+            print(
+                f"{name}: {len(res.delivered)} delivered after "
+                f"{res.recoveries} recovery rotation(s) "
+                + ("(deadlock broken online)" if okay else "(UNEXPECTED)")
+            )
+            return okay
         verdict = "deadlock" if res.deadlocked else f"{len(res.delivered)} delivered"
         flag = "(as the paper predicts)" if res.deadlocked == expect_deadlock else "(UNEXPECTED)"
         print(f"{name}: {verdict} {flag}")
@@ -809,6 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="standing fault (fault-modelling schemes only); "
                         "repeatable")
     _add_scheme(p)
+    _add_recovery(p)
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes for the sweep (default: serial)")
     p.add_argument("--cache", dest="cache", action="store_true",
@@ -831,6 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     _add_scheme(p)
+    _add_recovery(p)
     p.add_argument("--load", type=float, default=0.2)
     p.add_argument("--pattern", default="uniform")
     p.add_argument("--packet-length", type=int, default=4)
@@ -839,10 +886,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stall-limit", type=int, default=2000)
     p.add_argument(
         "--event", action="append",
-        choices=["inject", "grant", "block", "deliver", "deadlock", "log",
-                 "phase"],
+        choices=["inject", "grant", "block", "deliver", "deadlock",
+                 "recovery", "log", "phase"],
         help="record kind to capture; repeatable "
-             "(default: inject, grant, block, deliver, deadlock, log)",
+             "(default: inject, grant, block, deliver, deadlock, "
+             "recovery, log)",
     )
     p.add_argument("--out", help="JSONL output path (default: stdout)")
     p.set_defaults(fn=cmd_trace)
@@ -853,6 +901,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     _add_scheme(p)
+    _add_recovery(p)
     p.add_argument("--trace", help="render from a saved JSONL trace instead "
                                    "of running a simulation")
     p.add_argument("--load", type=float, default=0.2)
@@ -895,6 +944,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("figures", help="replay the paper's figures")
+    _add_recovery(p)
     p.set_defaults(fn=cmd_figures)
 
     p = sub.add_parser("machine", help="describe an SR2201 configuration")

@@ -27,14 +27,23 @@ from ..sim.stats import LatencyStats, LoadPoint
 from ..traffic import BernoulliInjector, Pattern, pattern_name, uniform
 
 
-def build_network(kind: str, shape, stall_limit: int = 2000, faults=(), scheme: str = ""):
+def build_network(
+    kind: str,
+    shape,
+    stall_limit: int = 2000,
+    faults=(),
+    scheme: str = "",
+    recovery: bool = False,
+):
     """(simulator factory) for a network kind and routing scheme.
 
     Dispatches through the :mod:`repro.routing` registry: ``scheme`` names
     a registered routing scheme (``""`` resolves to the kind's default --
     ``dxb`` for the MD crossbar), and ``faults`` pre-configures schemes
     that model standing faults, as a standing fault would be in the
-    hardware.  Unknown kinds/schemes and kind/scheme mismatches raise
+    hardware.  ``recovery`` turns on the engine's online deadlock
+    recovery (see :class:`~repro.sim.SimConfig`).  Unknown kinds/schemes
+    and kind/scheme mismatches raise
     :class:`~repro.core.config.ConfigError`.
     """
     from ..routing import make_scheme, resolve_scheme
@@ -42,7 +51,10 @@ def build_network(kind: str, shape, stall_limit: int = 2000, faults=(), scheme: 
     kind, scheme = resolve_scheme(kind, scheme)
     sch = make_scheme(scheme, shape, faults=tuple(faults))
     return lambda: NetworkSimulator(
-        sch.adapter, SimConfig(num_vcs=sch.num_vcs, stall_limit=stall_limit)
+        sch.adapter,
+        SimConfig(
+            num_vcs=sch.num_vcs, stall_limit=stall_limit, recovery=recovery
+        ),
     )
 
 
@@ -95,6 +107,7 @@ def sweep(
     seed: int = 1,
     stall_limit: int = 2000,
     scheme: str = "",
+    recovery: bool = False,
     **kw,
 ) -> List[LoadPoint]:
     """Sweep the load axis; each point is an independent fixed-seed run.
@@ -118,7 +131,13 @@ def sweep(
                 "(see repro.traffic.PATTERNS); ad-hoc callables cannot "
                 "cross process boundaries"
             )
-        make_sim = build_network(kind, shape, stall_limit=stall_limit, scheme=scheme)
+        make_sim = build_network(
+            kind,
+            shape,
+            stall_limit=stall_limit,
+            scheme=scheme,
+            recovery=recovery,
+        )
         return [
             run_load_point(make_sim, load, pattern, seed=seed, **kw)
             for load in loads
@@ -134,6 +153,7 @@ def sweep(
         seed=seed,
         stall_limit=stall_limit,
         scheme=scheme,
+        recovery=recovery,
         **kw,
     )
     results = run_specs(

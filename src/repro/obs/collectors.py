@@ -253,23 +253,37 @@ class ChannelUtilization(Collector):
 
 
 class DeadlockWatch(Collector):
-    """Counts watchdog firings and records the detection cycle."""
+    """Counts watchdog firings and records the detection cycle.
+
+    Also counts online recovery actions (``SimConfig.recovery``): the
+    ``recoveries`` counter, the last ``recovery_cycle``, and the victims
+    rotated out per cyclic wait -- a run that recovers its way to full
+    delivery shows ``recoveries > 0`` with ``deadlocks == 0``.
+    """
 
     def __init__(self) -> None:
         self._set = MetricSet()
 
     def attach(self, engine: CycleEngine) -> "DeadlockWatch":
         engine.hooks.on_deadlock(self._on_deadlock)
+        engine.hooks.on_recovery(self._on_recovery)
         return self
 
     def _hooks(self):
-        return (self._on_deadlock,)
+        return (self._on_deadlock, self._on_recovery)
 
     def _on_deadlock(self, engine: CycleEngine, report: DeadlockReport) -> None:
         self._set.counter("deadlocks").inc()
         self._set.gauge("deadlock_cycle").observe(report.cycle)
         self._set.counter("deadlock_blocked_packets").inc(
             len(report.blocked_pids)
+        )
+
+    def _on_recovery(self, engine: CycleEngine, event) -> None:
+        self._set.counter("recoveries").inc()
+        self._set.gauge("recovery_cycle").observe(event.cycle)
+        self._set.counter("recovery_cycle_members").inc(
+            len(event.cycle_pids)
         )
 
     def metrics(self) -> MetricSet:

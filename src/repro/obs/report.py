@@ -11,6 +11,8 @@ ASCII channel heatmap -- and lays them out as plain text or markdown:
 * S-XB serialization wait distribution over broadcasts (Fig. 6);
 * detour overhead summary (extra cycles vs the fault-free
   dimension-order route);
+* deadlock-recovery actions (victim, attempt, broken cycle) when the
+  run used the engine's online recovery mode;
 * the channel-utilization heatmap and the metric digest, verbatim.
 
 Everything here is pure formatting over the deterministic aggregates;
@@ -114,12 +116,16 @@ def render_report(
     run_info: Optional[Dict] = None,
     fmt: str = "text",
     top: int = 10,
+    recoveries: Optional[Sequence[Dict]] = None,
 ) -> str:
     """Render a run report from whichever artifacts are available.
 
     ``fmt`` is ``"text"`` (ASCII) or ``"md"`` (markdown); ``run_info``
     is an optional flat dict echoed in the summary section (shape,
-    load, cycles...); ``top`` bounds the attribution table.
+    load, cycles...); ``top`` bounds the attribution table;
+    ``recoveries`` is a sequence of recovery records (the trace's
+    ``recovery`` kind: ``cycle``/``victim``/``attempt``/``cycle_pids``)
+    rendered as the deadlock-recovery section when non-empty.
     """
     if fmt not in ("text", "md"):
         raise ValueError(f"unknown report format {fmt!r}; use 'text' or 'md'")
@@ -134,6 +140,26 @@ def render_report(
 
     if spans is not None:
         _render_spans(doc, spans, top)
+
+    if recoveries:
+        doc.section("Deadlock recovery")
+        doc.para(
+            f"{len(recoveries)} recovery action(s): each drained the "
+            "victim packet's flits back out of the fabric and re-queued "
+            "it at its source, breaking the detected cyclic wait online."
+        )
+        doc.table(
+            ("attempt", "cycle", "victim pid", "cyclic wait"),
+            [
+                (
+                    r.get("attempt", i + 1),
+                    r.get("cycle", "?"),
+                    r.get("victim", "?"),
+                    " -> ".join(str(p) for p in r.get("cycle_pids", ())),
+                )
+                for i, r in enumerate(recoveries)
+            ],
+        )
 
     if heatmap is not None:
         doc.section("Channel utilization heatmap")

@@ -13,7 +13,7 @@ always the schema header, so a trace file is self-describing::
     {"kind": "deliver", "cycle": 9, "pid": 7, "at": [3, 2], "latency": 9}
     {"kind": "log", "cycle": 0, "message": "packet 7 injected at PE(0, 0)"}
 
-Record kinds and their extra fields (schema version 2):
+Record kinds and their extra fields (schema version 3):
 
 ========== ==============================================================
 kind       fields
@@ -32,12 +32,16 @@ kind       fields
              injection, None if unknown)
 ``deadlock`` ``cycle_pids`` (the cyclic wait), ``blocked`` (all in-flight
              pids)
+``recovery`` ``victim`` (the pid rotated out of the fabric), ``attempt``
+             (1-based recovery count), ``cycle_pids`` (the cyclic wait
+             that was broken)
 ``log``      ``message`` (the engine's event-log line)
 ``phase``    ``phase`` (only when ``phases=True``; high volume)
 ========== ==============================================================
 
-Schema history: version 2 added the ``inject`` and ``block`` kinds
-(schema 1 traces read fine -- they just lack those records).
+Schema history: version 2 added the ``inject`` and ``block`` kinds;
+version 3 added the ``recovery`` kind (online deadlock recovery).  Older
+traces read fine -- they just lack those records.
 
 The old :class:`~repro.sim.monitor.TextTrace` rides on this recorder now:
 it is a log-only recorder plus the legacy ``(cycle, message)`` rendering.
@@ -54,10 +58,10 @@ from ..sim.fabric import Connection
 from ..topology.base import element_label, output_port_map, port_label
 
 #: bump when a record kind gains/loses/renames a field
-TRACE_SCHEMA_VERSION = 2
+TRACE_SCHEMA_VERSION = 3
 
 #: schema versions :func:`read_trace` understands
-READABLE_SCHEMA_VERSIONS: Tuple[int, ...] = (1, 2)
+READABLE_SCHEMA_VERSIONS: Tuple[int, ...] = (1, 2, 3)
 
 #: every subscribable record kind
 EVENT_KINDS: Tuple[str, ...] = (
@@ -66,6 +70,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     "block",
     "deliver",
     "deadlock",
+    "recovery",
     "log",
     "phase",
 )
@@ -88,6 +93,7 @@ class TraceRecorder:
             "block",
             "deliver",
             "deadlock",
+            "recovery",
             "log",
         ),
         sink: Optional[IO[str]] = None,
@@ -122,6 +128,8 @@ class TraceRecorder:
             hooks.on_deliver(self._on_deliver)
         if "deadlock" in self.events:
             hooks.on_deadlock(self._on_deadlock)
+        if "recovery" in self.events:
+            hooks.on_recovery(self._on_recovery)
         if "log" in self.events:
             hooks.on_log(self._on_log)
         if "phase" in self.events:
@@ -136,6 +144,7 @@ class TraceRecorder:
                 self._on_block,
                 self._on_deliver,
                 self._on_deadlock,
+                self._on_recovery,
                 self._on_log,
                 self._on_phase_end,
             ):
@@ -228,6 +237,17 @@ class TraceRecorder:
                 "cycle": report.cycle,
                 "cycle_pids": list(report.cycle_pids),
                 "blocked": list(report.blocked_pids),
+            }
+        )
+
+    def _on_recovery(self, engine: CycleEngine, event) -> None:
+        self._emit(
+            {
+                "kind": "recovery",
+                "cycle": event.cycle,
+                "victim": event.victim,
+                "attempt": event.attempt,
+                "cycle_pids": list(event.cycle_pids),
             }
         )
 

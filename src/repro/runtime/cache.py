@@ -42,7 +42,11 @@ CACHE_SCHEMA = 1
 #: produces, and every stale entry silently becomes a miss.
 #: 2: the pluggable routing-scheme layer -- ``RunSpec.to_dict()`` gained
 #:    the ``scheme`` identity, so every spec's canonical form changed.
-CODE_VERSION = 2
+#: 3: online deadlock recovery + stall-watchdog fixes -- the watchdog now
+#:    fires one cycle earlier (detection cycles shifted) and
+#:    ``RunSpec.to_dict()`` gained the ``recovery`` flag, so no
+#:    pre-recovery entry may serve a post-recovery spec.
+CODE_VERSION = 3
 
 
 def spec_key(spec: RunSpec) -> str:
@@ -94,13 +98,18 @@ class ResultCache:
         self.invalidations = 0
         self.puts = 0
 
-    def path_for(self, spec: RunSpec) -> str:
-        key = spec_key(spec)
+    def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def path_for(self, spec: RunSpec) -> str:
+        return self._path(spec_key(spec))
 
     def get(self, spec: RunSpec) -> Optional[PointResult]:
         """The cached result for ``spec``, or None (counted as a miss)."""
-        path = self.path_for(spec)
+        # hash the spec exactly once per lookup: the path and the
+        # payload's stored key derive from the same computation
+        key = spec_key(spec)
+        path = self._path(key)
         try:
             with open(path, "rb") as f:
                 payload = pickle.load(f)
@@ -113,7 +122,7 @@ class ResultCache:
         if (
             not isinstance(payload, dict)
             or payload.get("schema") != CACHE_SCHEMA
-            or payload.get("key") != spec_key(spec)
+            or payload.get("key") != key
             or payload.get("spec") != spec.to_dict()
         ):
             self._invalidate(path)
@@ -123,11 +132,12 @@ class ResultCache:
 
     def put(self, result: PointResult) -> None:
         """Store ``result`` under its spec's content key (atomic)."""
-        path = self.path_for(result.spec)
+        key = spec_key(result.spec)
+        path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA,
-            "key": spec_key(result.spec),
+            "key": key,
             "spec": result.spec.to_dict(),
             "result": result,
         }

@@ -107,6 +107,7 @@ class NetworkCache:
                 stall_limit=spec.stall_limit,
                 faults=spec.faults,
                 scheme=spec.scheme,
+                recovery=spec.recovery,
             )()
             self._sims[key] = (sim, getattr(sim.adapter, "logic", None))
             if len(self._sims) > self.capacity:
@@ -153,6 +154,31 @@ class _ChunkFailure(NamedTuple):
     cause: BaseException
 
 
+def _picklable_cause(exc: BaseException) -> BaseException:
+    """``exc`` if it survives a pickle round trip, else a plain
+    ``RuntimeError`` carrying its repr and traceback.
+
+    A worker exception that cannot cross the process boundary (custom
+    ``__init__`` signatures, captured locks/file handles...) would
+    otherwise kill the *result* pickling of the whole chunk and surface
+    as an opaque ``BrokenProcessPool``; the sanitized stand-in keeps the
+    failure a named :class:`SpecExecutionError` in the parent.
+    """
+    import pickle
+    import traceback
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        detail = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ).strip()
+        return RuntimeError(
+            f"unpicklable worker exception {exc!r}:\n{detail}"
+        )
+
+
 def execute_chunk(specs: Sequence[RunSpec]):
     """Module-level chunk entry point (importable, hence picklable).
 
@@ -167,7 +193,7 @@ def execute_chunk(specs: Sequence[RunSpec]):
         try:
             out.append(spec.execute(sim=networks.get(spec)))
         except Exception as exc:
-            return _ChunkFailure(i, exc)
+            return _ChunkFailure(i, _picklable_cause(exc))
     return out
 
 

@@ -61,12 +61,18 @@ class RunSpec:
     #: the kind's default scheme (``dxb`` on the MD crossbar), keeping
     #: pre-scheme specs and pickles valid
     scheme: str = ""
+    #: run with the engine's online deadlock recovery enabled (see
+    #: ``SimConfig.recovery``); part of the spec's cached identity --
+    #: recovery changes what the same workload observably produces
+    recovery: bool = False
 
     def describe(self) -> str:
         shape_s = "x".join(map(str, self.shape))
         bits = [f"{self.kind} {shape_s} load={self.load:g} seed={self.seed}"]
         if self.scheme:
             bits.append(f"scheme={self.scheme}")
+        if self.recovery:
+            bits.append("recovery")
         if self.pattern != "uniform":
             bits.append(f"pattern={self.pattern}")
         if self.faults:
@@ -93,6 +99,7 @@ class RunSpec:
             "metrics": self.metrics,
             "spans": self.spans,
             "scheme": self.scheme,
+            "recovery": self.recovery,
         }
 
     def network_key(self) -> Tuple:
@@ -107,7 +114,14 @@ class RunSpec:
         :class:`~repro.runtime.session.NetworkCache` memoizes built
         networks under it and resets state between specs.
         """
-        return (self.kind, self.shape, self.stall_limit, self.faults, self.scheme)
+        return (
+            self.kind,
+            self.shape,
+            self.stall_limit,
+            self.faults,
+            self.scheme,
+            self.recovery,
+        )
 
     def execute(self, sim=None) -> "PointResult":
         """Run this spec in the current process.
@@ -131,6 +145,7 @@ class RunSpec:
                 stall_limit=self.stall_limit,
                 faults=self.faults,
                 scheme=self.scheme,
+                recovery=self.recovery,
             )
         else:
             if sim is None:
@@ -140,6 +155,7 @@ class RunSpec:
                     stall_limit=self.stall_limit,
                     faults=self.faults,
                     scheme=self.scheme,
+                    recovery=self.recovery,
                 )()
             if self.metrics:
                 from ..obs.collectors import attach_standard_collectors

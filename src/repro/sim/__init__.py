@@ -9,6 +9,7 @@ from .engine import (
     BlockEvent,
     CycleEngine,
     HookBus,
+    RecoveryEvent,
     find_pid_cycle,
 )
 from .fabric import Connection, InFlightPacket, PendingRequest, SimFlit, VCState
@@ -39,6 +40,7 @@ __all__ = [
     "NetworkSimulator",
     "PendingRequest",
     "ReconfigReport",
+    "RecoveryEvent",
     "RoutingAdapter",
     "Sample",
     "SimMonitor",

@@ -33,7 +33,8 @@ class SimConfig:
     #: torus baseline's dimension-order routing needs 2 for the dateline)
     num_vcs: int = 1
     #: declare deadlock after this many cycles without any flit movement
-    #: while packets are in flight
+    #: while packets are in flight (the watchdog fires on exactly the
+    #: ``stall_limit``-th stalled cycle)
     stall_limit: int = 1000
     #: hard stop for a run (safety net; experiments set their own horizon)
     max_cycles: int = 1_000_000
@@ -45,6 +46,16 @@ class SimConfig:
     #: way -- this escape hatch exists as the parity oracle for tests and
     #: for ``repro bench``'s fast-vs-legacy drift gate.
     legacy_scan: bool = False
+    #: recover from detected deadlock online instead of halting: drain one
+    #: victim packet of the cyclic wait back out of the fabric and
+    #: re-inject it (a DBR-style rotate, delivery preserved), then resume
+    recovery: bool = False
+    #: which cycle member is rotated out: ``"youngest"`` (largest pid --
+    #: the least sunk progress) or ``"oldest"`` (smallest pid)
+    recovery_victim: str = "youngest"
+    #: recovery actions allowed per run before the watchdog escalates to
+    #: the ordinary DeadlockReport halt (livelock bound)
+    recovery_limit: int = 16
 
     def __post_init__(self) -> None:
         if self.buffer_depth < 1:
@@ -53,6 +64,12 @@ class SimConfig:
             raise ValueError("num_vcs must be >= 1")
         if self.stall_limit < 1:
             raise ValueError("stall_limit must be >= 1")
+        if self.recovery_victim not in ("youngest", "oldest"):
+            raise ValueError(
+                "recovery_victim must be 'youngest' or 'oldest'"
+            )
+        if self.recovery_limit < 1:
+            raise ValueError("recovery_limit must be >= 1")
 
     @staticmethod
     def wormhole(**kw) -> "SimConfig":

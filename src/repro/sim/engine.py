@@ -17,9 +17,14 @@ per-cycle phases of cut-through switching:
 5. **inject** -- queued packets at PEs take the injection channel when free.
 
 A watchdog declares deadlock when packets are in flight but nothing has
-moved for ``stall_limit`` cycles, then extracts the cyclic wait from the
+moved for ``stall_limit`` cycles (it fires on exactly the
+``stall_limit``-th stalled cycle), then extracts the cyclic wait from the
 pending requests' wait-for graph -- reproducing the paper's Figs. 5 and 9
-dynamically.
+dynamically.  With ``config.recovery`` the engine instead breaks the
+detected cycle online: one victim packet's flits are drained back out of
+the fabric and the packet is re-queued at its source (a DBR-style
+rotate), bounded by ``config.recovery_limit`` before the watchdog
+escalates to the ordinary :class:`DeadlockReport` halt.
 
 Instrumentation attaches through the :class:`HookBus` -- never by poking
 engine internals:
@@ -37,7 +42,11 @@ engine internals:
   a full downstream buffer).  Emitted once per blocked resource per cycle;
 * ``on_deliver(packet, coord, cycle)``  -- a tail flit ejected at a PE
   (once per recipient for broadcasts);
-* ``on_deadlock(engine, report)``       -- the stall watchdog fired;
+* ``on_deadlock(engine, report)``       -- the stall watchdog fired and the
+  run is halting (never fired for a cycle that recovery broke);
+* ``on_recovery(engine, event)``        -- a recovery action broke a
+  detected cycle (a :class:`RecoveryEvent`: victim pid, attempt number,
+  the cyclic-wait pids);
 * ``on_log(cycle, message)``            -- the engine's event log.
 
 :class:`~repro.sim.monitor.SimMonitor`, :class:`~repro.sim.monitor.TextTrace`
@@ -122,6 +131,7 @@ class HookBus:
         "block",
         "deliver",
         "deadlock",
+        "recovery",
         "log",
     )
 
@@ -135,6 +145,7 @@ class HookBus:
         self.block: List[Callable[["CycleEngine", BlockEvent], None]] = []
         self.deliver: List[Callable[[Packet, Coord, int], None]] = []
         self.deadlock: List[Callable[["CycleEngine", "DeadlockReport"], None]] = []
+        self.recovery: List[Callable[["CycleEngine", "RecoveryEvent"], None]] = []
         self.log: List[Callable[[int, str], None]] = []
 
     def on_cycle_start(self, fn: Callable[["CycleEngine"], None]):
@@ -165,6 +176,10 @@ class HookBus:
 
     def on_deadlock(self, fn: Callable[["CycleEngine", "DeadlockReport"], None]):
         self.deadlock.append(fn)
+        return fn
+
+    def on_recovery(self, fn: Callable[["CycleEngine", "RecoveryEvent"], None]):
+        self.recovery.append(fn)
         return fn
 
     def on_log(self, fn: Callable[[int, str], None]):
@@ -212,6 +227,29 @@ class DeadlockError(RuntimeError):
 
 
 @dataclass
+class RecoveryEvent:
+    """One online deadlock-recovery action (``config.recovery``).
+
+    The watchdog detected a cyclic wait, picked ``victim`` out of
+    ``cycle_pids`` by the configured policy, drained its flits back out
+    of the fabric and re-queued it at its source.  ``attempt`` counts
+    recoveries so far in this run (1-based), bounded by
+    ``config.recovery_limit``.
+    """
+
+    cycle: int
+    victim: int
+    attempt: int
+    cycle_pids: Tuple[int, ...]
+
+    def describe(self) -> str:
+        return (
+            f"cycle {self.cycle}: recovery {self.attempt} rotated packet "
+            f"{self.victim} out of cyclic wait {list(self.cycle_pids)}"
+        )
+
+
+@dataclass
 class ReconfigReport:
     """What an online fault event cost (see ``NetworkSimulator.inject_fault``)."""
 
@@ -242,6 +280,12 @@ class SimResult:
     #: busy cycles per channel cid (a flit crossed the physical link)
     channel_busy: Dict[int, int]
     in_flight_at_end: int
+    #: deadlock-recovery actions taken (0 unless ``config.recovery``);
+    #: ``injected`` counts fabric injections, so a recovered packet
+    #: contributes one extra injection per rotation
+    recoveries: int = 0
+    #: victim pid per recovery action, in order
+    recovery_victims: Tuple[int, ...] = ()
 
     @property
     def deadlocked(self) -> bool:
@@ -269,6 +313,7 @@ class SimResult:
         so the fingerprint is stable across processes (pids are a
         process-global counter)."""
         pids = [p.pid for p in self.delivered + self.dropped]
+        pids.extend(self.recovery_victims)
         if self.deadlock is not None:
             pids.extend(self.deadlock.cycle_pids)
         base = min(pids) if pids else 0
@@ -288,6 +333,8 @@ class SimResult:
             self.flit_moves,
             self.injected,
             self.in_flight_at_end,
+            self.recoveries,
+            tuple(v - base for v in self.recovery_victims),
         )
 
 
@@ -397,6 +444,9 @@ class CycleEngine:
         self.channel_busy: Dict[int, int] = {}
         self._last_progress = 0
         self.deadlock: Optional[DeadlockReport] = None
+        #: recovery actions taken this run (see ``config.recovery``)
+        self.recoveries = 0
+        self.recovery_victims: List[int] = []
         # a tuple so the hot ``live_nodes`` property can hand it out
         # without copying (generators read it every cycle)
         self._live_nodes = tuple(
@@ -453,6 +503,8 @@ class CycleEngine:
         self.channel_busy.clear()
         self._last_progress = 0
         self.deadlock = None
+        self.recoveries = 0
+        self.recovery_victims = []
         self.hooks = HookBus()
         if self.trace is not None:
             self.hooks.log.append(self.trace)
@@ -536,8 +588,11 @@ class CycleEngine:
             return len(self._live_nodes)
         return 1
 
-    def kill_packet(self, pid: int) -> Optional[Packet]:
-        """Remove every trace of a packet from the fabric."""
+    def _scrub_packet(self, pid: int) -> None:
+        """Drain every trace of a packet out of the fabric: connections,
+        requests, queue entries, buffered flits and channel ownership.
+        Does not touch ``in_flight`` -- :meth:`kill_packet` drops the
+        packet afterwards, deadlock recovery re-queues it instead."""
         for key in [k for k, c in self.connections.items() if c.pid == pid]:
             conn = self.connections.pop(key)
             for cout in conn.couts:
@@ -550,13 +605,21 @@ class CycleEngine:
                     q.remove(r)
             if not q:
                 self._serial_active.discard(el)
-        for vc in self.vcs.values():
+        for key, vc in self.vcs.items():
             if vc.owner == pid:
                 vc.owner = None
             if any(f.pid == pid for f in vc.buffer):
                 vc.buffer = type(vc.buffer)(
                     f for f in vc.buffer if f.pid != pid
                 )
+                if vc.buffer:
+                    # removing the scrubbed flits can expose another
+                    # packet's header (or undelivered flits) at the head
+                    # of the buffer: re-activate it for the fast path
+                    if key in self._pe_key_order:
+                        self._eject_pending.add(key)
+                    elif vc.buffer[0].is_head:
+                        self._route_candidates.add(key)
         self._pending_by_cin = {
             k
             for k in self._pending_by_cin
@@ -565,6 +628,10 @@ class CycleEngine:
                 r.cin == k for q in self.serial_queues.values() for r in q
             )
         }
+
+    def kill_packet(self, pid: int) -> Optional[Packet]:
+        """Remove every trace of a packet from the fabric."""
+        self._scrub_packet(pid)
         inf = self.in_flight.pop(pid, None)
         if inf is not None:
             self.dropped.append(inf.packet)
@@ -1148,7 +1215,10 @@ class CycleEngine:
 
         Detects deadlock via the stall watchdog; with ``raise_on_deadlock``
         a :class:`DeadlockError` carries the report, otherwise the result's
-        ``deadlock`` field does.
+        ``deadlock`` field does.  With ``config.recovery`` the watchdog
+        first attempts an online recovery (:meth:`_try_recover`) and only
+        halts once the cycle is unbreakable or ``recovery_limit`` is
+        spent.
 
         Unless ``config.legacy_scan`` is set or a per-cycle hook
         (``cycle_start``/``phase_end``) is subscribed, the loop takes the
@@ -1167,8 +1237,11 @@ class CycleEngine:
                 if self._idle():
                     target = self._next_event_cycle(horizon)
                     if target is not None and target > self.cycle:
+                        # skipping idle cycles is not progress: the
+                        # watchdog baseline must stay where the last real
+                        # flit movement left it, exactly as a cycle-by-
+                        # cycle legacy scan would leave it
                         self.cycle = target
-                        self._last_progress = self.cycle
                         continue
                 else:
                     k = self._stream_window(horizon)
@@ -1178,7 +1251,7 @@ class CycleEngine:
             self.step()
             if (
                 self.in_flight
-                and self.cycle - self._last_progress > self.config.stall_limit
+                and self.cycle - self._last_progress >= self.config.stall_limit
             ):
                 if self.fabric_quiescent():
                     # nothing is moving because nothing is left in the
@@ -1188,7 +1261,10 @@ class CycleEngine:
                         self.log(f"packet {pid} orphaned by reconfiguration")
                         self.kill_packet(pid)
                     continue
-                self.deadlock = self.diagnose_deadlock()
+                report = self.diagnose_deadlock()
+                if self.config.recovery and self._try_recover(report):
+                    continue
+                self.deadlock = report
                 for fn in self.hooks.deadlock:
                     fn(self, self.deadlock)
                 if raise_on_deadlock:
@@ -1215,9 +1291,62 @@ class CycleEngine:
             injected=self.injected,
             channel_busy=dict(self.channel_busy),
             in_flight_at_end=len(self.in_flight),
+            recoveries=self.recoveries,
+            recovery_victims=tuple(self.recovery_victims),
         )
 
     # ------------------------------------------------------------ deadlock
+    def _try_recover(self, report: DeadlockReport) -> bool:
+        """Break a detected cyclic wait online (``config.recovery``).
+
+        Picks one victim out of ``report.cycle_pids`` by the configured
+        policy, drains its flits back out of the fabric (releasing every
+        channel it holds, which un-blocks the rest of the cycle) and
+        re-queues the original packet at its source PE -- the DBR-style
+        rotate.  The packet keeps its pid and ``injected_at``, so its
+        eventual latency includes the full recovery cost and fingerprints
+        stay pid-stable.
+
+        Returns False to escalate to the ordinary deadlock halt: when the
+        per-run ``recovery_limit`` is exhausted, when no cycle was found,
+        or when every cycle member has already reached a recipient (a
+        partially-delivered broadcast cannot be rotated without
+        duplicating deliveries).
+        """
+        if self.recoveries >= self.config.recovery_limit:
+            return False
+        eligible = [
+            pid
+            for pid in report.cycle_pids
+            if pid in self.in_flight
+            and self.in_flight[pid].deliveries == 0
+            and not self.in_flight[pid].dropped
+        ]
+        if not eligible:
+            return False
+        pick = max if self.config.recovery_victim == "youngest" else min
+        victim = pick(eligible)
+        packet = self.in_flight.pop(victim).packet
+        self._scrub_packet(victim)
+        self.recoveries += 1
+        self.recovery_victims.append(victim)
+        # re-queue at the source: the next inject phase drains it back
+        # into the fabric (``send`` preserves the original ``injected_at``
+        # and re-fires the queued-inject hook)
+        self.send(packet)
+        self._last_progress = self.cycle
+        event = RecoveryEvent(
+            cycle=self.cycle,
+            victim=victim,
+            attempt=self.recoveries,
+            cycle_pids=report.cycle_pids,
+        )
+        for fn in self.hooks.recovery:
+            fn(self, event)
+        if self.hooks.log:
+            self.log(event.describe())
+        return True
+
     def diagnose_deadlock(self) -> DeadlockReport:
         waits: Dict[int, Tuple[ElementId, Tuple[Channel, ...], Tuple[int, ...]]] = {}
         edges: Dict[int, Set[int]] = {}

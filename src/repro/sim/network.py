@@ -25,6 +25,7 @@ from .engine import (  # noqa: F401  (re-exported for compatibility)
     HookBus,
     PHASES,
     ReconfigReport,
+    RecoveryEvent,
     SimResult,
     find_pid_cycle,
 )

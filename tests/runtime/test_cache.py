@@ -88,6 +88,22 @@ class TestRoundTrip:
         key = spec_key(s)
         assert (tmp_path / key[:2] / f"{key}.pkl").exists()
 
+    def test_get_hashes_the_spec_exactly_once(self, tmp_path, monkeypatch):
+        """A lookup canonicalizes + sha256s the spec a single time; the
+        payload check reuses that key instead of rehashing."""
+        import repro.runtime.cache as cache_mod
+
+        cache = ResultCache(str(tmp_path))
+        s = spec()
+        cache.put(s.execute())
+        calls = []
+        real = cache_mod.spec_key
+        monkeypatch.setattr(
+            cache_mod, "spec_key", lambda sp: calls.append(sp) or real(sp)
+        )
+        assert cache.get(s) is not None
+        assert len(calls) == 1
+
     def test_metrics_payload_rides_along(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         s = spec(metrics=True)

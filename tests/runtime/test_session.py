@@ -195,6 +195,40 @@ class TestSessionFailure:
                 session.run([self.crashing_spec()])
 
 
+class TestPicklableCause:
+    """The chunk workers ship their failure back through a pickle; an
+    exception that cannot cross the process boundary must be sanitized,
+    not surface as an opaque BrokenProcessPool."""
+
+    def test_picklable_exception_passes_through(self):
+        from repro.runtime.session import _picklable_cause
+
+        exc = ValueError("plain and portable")
+        assert _picklable_cause(exc) is exc
+
+    def test_unpicklable_exception_is_sanitized(self):
+        from repro.runtime.session import _picklable_cause
+
+        class Gnarly(Exception):
+            # custom __init__ signature: pickle.loads cannot rebuild it
+            def __init__(self, spec, detail):
+                super().__init__(f"{spec}: {detail}")
+
+        try:
+            raise Gnarly("spec-3", "boom")
+        except Gnarly as exc:
+            stand_in = _picklable_cause(exc)
+        assert isinstance(stand_in, RuntimeError)
+        assert "Gnarly" in str(stand_in)
+        assert "boom" in str(stand_in)
+        # the original traceback travels as text
+        assert "test_unpicklable_exception_is_sanitized" in str(stand_in)
+        # and the stand-in itself survives the round trip
+        import pickle
+
+        pickle.loads(pickle.dumps(stand_in))
+
+
 class TestSessionCache:
     def test_replay_is_byte_identical_including_wall_time(self, tmp_path):
         specs = small_specs()

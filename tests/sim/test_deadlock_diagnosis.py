@@ -123,10 +123,13 @@ class TestEngineParity:
         ]
         for p in pkts:
             sim.send(p)
+        # detection at cycle 208: last flit move at cycle 8, watchdog
+        # fires on exactly the stall_limit-th (200th) stalled cycle (the
+        # seed engine fired one cycle later, at 209, off by one)
         assert _fingerprint(sim.run(max_cycles=5000), pkts) == {
-            "cycles": 209,
+            "cycles": 208,
             "delivered": [],
-            "deadlock": (209, (0, 1)),
+            "deadlock": (208, (0, 1)),
             "flit_moves": 104,
             "injected": 2,
             "in_flight": 2,

@@ -191,6 +191,33 @@ class TestFingerprintParity:
         assert fast.fingerprint() == legacy.fingerprint()
 
 
+class TestDeadlockDetectionParity:
+    """Regression for the idle fast-forward resetting ``_last_progress``:
+    a cycle skip must not push the watchdog baseline forward, so both
+    drivers report the *same* detection cycle and the same cyclic wait
+    (the seed fast path could detect a deadlock arbitrarily late)."""
+
+    def test_same_report_cycle_and_members(self):
+        reports = []
+        for legacy in (False, True):
+            packet_mod._packet_ids = itertools.count(1_000_000)
+            sim = make_sim(
+                legacy=legacy,
+                stall_limit=200,
+                fault=Fault.router((2, 0)),
+                detour_scheme=DetourScheme.NAIVE,
+            )
+            max_cycles = fig9_deadlock(sim)
+            res = sim.run(max_cycles=max_cycles)
+            assert res.deadlock is not None
+            reports.append(res.deadlock)
+        fast, legacy = reports
+        # last flit move at cycle 12 + the 200-cycle stall budget
+        assert fast.cycle == legacy.cycle == 212
+        assert fast.cycle_pids == legacy.cycle_pids
+        assert fast.blocked_pids == legacy.blocked_pids
+
+
 class TestFastForward:
     def test_idle_gaps_are_skipped(self):
         """The fast driver must step far fewer cycles than it simulates

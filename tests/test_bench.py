@@ -39,8 +39,8 @@ class TestSuite:
             assert case["cycles"] > 0
             assert case["delivered"] > 0
             assert not case["deadlocked"]
-            if "schemes" not in case:
-                # the shoot-out deliberately reports no wall rate (its
+            if "schemes" not in case and "legs" not in case:
+                # the shoot-outs deliberately report no wall rate (their
                 # latency legs are too short for one to be meaningful)
                 assert case["cycles_per_sec"] > 0
 
@@ -172,6 +172,46 @@ class TestSchemeShootoutCase:
         new["cases"]["scheme_shootout"]["schemes"]["dxb"]["delivered"] += 1
         regs = compare_bench(new, smoke_doc, threshold_pct=99)
         assert any(r.field == "schemes" for r in regs)
+
+
+class TestRecoveryShootoutCase:
+    """The avoidance-vs-recovery-vs-halt runner case on the Fig. 9
+    deadlock workload."""
+
+    def test_three_legs_with_expected_outcomes(self, smoke_doc):
+        legs = smoke_doc["cases"]["recovery_shootout"]["legs"]
+        assert sorted(legs) == ["avoidance", "halt", "recovery"]
+        av, rec, halt = legs["avoidance"], legs["recovery"], legs["halt"]
+        # safe detours: no deadlock, nothing to recover
+        assert not av["deadlocked"] and av["recoveries"] == 0
+        assert av["delivered"] == 4
+        # naive detours + recovery: full delivery via >=1 rotation
+        assert not rec["deadlocked"] and rec["recoveries"] >= 1
+        assert rec["delivered"] == 4 and rec["in_flight"] == 0
+        assert len(rec["victims"]) == rec["recoveries"]
+        # naive detours bare: the run halts with a report
+        assert halt["deadlocked"] and halt["deadlock_cycle"] is not None
+        assert halt["recoveries"] == 0 and halt["delivered"] == 0
+
+    def test_recovery_costs_cycles_but_saves_the_run(self, smoke_doc):
+        legs = smoke_doc["cases"]["recovery_shootout"]["legs"]
+        # the rotation detour is not free: the recovered run takes longer
+        # than avoidance, and longer than the halt took to give up
+        assert legs["recovery"]["cycles"] > legs["avoidance"]["cycles"]
+        assert legs["recovery"]["cycles"] > legs["halt"]["cycles"]
+
+    def test_identity_hash_present(self, smoke_doc):
+        case = smoke_doc["cases"]["recovery_shootout"]
+        assert len(case["identity_sha256"]) == 64
+        assert not case["deadlocked"]  # halt leg's report is by design
+
+    def test_leg_table_drift_is_a_regression(self, smoke_doc):
+        new = copy.deepcopy(smoke_doc)
+        new["cases"]["recovery_shootout"]["legs"]["recovery"][
+            "recoveries"
+        ] += 1
+        regs = compare_bench(new, smoke_doc, threshold_pct=99)
+        assert any(r.field == "legs" for r in regs)
 
 
 class TestBenchFiles:

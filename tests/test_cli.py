@@ -121,6 +121,16 @@ class TestCommands:
         assert rc == 0
         assert out.count("as the paper predicts") == 4
 
+    def test_figures_recovery(self, capsys):
+        """With --recovery the two by-design deadlocks (Figs. 5 and 9)
+        drain after online rotations; the safe scenarios are untouched."""
+        rc = main(["figures", "--recovery"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("deadlock broken online") == 2
+        assert out.count("as the paper predicts") == 2
+        assert "deadlock (" not in out
+
     def test_machine(self, capsys):
         rc = main(["machine", "--config", "SR2201/64"])
         out = capsys.readouterr().out
@@ -388,6 +398,51 @@ class TestReportCommand:
         live_table = live.split("Latency decomposition")[1].split("S-XB")[0]
         replay_table = replayed.split("Latency decomposition")[1].split("S-XB")[0]
         assert live_table == replay_table
+
+    def test_report_renders_recovery_actions_from_trace(
+        self, capsys, tmp_path
+    ):
+        """A recovered run's trace carries ``recovery`` records and the
+        report renders them as the recovery-actions table."""
+        from repro.core import (
+            Fault, Header, Packet, RC, SwitchLogic, make_config,
+        )
+        from repro.core.config import DetourScheme
+        from repro.obs import TraceRecorder
+        from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+        from repro.topology import MDCrossbar
+
+        shape = (4, 3)
+        cfg = make_config(
+            shape,
+            fault=Fault.router((2, 0)),
+            detour_scheme=DetourScheme.NAIVE,
+        )
+        sim = NetworkSimulator(
+            MDCrossbarAdapter(SwitchLogic(MDCrossbar(shape), cfg)),
+            SimConfig(stall_limit=200, recovery=True),
+        )
+        path = tmp_path / "recovered.jsonl"
+        with open(path, "w") as fh:
+            TraceRecorder(sink=fh).attach(sim)
+            sends = [
+                ((3, 2), (3, 2), RC.BROADCAST_REQUEST, 0),
+                ((0, 0), (2, 2), RC.NORMAL, 1),
+                ((1, 0), (3, 1), RC.NORMAL, 1),
+                ((0, 1), (1, 2), RC.NORMAL, 2),
+            ]
+            for src, dst, rc_bits, at in sends:
+                sim.send(
+                    Packet(Header(source=src, dest=dst, rc=rc_bits), length=6),
+                    at_cycle=at,
+                )
+            res = sim.run(max_cycles=20_000)
+        assert res.recoveries == 1 and res.deadlock is None
+        assert main(["report", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Deadlock recovery" in out
+        assert "1 recovery action(s)" in out
+        assert "victim pid" in out
 
     def test_report_from_trace_warns_on_malformed_tail(
         self, capsys, tmp_path
