@@ -51,7 +51,12 @@ from .traffic import BernoulliInjector, uniform
 #: schema 5: the ``recovery_shootout`` runner case -- VC avoidance vs
 #: online drain/rotate recovery vs halt-and-report on the Fig. 9
 #: deadlock workload (``legs``).
-BENCH_SCHEMA = 5
+#: schema 6: sweep-runtime telemetry -- ``sweep_fanout`` runs ledgered
+#: serial/chunked/cache-replay passes and carries the ledger-derived
+#: deterministic fields (``ledger_records``/``ledger_identity_sha256``)
+#: plus ``ledger_schema``; ``PointResult.to_dict()`` gained
+#: ``recoveries``, so every ``identity_sha256`` changed too.
+BENCH_SCHEMA = 6
 
 #: simulated quantities that must be bit-identical between runs of a case
 #: (compared only where present; runner cases carry a subset plus their
@@ -69,6 +74,8 @@ DETERMINISTIC_FIELDS = (
     "schemes",
     "legs",
     "identity_sha256",
+    "ledger_records",
+    "ledger_identity_sha256",
 )
 
 
@@ -185,10 +192,23 @@ def _run_sweep_fanout(repeats: int = 3) -> Dict:
     reproduce the serial reference byte-identically
     (:func:`repro.runtime.result_identity`); any drift raises.  Reported
     speedups are in-run ratios, machine-independent like
-    ``speedup_vs_legacy``."""
+    ``speedup_vs_legacy``.
+
+    The case also runs the batches once serial, once chunked and once as
+    a cache replay with a run ledger attached (untimed): the three
+    ledgers must strip to the same
+    :func:`~repro.obs.telemetry.ledger_identity`, and the stripped record
+    count plus identity hash ride in the bench doc as deterministic
+    fields (``ledger_records``/``ledger_identity_sha256``)."""
     import shutil
     import tempfile
 
+    from .obs.telemetry import (
+        LEDGER_SCHEMA_VERSION,
+        SweepLedger,
+        ledger_identity,
+        strip_ledger,
+    )
     from .runtime import (
         ProcessPoolExecutor as _SpecPool,
         ResultCache,
@@ -233,6 +253,16 @@ def _run_sweep_fanout(repeats: int = 3) -> Dict:
             lambda: [r for b in batches for r in session.run(b)],
         )
 
+    def ledgered_run(jobs, cache=None) -> SweepLedger:
+        ledger = SweepLedger()
+        with SweepSession(jobs=jobs, cache=cache, ledger=ledger) as s:
+            for batch in batches:
+                s.run(batch)
+        return ledger
+
+    serial_ledger = ledgered_run(None)
+    chunked_ledger = ledgered_run(SWEEP_FANOUT_JOBS)
+
     cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
     try:
         cache = ResultCache(cache_dir)
@@ -246,8 +276,20 @@ def _run_sweep_fanout(repeats: int = 3) -> Dict:
             raise AssertionError(
                 "sweep_fanout: cached leg was not fully served from cache"
             )
+        replay_ledger = ledgered_run(None, cache=cache)
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
+
+    ledger_sha = ledger_identity(serial_ledger.records)
+    if not (
+        ledger_sha
+        == ledger_identity(chunked_ledger.records)
+        == ledger_identity(replay_ledger.records)
+    ):
+        raise AssertionError(
+            "sweep_fanout: ledger identity drifted between the serial, "
+            "chunked and cache-replayed passes (telemetry determinism bug)"
+        )
 
     n = len(specs)
     total_cycles = sum(r.point.cycles for r in serial)
@@ -289,6 +331,9 @@ def _run_sweep_fanout(repeats: int = 3) -> Dict:
         "identity_sha256": hashlib.sha256(
             reference.encode("utf-8")
         ).hexdigest(),
+        "ledger_schema": LEDGER_SCHEMA_VERSION,
+        "ledger_records": len(strip_ledger(serial_ledger.records)),
+        "ledger_identity_sha256": ledger_sha,
     }
 
 
@@ -816,10 +861,11 @@ def load_bench(path: str) -> Dict:
         2,
         3,
         4,
+        5,
         BENCH_SCHEMA,
     ):
         raise ValueError(
-            f"{path} is not a schema-1/2/3/4/{BENCH_SCHEMA} bench file "
+            f"{path} is not a schema-1/2/3/4/5/{BENCH_SCHEMA} bench file "
             f"(kind={doc.get('kind')!r}, schema={doc.get('schema')!r})"
         )
     return doc
@@ -961,13 +1007,19 @@ def render_bench(doc: Dict) -> str:
                 )
             continue
         if "specs" in c:  # runner case (sweep_fanout); wall_time_s = warm leg
-            lines.append(
+            line = (
                 f"  {name:<18} {c['specs']:>6} specs  in {c['wall_time_s']:.3f}s "
                 f"({c['specs_per_sec_warm']:>8.1f} specs/s warm)  "
                 f"warm={c['warm_speedup']:.2f}x "
                 f"cached={c['cache_speedup']:.2f}x vs cold  "
                 f"delivered={c['delivered']}"
             )
+            if "ledger_records" in c:
+                line += (
+                    f" ledger={c['ledger_records']} rec "
+                    f"(schema {c['ledger_schema']})"
+                )
+            lines.append(line)
             continue
         line = (
             f"  {name:<18} {c['cycles']:>6} cycles in {c['wall_time_s']:.3f}s "

@@ -278,8 +278,10 @@ def parse_loads(text: str) -> List[float]:
 
 
 def cmd_sweep(args) -> int:
+    import contextlib
     import json as _json
 
+    from .obs import LiveDashboard, SweepLedger
     from .routing import resolve_scheme
     from .runtime import RunSpec, SweepSession, seed_replicas
 
@@ -312,14 +314,37 @@ def cmd_sweep(args) -> int:
         from .runtime import ResultCache
 
         cache = ResultCache(args.cache_dir)
-    with SweepSession(jobs=args.jobs, cache=cache) as session:
-        results = session.run(specs)
-    info = session.last_run
+    sink_cm = (
+        open(args.ledger, "w")
+        if args.ledger
+        else contextlib.nullcontext(None)
+    )
+    with sink_cm as sink:
+        # the ledger also feeds the --live dashboard's closing worker
+        # bars, so --live records one even without --ledger
+        ledger = (
+            SweepLedger(sink=sink) if (args.ledger or args.live) else None
+        )
+        dash = LiveDashboard(len(specs)) if args.live else None
+        with SweepSession(
+            jobs=args.jobs, cache=cache, ledger=ledger
+        ) as session:
+            results = session.run(
+                specs, progress=dash.progress if dash else None
+            )
+        info = session.last_run
+    if dash is not None:
+        dash.finish(ledger=ledger)
     # what actually ran (jobs<=1 and single-spec runs degrade to serial;
     # cached points never reach a worker): stderr, so --json stays pure
     print(f"ran {info.describe()}", file=sys.stderr)
     if cache is not None:
         print(cache.describe(), file=sys.stderr)
+    if args.ledger:
+        print(
+            f"ledger: {len(ledger)} record(s) -> {args.ledger}",
+            file=sys.stderr,
+        )
     if args.json:
         print(_json.dumps([r.to_dict() for r in results], indent=2))
     else:
@@ -399,6 +424,31 @@ def cmd_report(args) -> int:
         spans_from_trace,
     )
     from .obs.report import render_report
+
+    if args.sweep:
+        from .obs import read_ledger
+        from .obs.report import render_sweep_report
+
+        with open(args.sweep) as f:
+            header, records, malformed = read_ledger(f)
+        if malformed:
+            print(
+                f"warning: skipped {len(malformed)} malformed ledger "
+                f"line(s) (first: line {malformed[0]['line']}: "
+                f"{malformed[0]['error']})",
+                file=sys.stderr,
+            )
+        print(
+            render_sweep_report(
+                header,
+                records,
+                title=f"Sweep report: {args.sweep}",
+                fmt=args.format,
+                top=args.top,
+            ),
+            end="",
+        )
+        return 0
 
     if args.trace:
         with open(args.trace) as f:
@@ -765,6 +815,71 @@ def _doctor_obs() -> List[Tuple[str, bool]]:
     return checks
 
 
+def _doctor_telemetry() -> List[Tuple[str, bool]]:
+    """Sweep-telemetry health: ledger write/read round-trip and schema
+    echo on a tiny doctor-grid sweep, plus identity stability -- the same
+    sweep run twice must strip to the same ledger identity with no
+    runtime fields left behind."""
+    import io
+
+    from .obs import (
+        LEDGER_SCHEMA_VERSION,
+        RUNTIME_FIELDS,
+        SweepLedger,
+        ledger_identity,
+        read_ledger,
+        strip_ledger,
+    )
+    from .runtime import SweepSession, load_sweep_specs
+
+    specs = load_sweep_specs(
+        "md-crossbar",
+        (3, 3),
+        [0.05, 0.1],
+        seed=1,
+        warmup=20,
+        window=40,
+        drain=400,
+    )
+
+    def ledgered_run():
+        sink = io.StringIO()
+        with SweepSession(ledger=SweepLedger(sink=sink)) as session:
+            session.run(specs)
+        return sink.getvalue()
+
+    first, second = ledgered_run(), ledgered_run()
+    checks: List[Tuple[str, bool]] = []
+    header, records, malformed = read_ledger(first.splitlines())
+    checks.append(
+        (
+            f"telemetry: ledger roundtrip "
+            f"(schema {LEDGER_SCHEMA_VERSION} echoed)",
+            header is not None
+            and header.get("schema") == LEDGER_SCHEMA_VERSION
+            and not malformed
+            and sum(1 for r in records if r["kind"] == "spec_done")
+            == len(specs),
+        )
+    )
+    _, records2, _ = read_ledger(second.splitlines())
+    checks.append(
+        (
+            "telemetry: repeated sweep strips to the same identity",
+            ledger_identity(records) == ledger_identity(records2),
+        )
+    )
+    checks.append(
+        (
+            "telemetry: stripped records carry no runtime fields",
+            not any(
+                set(r) & RUNTIME_FIELDS for r in strip_ledger(records)
+            ),
+        )
+    )
+    return checks
+
+
 def _doctor_routing() -> List[Tuple[str, bool]]:
     """Routing-scheme health: every registered scheme must present an
     acyclic (channel, vc) dependency graph on its doctor grid."""
@@ -791,7 +906,7 @@ def cmd_doctor(args) -> int:
     print(f"self-check on {'x'.join(map(str, args.shape))}:")
     for line in report.rows():
         print(" ", line)
-    obs_checks = _doctor_obs() + _doctor_routing()
+    obs_checks = _doctor_obs() + _doctor_telemetry() + _doctor_routing()
     for name, ok in obs_checks:
         print(f"  {name}: {'ok' if ok else 'FAIL'}")
     healthy = report.healthy and all(ok for _, ok in obs_checks)
@@ -870,6 +985,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="attach the repro.obs collectors to every point and "
                         "report merged metrics")
+    p.add_argument("--ledger", metavar="PATH",
+                   help="write the schema-versioned JSONL run ledger "
+                        "(chunk plan, per-spec serve telemetry, cache "
+                        "tiers) to PATH; render it with "
+                        "'repro report --sweep PATH'")
+    p.add_argument("--live", action="store_true",
+                   help="live progress dashboard on stderr (specs/sec, "
+                        "ETA, deadlocks) with closing per-worker "
+                        "utilization bars")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -904,6 +1028,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_recovery(p)
     p.add_argument("--trace", help="render from a saved JSONL trace instead "
                                    "of running a simulation")
+    p.add_argument("--sweep", metavar="LEDGER",
+                   help="render a sweep-runtime report from a saved JSONL "
+                        "run ledger (see 'repro sweep --ledger') instead "
+                        "of running a simulation")
     p.add_argument("--load", type=float, default=0.2)
     p.add_argument("--pattern", default="uniform")
     p.add_argument("--packet-length", type=int, default=4)

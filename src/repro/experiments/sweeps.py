@@ -92,6 +92,7 @@ def run_load_point(
         latency=LatencyStats.from_packets(measured),
         deadlocked=res.deadlocked,
         cycles=res.cycles,
+        recoveries=res.recoveries,
     )
 
 
@@ -104,6 +105,7 @@ def sweep(
     executor=None,
     cache=None,
     progress=None,
+    ledger=None,
     seed: int = 1,
     stall_limit: int = 2000,
     scheme: str = "",
@@ -116,8 +118,10 @@ def sweep(
     over worker processes via :mod:`repro.runtime`; the default runs them
     serially in-process.  A ``cache``
     (:class:`~repro.runtime.cache.ResultCache`) replays already-known
-    points from disk, and ``progress(result, done, total)`` streams
-    completions; either routes the batch through a warm
+    points from disk, ``progress(result, done, total)`` streams
+    completions, and a ``ledger``
+    (:class:`~repro.obs.telemetry.SweepLedger`) records the run's
+    telemetry; any of them routes the batch through a warm
     :class:`~repro.runtime.session.SweepSession` -- scripts issuing many
     batches should hold a session themselves.  Ad-hoc pattern callables
     (hotspot/permutation closures) are not picklable and therefore always
@@ -157,7 +161,12 @@ def sweep(
         **kw,
     )
     results = run_specs(
-        specs, jobs=jobs, executor=executor, cache=cache, progress=progress
+        specs,
+        jobs=jobs,
+        executor=executor,
+        cache=cache,
+        progress=progress,
+        ledger=ledger,
     )
     return [r.point for r in results]
 

@@ -21,6 +21,11 @@ Five pieces:
 * :mod:`repro.obs.trace`      -- schema-versioned JSONL event tracing
   (the ``repro trace`` CLI subcommand writes these; spans can be
   rebuilt offline from a trace via :func:`spans_from_trace`);
+* :mod:`repro.obs.telemetry`  -- schema-versioned JSONL **run ledger**
+  for the sweep runtime (chunk plan, per-spec serving telemetry, cache
+  tiers, worker identity) plus the live ``sweep --live`` dashboard;
+  ``repro sweep --ledger`` writes one, ``repro report --sweep`` renders
+  it;
 * :mod:`repro.obs.report`     -- text/markdown rendering of the above
   (the ``repro report`` CLI subcommand).
 """
@@ -57,6 +62,22 @@ from .spans import (
     dor_base_transfer,
     merge_span_sets,
     spans_from_trace,
+)
+from .telemetry import (
+    CACHE_TIERS,
+    LEDGER_KINDS,
+    LEDGER_SCHEMA_VERSION,
+    READABLE_LEDGER_VERSIONS,
+    RUNTIME_FIELDS,
+    RUNTIME_KINDS,
+    LedgerData,
+    LiveDashboard,
+    SweepLedger,
+    ledger_identity,
+    read_ledger,
+    spec_outcome,
+    strip_ledger,
+    worker_names,
 )
 from .trace import (
     EVENT_KINDS,
@@ -102,4 +123,18 @@ __all__ = [
     "TraceData",
     "TraceRecorder",
     "read_trace",
+    "CACHE_TIERS",
+    "LEDGER_KINDS",
+    "LEDGER_SCHEMA_VERSION",
+    "READABLE_LEDGER_VERSIONS",
+    "RUNTIME_FIELDS",
+    "RUNTIME_KINDS",
+    "LedgerData",
+    "LiveDashboard",
+    "SweepLedger",
+    "ledger_identity",
+    "read_ledger",
+    "spec_outcome",
+    "strip_ledger",
+    "worker_names",
 ]

@@ -46,7 +46,11 @@ CACHE_SCHEMA = 1
 #:    fires one cycle earlier (detection cycles shifted) and
 #:    ``RunSpec.to_dict()`` gained the ``recovery`` flag, so no
 #:    pre-recovery entry may serve a post-recovery spec.
-CODE_VERSION = 3
+#: 4: sweep-runtime telemetry -- ``LoadPoint`` grew ``recoveries`` and
+#:    ``PointResult.to_dict()`` now emits it, so every result's canonical
+#:    form changed; cached pre-telemetry ``PointResult`` pickles would
+#:    also deserialize without the new field.
+CODE_VERSION = 4
 
 
 def spec_key(spec: RunSpec) -> str:

@@ -137,19 +137,21 @@ def run_specs(
     executor: Optional[Executor] = None,
     cache=None,
     progress=None,
+    ledger=None,
 ) -> List[PointResult]:
     """Run a batch of specs and return results in spec order.
 
     The executor is built from ``jobs`` unless given explicitly.  A
-    ``cache`` (:class:`~repro.runtime.cache.ResultCache`) or a
-    ``progress`` callback routes the batch through a one-shot
+    ``cache`` (:class:`~repro.runtime.cache.ResultCache`), a ``progress``
+    callback or a ``ledger`` (:class:`~repro.obs.telemetry.SweepLedger`)
+    routes the batch through a one-shot
     :class:`~repro.runtime.session.SweepSession` instead -- for repeated
     batches, hold a session yourself and keep its workers warm."""
     if executor is not None:
         return executor.run(specs)
-    if cache is not None or progress is not None:
+    if cache is not None or progress is not None or ledger is not None:
         from .session import SweepSession
 
-        with SweepSession(jobs=jobs, cache=cache) as session:
+        with SweepSession(jobs=jobs, cache=cache, ledger=ledger) as session:
             return session.run(specs, progress=progress)
     return make_executor(jobs).run(specs)

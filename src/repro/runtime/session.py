@@ -29,15 +29,37 @@ The runtime's determinism contract is unchanged: serial, chunked-parallel
 and cache-replayed runs of the same specs produce byte-identical results
 (``wall_time`` aside -- and a cache hit even preserves the *original*
 wall time, so a fully cached rerun's JSON is byte-identical too).
+
+A session can also keep a **run ledger**
+(:class:`~repro.obs.telemetry.SweepLedger`): pass ``ledger=`` (or assign
+:attr:`SweepSession.ledger` between runs) and every ``run()`` records its
+chunk plan, per-spec outcome and serving telemetry -- which cache tier
+served each spec (``result`` / ``reuse`` / ``fresh``), on which worker,
+with what wall/cpu time.  Worker-side timings ride back with the chunk
+results as plain picklable tuples and the per-spec records are written in
+spec order regardless of completion order, so the ledger inherits the
+determinism contract: serial, chunked and cache-replayed ledgers are
+identical after :func:`~repro.obs.telemetry.strip_ledger`.
 """
 
 from __future__ import annotations
 
 import concurrent.futures as _futures
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
+from time import perf_counter, process_time
+from typing import (
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from ..obs.telemetry import SweepLedger, spec_outcome
 from .cache import ResultCache
 from .executor import SpecExecutionError
 from .spec import PointResult, RunSpec
@@ -154,6 +176,36 @@ class _ChunkFailure(NamedTuple):
     cause: BaseException
 
 
+class _ChunkResult(NamedTuple):
+    """What a successful chunk ships back: the results plus the serving
+    telemetry measured where it happened (the worker process).  One
+    ``(wall_s, cpu_s, tier)`` triple per spec, in chunk order, so the
+    parent can merge timings into the ledger in deterministic spec order
+    without trusting completion order or re-measuring across the IPC
+    boundary."""
+
+    results: List[PointResult]
+    #: per-spec ``(wall_s, cpu_s, tier)``; tier is ``"fresh"`` (network
+    #: built for this spec) or ``"reuse"`` (served off the warm
+    #: :class:`NetworkCache`)
+    timings: List[Tuple[float, float, str]]
+    worker: int
+    wall_s: float
+    cpu_s: float
+
+
+class _ConsumerError(Exception):
+    """Wrapper distinguishing a parent-side consumer failure (the
+    ``progress`` callback or ``cache.put`` raising) from a worker/pool
+    failure inside :meth:`SweepSession._run_chunked`.  The workers are
+    healthy in this case, so the session cancels what is queued but keeps
+    the warm pool."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+
+
 def _picklable_cause(exc: BaseException) -> BaseException:
     """``exc`` if it survives a pickle round trip, else a plain
     ``RuntimeError`` carrying its repr and traceback.
@@ -183,18 +235,30 @@ def execute_chunk(specs: Sequence[RunSpec]):
     """Module-level chunk entry point (importable, hence picklable).
 
     Runs every spec on this process's warm :class:`NetworkCache` and
-    returns the :class:`PointResult` list -- or a :class:`_ChunkFailure`
-    for the first spec that raised (later specs in the chunk are not
+    returns a :class:`_ChunkResult` -- or a :class:`_ChunkFailure` for
+    the first spec that raised (later specs in the chunk are not
     attempted; sibling chunks are cancelled by the session).
     """
     networks = _networks()
+    chunk_t0, chunk_c0 = perf_counter(), process_time()
     out: List[PointResult] = []
+    timings: List[Tuple[float, float, str]] = []
     for i, spec in enumerate(specs):
+        t0, c0 = perf_counter(), process_time()
+        builds_before = networks.builds
         try:
             out.append(spec.execute(sim=networks.get(spec)))
         except Exception as exc:
             return _ChunkFailure(i, _picklable_cause(exc))
-    return out
+        tier = "fresh" if networks.builds > builds_before else "reuse"
+        timings.append((perf_counter() - t0, process_time() - c0, tier))
+    return _ChunkResult(
+        out,
+        timings,
+        os.getpid(),
+        perf_counter() - chunk_t0,
+        process_time() - chunk_c0,
+    )
 
 
 @dataclass(frozen=True)
@@ -204,7 +268,8 @@ class RunInfo:
     ``workers`` is the *effective* count -- degenerate inputs (one spec,
     ``jobs<=1``, everything served from cache) run serially no matter
     what was requested, and consumers report this number instead of
-    echoing ``--jobs``.
+    echoing ``--jobs``.  ``wall_s`` is the whole run's wall time, cache
+    scan included.
     """
 
     specs: int
@@ -212,6 +277,12 @@ class RunInfo:
     chunks: int
     cache_hits: int
     cache_misses: int
+    wall_s: float = 0.0
+
+    def hit_rate(self) -> float:
+        """Cache hits as a fraction of lookups (0.0 when uncached)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def describe(self) -> str:
         bits = [
@@ -221,7 +292,9 @@ class RunInfo:
         if self.cache_hits or self.cache_misses:
             bits.append(
                 f"{self.cache_hits} from cache, {self.cache_misses} simulated"
+                f" ({100.0 * self.hit_rate():.1f}% hit rate)"
             )
+        bits.append(f"{self.wall_s:.2f}s total")
         return ", ".join(bits)
 
 
@@ -244,9 +317,20 @@ class SweepSession:
     results stream in (completion order; the returned list is still
     merged in spec order).  Cache hits stream first.
 
+    ``ledger`` (a :class:`~repro.obs.telemetry.SweepLedger`, settable as
+    a plain attribute between runs) records session lifecycle, chunk
+    plan/dispatch/completion, and one ``spec_done`` per spec with its
+    outcome and serving telemetry -- written in spec order at the end of
+    each ``run()``, never in completion order.
+
     A failed run raises :class:`SpecExecutionError` naming the spec,
     cancels queued chunks, and discards the pool; the session itself
-    stays usable -- the next ``run()`` starts a fresh pool.
+    stays usable -- the next ``run()`` starts a fresh pool.  A *consumer*
+    failure -- the ``progress`` callback or ``cache.put`` raising in the
+    parent -- also cancels queued chunks and surfaces the error, but the
+    workers are healthy, so the warm pool is kept for the next run.
+    Either way a ledgered run that fails records a single ``sweep_error``
+    instead of its per-spec records.
     """
 
     def __init__(
@@ -255,6 +339,7 @@ class SweepSession:
         cache: Optional[ResultCache] = None,
         chunks_per_worker: int = CHUNKS_PER_WORKER,
         network_capacity: int = DEFAULT_NETWORK_CAPACITY,
+        ledger: Optional[SweepLedger] = None,
     ) -> None:
         if chunks_per_worker < 1:
             raise ValueError("chunks_per_worker must be >= 1")
@@ -262,9 +347,12 @@ class SweepSession:
         self.cache = cache
         self.chunks_per_worker = chunks_per_worker
         self.network_capacity = network_capacity
+        self.ledger = ledger
         self.last_run: Optional[RunInfo] = None
         self._pool: Optional[_futures.ProcessPoolExecutor] = None
         self._local_networks: Optional[NetworkCache] = None
+        self._runs = 0
+        self._announced: Optional[SweepLedger] = None
 
     # ------------------------------------------------------------ lifecycle
     def __enter__(self) -> "SweepSession":
@@ -276,6 +364,9 @@ class SweepSession:
 
     def close(self) -> None:
         """Shut the worker pool down (queued work is cancelled)."""
+        if self.ledger is not None and self._announced is self.ledger:
+            self.ledger.record("session_close", runs=self._runs)
+            self._announced = None
         self._discard_pool()
 
     def _discard_pool(self) -> None:
@@ -305,62 +396,161 @@ class SweepSession:
     ) -> List[PointResult]:
         specs = list(specs)
         total = len(specs)
+        run_t0 = perf_counter()
+        self._runs += 1
+        run_no = self._runs
+        ledger = self.ledger
+        if ledger is not None and self._announced is not ledger:
+            ledger.record(
+                "session_open",
+                jobs=self.jobs,
+                chunks_per_worker=self.chunks_per_worker,
+                network_capacity=self.network_capacity,
+                cache_enabled=self.cache is not None,
+            )
+            self._announced = ledger
+
         results: List[Optional[PointResult]] = [None] * total
+        #: per-spec serving telemetry, merged in spec order at the end
+        serve: List[Optional[Dict]] = [None] * total
         todo: List[int] = []
         if self.cache is not None:
             for i, spec in enumerate(specs):
+                t0, c0 = perf_counter(), process_time()
                 hit = self.cache.get(spec)
                 if hit is None:
                     todo.append(i)
                 else:
                     results[i] = hit
+                    serve[i] = {
+                        "cache": "result",
+                        "worker": None,
+                        "chunk": None,
+                        "wall_s": perf_counter() - t0,
+                        "cpu_s": process_time() - c0,
+                    }
         else:
             todo = list(range(total))
         hits = total - len(todo)
-        done = 0
-        if progress is not None:
-            for r in results:
-                if r is not None:
-                    done += 1
-                    progress(r, done, total)
 
         workers = self.effective_workers(len(todo))
         if not todo:
             chunks = 0
+            slices: List[Tuple[int, int]] = []
         elif workers <= 1:
             chunks = 1
-            done = self._run_serial(specs, todo, results, progress, done, total)
+            slices = []
         else:
             slices = chunk_indices(
                 len(todo), workers * self.chunks_per_worker
             )
             chunks = len(slices)
-            done = self._run_chunked(
-                specs, todo, slices, results, progress, done, total
+
+        if ledger is not None:
+            ledger.record(
+                "sweep_start",
+                run=run_no,
+                specs=total,
+                jobs=self.jobs,
+                workers=workers,
+                chunks=chunks,
+                chunk_sizes=[b - a for a, b in slices],
+                cache_enabled=self.cache is not None,
             )
 
+        chunk_events: List[Dict] = []
+        try:
+            done = 0
+            if progress is not None:
+                for r in results:
+                    if r is not None:
+                        done += 1
+                        progress(r, done, total)
+            if todo and workers <= 1:
+                self._run_serial(
+                    specs, todo, results, serve, progress, done, total
+                )
+            elif todo:
+                self._run_chunked(
+                    specs,
+                    todo,
+                    slices,
+                    results,
+                    serve,
+                    progress,
+                    done,
+                    total,
+                    run_no,
+                    chunk_events,
+                )
+        except BaseException as exc:
+            if ledger is not None:
+                ledger.record(
+                    "sweep_error",
+                    run=run_no,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            raise
+
+        wall = perf_counter() - run_t0
         self.last_run = RunInfo(
             specs=total,
             workers=workers,
             chunks=chunks,
             cache_hits=hits,
             cache_misses=len(todo) if self.cache is not None else 0,
+            wall_s=wall,
         )
         assert all(r is not None for r in results)
+        if ledger is not None:
+            deadlocked = recoveries = 0
+            for i, (result, how) in enumerate(zip(results, serve)):
+                outcome = spec_outcome(result)
+                deadlocked += bool(outcome["deadlocked"])
+                recoveries += outcome["recoveries"]
+                ledger.record(
+                    "spec_done", run=run_no, i=i, **outcome, **(how or {})
+                )
+            for ev in sorted(chunk_events, key=lambda e: e["chunk"]):
+                ledger.record("chunk_done", run=run_no, **ev)
+            ledger.record(
+                "sweep_end",
+                run=run_no,
+                specs=total,
+                deadlocked=deadlocked,
+                recoveries=recoveries,
+                workers=workers,
+                chunks=chunks,
+                cache_hits=hits,
+                cache_misses=len(todo) if self.cache is not None else 0,
+                wall_s=wall,
+            )
         return results  # type: ignore[return-value]
 
     def _run_serial(
-        self, specs, todo, results, progress, done, total
+        self, specs, todo, results, serve, progress, done, total
     ) -> int:
         if self._local_networks is None:
             self._local_networks = NetworkCache(self.network_capacity)
+        networks = self._local_networks
         for i in todo:
             spec = specs[i]
+            t0, c0 = perf_counter(), process_time()
+            builds_before = networks.builds
             try:
-                result = spec.execute(sim=self._local_networks.get(spec))
+                result = spec.execute(sim=networks.get(spec))
             except Exception as exc:
                 raise SpecExecutionError(spec, exc) from exc
             results[i] = result
+            serve[i] = {
+                "cache": (
+                    "fresh" if networks.builds > builds_before else "reuse"
+                ),
+                "worker": None,
+                "chunk": None,
+                "wall_s": perf_counter() - t0,
+                "cpu_s": process_time() - c0,
+            }
             if self.cache is not None:
                 self.cache.put(result)
             done += 1
@@ -369,32 +559,80 @@ class SweepSession:
         return done
 
     def _run_chunked(
-        self, specs, todo, slices, results, progress, done, total
+        self,
+        specs,
+        todo,
+        slices,
+        results,
+        serve,
+        progress,
+        done,
+        total,
+        run_no,
+        chunk_events,
     ) -> int:
         pool = self._ensure_pool()
         futures = {}
         try:
-            for a, b in slices:
+            for ci, (a, b) in enumerate(slices):
                 idxs = todo[a:b]
+                if self.ledger is not None:
+                    self.ledger.record(
+                        "chunk_dispatch",
+                        run=run_no,
+                        chunk=ci,
+                        specs=len(idxs),
+                        first=idxs[0],
+                        last=idxs[-1],
+                    )
                 fut = pool.submit(
                     execute_chunk, [specs[i] for i in idxs]
                 )
-                futures[fut] = idxs
+                futures[fut] = (ci, idxs)
             for fut in _futures.as_completed(futures):
                 payload = fut.result()
-                idxs = futures[fut]
+                ci, idxs = futures[fut]
                 if isinstance(payload, _ChunkFailure):
                     spec = specs[idxs[payload.index]]
                     raise SpecExecutionError(
                         spec, payload.cause
                     ) from payload.cause
-                for i, result in zip(idxs, payload):
+                chunk_events.append(
+                    {
+                        "chunk": ci,
+                        "specs": len(idxs),
+                        "worker": payload.worker,
+                        "wall_s": payload.wall_s,
+                        "cpu_s": payload.cpu_s,
+                    }
+                )
+                for i, result, timing in zip(
+                    idxs, payload.results, payload.timings
+                ):
                     results[i] = result
-                    if self.cache is not None:
-                        self.cache.put(result)
+                    serve[i] = {
+                        "cache": timing[2],
+                        "worker": payload.worker,
+                        "chunk": ci,
+                        "wall_s": timing[0],
+                        "cpu_s": timing[1],
+                    }
                     done += 1
-                    if progress is not None:
-                        progress(result, done, total)
+                    try:
+                        if self.cache is not None:
+                            self.cache.put(result)
+                        if progress is not None:
+                            progress(result, done, total)
+                    except BaseException as exc:
+                        raise _ConsumerError(exc) from exc
+        except _ConsumerError as wrapper:
+            # the parent-side consumer (progress callback / cache.put)
+            # failed; the workers are fine.  Cancel what is still queued
+            # and surface the original error, but keep the warm pool --
+            # the session stays immediately reusable.
+            for f in futures:
+                f.cancel()
+            raise wrapper.cause
         except BaseException:
             # a dead worker (BrokenProcessPool) or a failing spec poisons
             # in-flight chunks: cancel what is queued, drop the pool, and

@@ -222,6 +222,7 @@ class PointResult:
             },
             "deadlocked": self.point.deadlocked,
             "cycles": self.point.cycles,
+            "recoveries": self.point.recoveries,
             "wall_time": self.wall_time,
         }
         if self.metrics is not None:

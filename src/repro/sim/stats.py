@@ -109,17 +109,30 @@ def top_utilized_channels(
 
 @dataclass
 class LoadPoint:
-    """One point of a latency-versus-offered-load curve."""
+    """One point of a latency-versus-offered-load curve.
+
+    ``recoveries`` counts online deadlock-recovery rotations the run
+    performed (0 unless the engine ran with ``recovery=True`` and its
+    watchdog fired) -- surfaced here so sweep-scale consumers (the run
+    ledger, ``repro report --sweep``) see rotation counts without
+    re-running points.
+    """
 
     offered_load: float
     accepted_load: float
     latency: LatencyStats
     deadlocked: bool
     cycles: int
+    recoveries: int = 0
 
     def row(self) -> str:
         return (
             f"load={self.offered_load:5.3f} accepted={self.accepted_load:5.3f} "
             f"{self.latency.row()}"
             + ("  [DEADLOCK]" if self.deadlocked else "")
+            + (
+                f"  [{self.recoveries} recovery rotation(s)]"
+                if self.recoveries
+                else ""
+            )
         )

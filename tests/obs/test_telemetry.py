@@ -1,0 +1,303 @@
+"""The sweep-runtime run ledger: schema-versioned JSONL writing, the
+tolerant reader, the identity projection (strip wall/placement fields),
+and the live dashboard's pure-rendering pieces."""
+
+import io
+import json
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.telemetry import (
+    CACHE_TIERS,
+    LEDGER_KINDS,
+    LEDGER_SCHEMA_VERSION,
+    READABLE_LEDGER_VERSIONS,
+    RUNTIME_FIELDS,
+    RUNTIME_KINDS,
+    LiveDashboard,
+    SweepLedger,
+    _spec_label,
+    ledger_identity,
+    read_ledger,
+    spec_outcome,
+    strip_ledger,
+    worker_names,
+)
+
+
+def fake_result(mean=11.5, count=6, deadlocked=False, recoveries=0):
+    """Duck-typed PointResult stand-in: telemetry must not need the
+    runtime layer."""
+    return SimpleNamespace(
+        spec=SimpleNamespace(
+            to_dict=lambda: {"kind": "md-crossbar", "shape": [3, 3],
+                             "load": 0.1, "seed": 1}
+        ),
+        point=SimpleNamespace(
+            latency=SimpleNamespace(count=count, mean=mean),
+            cycles=810,
+            deadlocked=deadlocked,
+            recoveries=recoveries,
+        ),
+        wall_time=0.0042,
+    )
+
+
+class TestSweepLedger:
+    def test_header_is_written_first(self):
+        sink = io.StringIO()
+        ledger = SweepLedger(sink=sink)
+        ledger.record("sweep_start", run=1, specs=2)
+        lines = sink.getvalue().splitlines()
+        assert json.loads(lines[0]) == {
+            "kind": "ledger_header",
+            "schema": LEDGER_SCHEMA_VERSION,
+        }
+        assert json.loads(lines[1])["kind"] == "sweep_start"
+
+    def test_records_buffer_without_a_sink(self):
+        ledger = SweepLedger()
+        ledger.record("sweep_start", run=1, specs=2)
+        ledger.record("sweep_end", run=1, specs=2)
+        assert len(ledger) == 3  # header + 2
+        assert [r["kind"] for r in ledger.of_kind("sweep_end")] == [
+            "sweep_end"
+        ]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown ledger record kind"):
+            SweepLedger().record("made_up_kind")
+
+    def test_limit_bounds_the_buffer(self):
+        ledger = SweepLedger(limit=3)
+        for i in range(10):
+            ledger.record("spec_done", i=i)
+        assert len(ledger.records) == 3
+        assert [r["i"] for r in ledger.records] == [7, 8, 9]
+
+    def test_every_runtime_kind_is_a_ledger_kind(self):
+        assert RUNTIME_KINDS <= set(LEDGER_KINDS)
+        assert LEDGER_SCHEMA_VERSION in READABLE_LEDGER_VERSIONS
+
+
+class TestReadLedger:
+    def write_sample(self):
+        sink = io.StringIO()
+        ledger = SweepLedger(sink=sink)
+        ledger.record("sweep_start", run=1, specs=1)
+        ledger.record("spec_done", run=1, i=0, cycles=7)
+        ledger.record("sweep_end", run=1, specs=1)
+        return sink.getvalue()
+
+    def test_roundtrip(self):
+        header, records, malformed = read_ledger(
+            self.write_sample().splitlines()
+        )
+        assert header["schema"] == LEDGER_SCHEMA_VERSION
+        assert [r["kind"] for r in records] == [
+            "sweep_start",
+            "spec_done",
+            "sweep_end",
+        ]
+        assert malformed == []
+
+    def test_blank_lines_are_skipped(self):
+        text = "\n" + self.write_sample() + "\n\n"
+        _, records, malformed = read_ledger(text.splitlines())
+        assert len(records) == 3 and not malformed
+
+    def test_truncated_tail_is_tolerated_and_reported(self):
+        lines = self.write_sample().splitlines() + ['{"kind": "spec_do']
+        _, records, malformed = read_ledger(lines)
+        assert len(records) == 3
+        assert len(malformed) == 1
+        assert malformed[0]["line"] == 5
+        assert "spec_do" in malformed[0]["text"]
+
+    def test_strict_mode_raises_on_malformed(self):
+        lines = self.write_sample().splitlines() + ["not json"]
+        with pytest.raises(ValueError, match="line 5"):
+            read_ledger(lines, strict=True)
+
+    def test_non_object_line(self):
+        lines = self.write_sample().splitlines() + ["[1, 2]"]
+        _, records, malformed = read_ledger(lines)
+        assert len(malformed) == 1
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_ledger(lines, strict=True)
+
+    def test_unknown_schema_always_raises(self):
+        lines = ['{"kind": "ledger_header", "schema": 999}']
+        with pytest.raises(ValueError, match="999"):
+            read_ledger(lines)
+
+    def test_unknown_record_kinds_pass_through(self):
+        """A newer writer's extra vocabulary must not break this reader."""
+        lines = self.write_sample().splitlines() + [
+            '{"kind": "from_the_future", "x": 1}'
+        ]
+        _, records, malformed = read_ledger(lines)
+        assert not malformed
+        assert records[-1] == {"kind": "from_the_future", "x": 1}
+
+
+class TestStripAndIdentity:
+    def sample_records(self, wall=0.5, worker=111, tier="fresh"):
+        return [
+            {"kind": "session_open", "jobs": 2},
+            {"kind": "sweep_start", "run": 1, "specs": 1, "jobs": 2,
+             "workers": 2, "chunks": 3, "chunk_sizes": [1], "cache_enabled": True},
+            {"kind": "chunk_dispatch", "run": 1, "chunk": 0},
+            {"kind": "spec_done", "run": 1, "i": 0, "cycles": 7,
+             "deadlocked": False, "recoveries": 0, "wall_s": wall,
+             "cpu_s": wall, "wall_time": wall, "worker": worker,
+             "chunk": 0, "cache": tier},
+            {"kind": "chunk_done", "run": 1, "chunk": 0, "wall_s": wall},
+            {"kind": "sweep_end", "run": 1, "specs": 1, "deadlocked": 0,
+             "recoveries": 0, "workers": 2, "chunks": 3, "cache_hits": 0,
+             "cache_misses": 1, "wall_s": wall},
+            {"kind": "session_close", "runs": 1},
+        ]
+
+    def test_strip_drops_runtime_kinds_and_fields(self):
+        stripped = strip_ledger(self.sample_records())
+        assert [r["kind"] for r in stripped] == [
+            "sweep_start",
+            "spec_done",
+            "sweep_end",
+        ]
+        for rec in stripped:
+            assert not set(rec) & RUNTIME_FIELDS
+        assert stripped[1] == {
+            "kind": "spec_done",
+            "i": 0,
+            "cycles": 7,
+            "deadlocked": False,
+            "recoveries": 0,
+        }
+
+    def test_identity_ignores_runtime_noise(self):
+        a = self.sample_records(wall=0.5, worker=111, tier="fresh")
+        b = self.sample_records(wall=9.9, worker=222, tier="result")
+        assert ledger_identity(a) == ledger_identity(b)
+
+    def test_identity_sees_outcome_changes(self):
+        a = self.sample_records()
+        b = self.sample_records()
+        b[3]["cycles"] = 8
+        assert ledger_identity(a) != ledger_identity(b)
+
+    def test_identity_sees_order(self):
+        a = self.sample_records()
+        b = list(reversed(self.sample_records()))
+        assert ledger_identity(a) != ledger_identity(b)
+
+
+class TestSpecOutcome:
+    def test_outcome_fields(self):
+        out = spec_outcome(fake_result())
+        assert out["cycles"] == 810
+        assert out["delivered"] == 6
+        assert out["mean_latency"] == 11.5
+        assert out["deadlocked"] is False
+        assert out["recoveries"] == 0
+        assert out["wall_time"] == 0.0042
+        assert out["spec"]["kind"] == "md-crossbar"
+
+    def test_nan_mean_becomes_none(self):
+        """LatencyStats uses NaN sentinels on empty windows; the ledger
+        must stay strict-JSON safe."""
+        out = spec_outcome(fake_result(mean=float("nan"), count=0))
+        assert out["mean_latency"] is None
+        json.loads(json.dumps(out))  # round-trips as strict JSON
+
+    def test_missing_recoveries_defaults_to_zero(self):
+        result = fake_result()
+        del result.point.recoveries
+        assert spec_outcome(result)["recoveries"] == 0
+
+
+class TestWorkerNames:
+    def test_dense_names_by_first_appearance(self):
+        records = [
+            {"kind": "spec_done", "worker": 4711},
+            {"kind": "spec_done", "worker": None},
+            {"kind": "spec_done", "worker": 1234},
+            {"kind": "spec_done", "worker": 4711},
+            {"kind": "chunk_done", "worker": 9999},  # not a spec_done
+        ]
+        names = worker_names(records)
+        assert names == {4711: "w0", None: "main", 1234: "w2"}
+
+
+class TestSpecLabel:
+    def test_label_contents(self):
+        label = _spec_label(
+            {"kind": "md-crossbar", "shape": [4, 3], "load": 0.1,
+             "seed": 7, "faults": ["R(1,1)"], "label": "fig9"}
+        )
+        assert "md-crossbar 4x3" in label
+        assert "load=0.1" in label
+        assert "seed=7" in label
+        assert "faults=1" in label
+        assert "[fig9]" in label
+
+
+class TestLiveDashboard:
+    def test_non_tty_writes_milestones(self):
+        stream = io.StringIO()  # no isatty -> treated as non-TTY
+        dash = LiveDashboard(total=4, stream=stream)
+        for done in range(1, 5):
+            dash.progress(fake_result(), done, 4)
+        out = stream.getvalue()
+        assert "4/4" in out
+        assert "specs/s" in out
+        # milestone lines, not one per spec redraw storm
+        assert out.count("\r") == 0
+
+    def test_status_line_counts_trouble(self):
+        dash = LiveDashboard(total=2, stream=io.StringIO())
+        dash.progress(fake_result(deadlocked=True, recoveries=2), 1, 2)
+        line = dash.status_line()
+        assert "1 deadlocked" in line
+        assert "2 rotation(s)" in line
+
+    def test_finish_renders_info_and_worker_bars(self):
+        stream = io.StringIO()
+        dash = LiveDashboard(total=1, stream=stream)
+        ledger = SweepLedger()
+        ledger.record(
+            "spec_done", i=0, worker=4711, wall_s=0.25, cache="fresh"
+        )
+        info = SimpleNamespace(describe=lambda: "1 spec(s) described")
+        dash.finish(info, ledger)
+        out = stream.getvalue()
+        assert "ran 1 spec(s) described" in out
+        assert "w0" in out
+        assert "cache tiers:" in out
+        for tier in CACHE_TIERS:
+            assert tier in out
+
+    def test_worker_lines_aggregate_by_worker(self):
+        records = [
+            {"kind": "spec_done", "worker": 1, "wall_s": 0.2, "cache": "fresh"},
+            {"kind": "spec_done", "worker": 1, "wall_s": 0.2, "cache": "reuse"},
+            {"kind": "spec_done", "worker": 2, "wall_s": 0.1, "cache": "result"},
+        ]
+        lines = LiveDashboard.worker_lines(records)
+        assert len(lines) == 3  # two workers + the tier summary
+        assert "2 spec(s)" in lines[0]
+        assert "1 fresh" in lines[-1]
+        assert "1 reuse" in lines[-1]
+        assert "1 result" in lines[-1]
+
+    def test_worker_lines_empty_without_specs(self):
+        assert LiveDashboard.worker_lines([]) == []
+
+    def test_eta_is_finite_once_moving(self):
+        dash = LiveDashboard(total=10, stream=io.StringIO())
+        dash.progress(fake_result(), 5, 10)
+        assert "ETA" in dash.status_line()
+        assert not math.isinf(5 / max(dash.done, 1))

@@ -195,6 +195,80 @@ class TestSessionFailure:
                 session.run([self.crashing_spec()])
 
 
+class TestProgressFailure:
+    """A consumer (progress callback) that raises mid-sweep must surface
+    its error and cancel queued chunks WITHOUT discarding the warm pool:
+    the workers did nothing wrong, and the session must stay immediately
+    reusable."""
+
+    def test_raising_progress_keeps_the_warm_pool(self):
+        specs = small_specs()
+        boom = RuntimeError("consumer exploded")
+
+        def bad_progress(result, done, total):
+            raise boom
+
+        with SweepSession(jobs=2) as session:
+            session.run(specs)  # spin the pool up
+            pool_before = session._pool
+            assert pool_before is not None
+            with pytest.raises(RuntimeError) as err:
+                session.run(specs, progress=bad_progress)
+            assert err.value is boom
+            # the pool survived the consumer failure...
+            assert session._pool is pool_before
+            # ...and the session runs again without respawning workers
+            results = session.run(specs)
+            assert [r.spec for r in results] == specs
+            assert session._pool is pool_before
+
+    def test_raising_progress_in_serial_run_surfaces(self):
+        boom = ValueError("serial consumer exploded")
+        with SweepSession() as session:
+            with pytest.raises(ValueError) as err:
+                session.run(
+                    small_specs(), progress=lambda r, d, t: (_ for _ in ()).throw(boom)
+                )
+            assert err.value is boom
+            # serial runs hold no pool; the session stays usable
+            results = session.run(small_specs())
+            assert len(results) == len(small_specs())
+
+    def test_worker_failure_still_discards_the_pool(self):
+        """The distinction matters: a *worker* failure may have poisoned
+        the pool, so that path still drops it."""
+        bad = RunSpec(kind="no-such-network", load=0.1, **FAST)
+        with SweepSession(jobs=2) as session:
+            session.run(small_specs())
+            pool_before = session._pool
+            with pytest.raises(SpecExecutionError):
+                session.run(small_specs()[:1] + [bad] * 3)
+            assert session._pool is not pool_before
+
+
+class TestRunInfo:
+    def test_describe_reports_hit_rate_and_wall(self, tmp_path):
+        specs = small_specs()
+        cache = ResultCache(str(tmp_path / "cache"))
+        with SweepSession(cache=cache) as session:
+            session.run(specs[:2])
+            session.run(specs)
+        text = session.last_run.describe()
+        assert "2 from cache, 2 simulated" in text
+        assert "(50.0% hit rate)" in text
+        assert text.endswith("s total")
+        assert session.last_run.wall_s > 0
+        assert session.last_run.hit_rate() == 0.5
+
+    def test_describe_without_cache_skips_hit_rate(self):
+        with SweepSession() as session:
+            session.run(small_specs()[:1])
+        text = session.last_run.describe()
+        assert "hit rate" not in text
+        assert "1 spec(s) on 1 worker(s) in 1 chunk(s)" in text
+        assert session.last_run.hit_rate() == 0.0
+
+
 class TestPicklableCause:
     """The chunk workers ship their failure back through a pickle; an
     exception that cannot cross the process boundary must be sanitized,
@@ -227,6 +301,116 @@ class TestPicklableCause:
         import pickle
 
         pickle.loads(pickle.dumps(stand_in))
+
+
+class TestSessionLedger:
+    """The run ledger inherits the runtime's determinism contract:
+    serial, chunked and cache-replayed runs of the same specs strip to
+    byte-identical records (wall/cpu/placement fields excluded, exactly
+    like ``result_identity`` excludes ``wall_time``)."""
+
+    def ledgered_run(self, specs, jobs=None, cache=None):
+        from repro.obs import SweepLedger
+
+        ledger = SweepLedger()
+        with SweepSession(jobs=jobs, cache=cache, ledger=ledger) as s:
+            s.run(specs)
+        return ledger
+
+    def test_serial_chunked_and_cached_strip_identically(self, tmp_path):
+        from repro.obs import ledger_identity, strip_ledger
+
+        specs = small_specs()
+        serial = self.ledgered_run(specs)
+        chunked = self.ledgered_run(specs, jobs=2)
+        cache = ResultCache(str(tmp_path / "cache"))
+        self.ledgered_run(specs, jobs=2, cache=cache)  # populate
+        replayed = self.ledgered_run(specs, cache=cache)
+
+        assert (
+            strip_ledger(serial.records)
+            == strip_ledger(chunked.records)
+            == strip_ledger(replayed.records)
+        )
+        assert (
+            ledger_identity(serial.records)
+            == ledger_identity(chunked.records)
+            == ledger_identity(replayed.records)
+        )
+
+    def test_same_sweep_twice_yields_identical_ledgers(self):
+        from repro.obs import ledger_identity
+
+        specs = small_specs()
+        first = self.ledgered_run(specs, jobs=2)
+        second = self.ledgered_run(specs, jobs=2)
+        assert ledger_identity(first.records) == ledger_identity(
+            second.records
+        )
+
+    def test_spec_done_records_are_in_spec_order(self):
+        specs = small_specs()
+        ledger = self.ledgered_run(specs, jobs=2)
+        done = ledger.of_kind("spec_done")
+        assert [r["i"] for r in done] == list(range(len(specs)))
+        assert [r["spec"] for r in done] == [s.to_dict() for s in specs]
+
+    def test_ledger_records_tiers_and_lifecycle(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        specs = small_specs()
+        populate = self.ledgered_run(specs, jobs=2, cache=cache)
+        tiers = [r["cache"] for r in populate.of_kind("spec_done")]
+        assert set(tiers) <= {"fresh", "reuse"}
+        assert "fresh" in tiers
+        replay = self.ledgered_run(specs, cache=cache)
+        assert [
+            r["cache"] for r in replay.of_kind("spec_done")
+        ] == ["result"] * len(specs)
+        for led in (populate, replay):
+            assert len(led.of_kind("session_open")) == 1
+            assert len(led.of_kind("session_close")) == 1
+            assert len(led.of_kind("sweep_start")) == 1
+            end = led.of_kind("sweep_end")
+            assert len(end) == 1 and end[0]["specs"] == len(specs)
+        # chunked dispatch shows up only where chunks actually ran
+        assert populate.of_kind("chunk_dispatch")
+        assert not replay.of_kind("chunk_dispatch")
+
+    def test_failed_run_records_sweep_error_not_spec_done(self):
+        from repro.obs import SweepLedger
+
+        bad = RunSpec(kind="no-such-network", load=0.1, **FAST)
+        ledger = SweepLedger()
+        with SweepSession(jobs=2, ledger=ledger) as session:
+            with pytest.raises(SpecExecutionError):
+                session.run(small_specs() + [bad])
+        errors = ledger.of_kind("sweep_error")
+        assert len(errors) == 1
+        assert "no-such-network" in errors[0]["error"]
+        assert not ledger.of_kind("spec_done")
+        assert not ledger.of_kind("sweep_end")
+
+    def test_ledger_attachable_between_runs(self):
+        from repro.obs import SweepLedger
+
+        specs = small_specs()[:2]
+        with SweepSession() as session:
+            session.run(specs)  # unledgered
+            ledger = SweepLedger()
+            session.ledger = ledger
+            session.run(specs)
+        assert len(ledger.of_kind("session_open")) == 1
+        assert len(ledger.of_kind("spec_done")) == len(specs)
+        assert ledger.of_kind("session_close")[0]["runs"] == 2
+
+    def test_run_specs_front_door_takes_a_ledger(self):
+        from repro.obs import SweepLedger
+
+        specs = small_specs()[:2]
+        ledger = SweepLedger()
+        results = run_specs(specs, ledger=ledger)
+        assert [r.spec for r in results] == specs
+        assert len(ledger.of_kind("spec_done")) == len(specs)
 
 
 class TestSessionCache:

@@ -137,6 +137,33 @@ class TestSweepFanoutCase:
         regs = compare_bench(new, smoke_doc, threshold_pct=99)
         assert any(r.field == "identity_sha256" for r in regs)
 
+    def test_ledger_fields_present(self, smoke_doc):
+        from repro.obs import LEDGER_SCHEMA_VERSION
+
+        sf = smoke_doc["cases"]["sweep_fanout"]
+        assert sf["ledger_schema"] == LEDGER_SCHEMA_VERSION
+        assert sf["ledger_records"] > sf["specs"]  # spec_done + envelopes
+        assert len(sf["ledger_identity_sha256"]) == 64
+
+    def test_ledger_identity_drift_is_a_regression(self, smoke_doc):
+        new = copy.deepcopy(smoke_doc)
+        new["cases"]["sweep_fanout"]["ledger_identity_sha256"] = "f" * 64
+        regs = compare_bench(new, smoke_doc, threshold_pct=99)
+        assert any(r.field == "ledger_identity_sha256" for r in regs)
+
+    def test_schema5_baseline_without_ledger_fields_still_gates(
+        self, smoke_doc
+    ):
+        """A pre-ledger baseline has no ledger fields: compare must not
+        fault on their absence (the deterministic gate only fires on
+        fields the baseline carries)."""
+        old = copy.deepcopy(smoke_doc)
+        old["schema"] = 5
+        for f in ("ledger_schema", "ledger_records",
+                  "ledger_identity_sha256"):
+            old["cases"]["sweep_fanout"].pop(f)
+        assert compare_bench(smoke_doc, old, threshold_pct=99) == []
+
 
 class TestSchemeShootoutCase:
     """The cross-scheme runner case: one deterministic table over every

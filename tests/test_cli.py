@@ -318,6 +318,68 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "result_cache.hits" in out
 
+    def test_sweep_reports_hit_rate_and_wall(self, tmp_path, capsys):
+        argv = ["sweep", "--loads", "0.05,0.15", "--cache",
+                "--cache-dir", str(tmp_path / "cache"), *SWEEP_FAST]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "2 from cache, 0 simulated (100.0% hit rate)" in err
+        assert "s total" in err
+
+    def test_sweep_writes_a_readable_ledger(self, tmp_path, capsys):
+        from repro.obs import LEDGER_SCHEMA_VERSION, read_ledger
+
+        path = tmp_path / "led.jsonl"
+        argv = ["sweep", "--loads", "0.05,0.15", "--jobs", "2",
+                "--ledger", str(path), *SWEEP_FAST]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert f"-> {path}" in err
+        with open(path) as fh:
+            header, records, malformed = read_ledger(fh)
+        assert header["schema"] == LEDGER_SCHEMA_VERSION
+        assert malformed == []
+        done = [r for r in records if r["kind"] == "spec_done"]
+        assert [r["i"] for r in done] == [0, 1]
+        assert [r["kind"] for r in records if r["kind"] == "sweep_end"]
+
+    def test_sweep_ledger_is_wall_stripped_deterministic(
+        self, tmp_path, capsys
+    ):
+        """The CI ledger smoke in code form: the same sweep twice (and
+        once more serially) strips to the same identity."""
+        from repro.obs import ledger_identity, read_ledger
+
+        def identity(path, argv):
+            assert main(argv + ["--ledger", str(path)]) == 0
+            capsys.readouterr()
+            with open(path) as fh:
+                _, records, _ = read_ledger(fh)
+            return ledger_identity(records)
+
+        argv = ["sweep", "--loads", "0.05,0.15", *SWEEP_FAST]
+        a = identity(tmp_path / "a.jsonl", argv + ["--jobs", "2"])
+        b = identity(tmp_path / "b.jsonl", argv + ["--jobs", "2"])
+        c = identity(tmp_path / "c.jsonl", argv)
+        assert a == b == c
+
+    def test_sweep_live_dashboard_on_stderr(self, capsys):
+        rc = main(["sweep", "--loads", "0.05,0.15", "--live", *SWEEP_FAST])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "specs/s" in captured.err
+        assert "cache tiers:" in captured.err
+        assert "specs/s" not in captured.out  # stdout stays a clean table
+
+    def test_sweep_live_json_stdout_stays_pure(self, capsys):
+        rc = main(["sweep", "--loads", "0.05,0.15", "--live", "--json",
+                   *SWEEP_FAST])
+        captured = capsys.readouterr()
+        assert rc == 0
+        json.loads(captured.out)
+
 
 class TestTraceCommand:
     def test_trace_stdout_is_jsonl(self, capsys):
@@ -459,6 +521,47 @@ class TestReportCommand:
         assert "skipped 1 malformed trace line" in captured.err
         assert "Latency decomposition" in captured.out
 
+    def test_report_from_sweep_ledger(self, capsys, tmp_path):
+        path = tmp_path / "led.jsonl"
+        assert main(["sweep", "--loads", "0.05,0.15", "--jobs", "2",
+                     "--ledger", str(path), *SWEEP_FAST]) == 0
+        capsys.readouterr()
+        rc = main(["report", "--sweep", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Sweep report" in out
+        assert "Cache traffic" in out
+        assert "Stragglers" in out
+        assert "Chunk balance" in out
+        assert "Workers" in out
+        assert "Deadlocks and recovery" in out
+
+    def test_report_from_sweep_ledger_markdown(self, capsys, tmp_path):
+        path = tmp_path / "led.jsonl"
+        assert main(["sweep", "--loads", "0.05",
+                     "--ledger", str(path), *SWEEP_FAST]) == 0
+        capsys.readouterr()
+        rc = main(["report", "--sweep", str(path), "--format", "md"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.startswith("# Sweep report")
+        assert "## Stragglers" in out
+
+    def test_report_from_sweep_warns_on_malformed_tail(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "led.jsonl"
+        assert main(["sweep", "--loads", "0.05",
+                     "--ledger", str(path), *SWEEP_FAST]) == 0
+        capsys.readouterr()
+        with open(path, "a") as fh:
+            fh.write('{"kind": "spec_do')  # truncated tail
+        rc = main(["report", "--sweep", str(path)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "skipped 1 malformed ledger line" in captured.err
+        assert "Sweep report" in captured.out
+
 
 class TestDoctorObsChecks:
     def test_doctor_reports_obs_health(self, capsys):
@@ -470,3 +573,13 @@ class TestDoctorObsChecks:
         assert "obs: trace replay matches the live span totals: ok" in out
         assert "obs: truncated tail line is skipped+reported: ok" in out
         assert out.rstrip().endswith("healthy")
+
+    def test_doctor_reports_telemetry_health(self, capsys):
+        rc = main(["doctor", "--shape", "3x3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "telemetry: ledger roundtrip (schema" in out
+        assert (
+            "telemetry: repeated sweep strips to the same identity: ok" in out
+        )
+        assert "telemetry: stripped records carry no runtime fields: ok" in out
