@@ -56,7 +56,11 @@ from .traffic import BernoulliInjector, uniform
 #: deterministic fields (``ledger_records``/``ledger_identity_sha256``)
 #: plus ``ledger_schema``; ``PointResult.to_dict()`` gained
 #: ``recoveries``, so every ``identity_sha256`` changed too.
-BENCH_SCHEMA = 6
+#: schema 7: the ``machine_2048`` runner case -- the full 16x16x8
+#: SR2201 machine under the batched SoA engine vs the active driver
+#: (``speedup_vs_active``/``soa_drift``/``engine_used``), with a
+#: faulted detour leg riding in the identity hash.
+BENCH_SCHEMA = 7
 
 #: simulated quantities that must be bit-identical between runs of a case
 #: (compared only where present; runner cases carry a subset plus their
@@ -76,6 +80,7 @@ DETERMINISTIC_FIELDS = (
     "identity_sha256",
     "ledger_records",
     "ledger_identity_sha256",
+    "engine_used",
 )
 
 
@@ -89,6 +94,11 @@ class BenchCase(NamedTuple):
     #: sweep_fanout case times whole sweep legs (cold pools vs a warm
     #: session vs cache replay) rather than one engine run.
     runner: Optional[Callable[..., Dict]] = None
+    #: profiling override for runner cases: ``(top) -> str`` cProfile
+    #: dump.  Build cases profile generically (:func:`_profile_case`);
+    #: the machine_2048 runner profiles its SoA leg so the kernel's
+    #: per-phase numpy sections show up in the top-N.
+    profile: Optional[Callable[[int], str]] = None
 
 
 def _md_sim(
@@ -640,6 +650,213 @@ def _run_recovery_shootout(repeats: int = 3) -> Dict:
     }
 
 
+#: the full SR2201 installation: 16 x 16 x 8 = 2048 processing elements
+MACHINE_SHAPE: Tuple[int, ...] = (16, 16, 8)
+
+
+def _machine_sim(engine: str, faults=()) -> NetworkSimulator:
+    logic = SwitchLogic(
+        MDCrossbar(MACHINE_SHAPE),
+        make_config(MACHINE_SHAPE, faults=tuple(faults)),
+    )
+    return NetworkSimulator(
+        MDCrossbarAdapter(logic),
+        SimConfig(stall_limit=2000, engine=engine),
+    )
+
+
+def _machine_p2p_workload(sim: NetworkSimulator, rounds: int) -> None:
+    """Every PE sends ``rounds`` length-16 packets to its fixed
+    permutation partner ((x+8)%16, (y+8)%16, (z+4)%8), staggered by a
+    small coordinate-derived offset.  The fixed pairing keeps rounds
+    beyond the first on the adapter's route memo, so the leg measures
+    the engines' cycle machinery rather than cold route decisions."""
+    for x in range(MACHINE_SHAPE[0]):
+        for y in range(MACHINE_SHAPE[1]):
+            for z in range(MACHINE_SHAPE[2]):
+                dest = ((x + 8) % 16, (y + 8) % 16, (z + 4) % 8)
+                for r in range(rounds):
+                    sim.send(
+                        Packet(
+                            Header(source=(x, y, z), dest=dest), length=16
+                        ),
+                        at_cycle=r * 20 + (x + y + z) % 4,
+                    )
+
+
+def _machine_detour_workload(sim: NetworkSimulator) -> None:
+    """A 5x5x5 subgrid around the faulted router (8, 8, 4), same
+    permutation pairing: traffic whose shortest routes cross the dead
+    crossbar lines, so the detour tables are exercised at machine
+    scale."""
+    for x in range(6, 11):
+        for y in range(6, 11):
+            for z in range(2, 7):
+                if (x, y, z) == (8, 8, 4):
+                    continue
+                dest = ((x + 8) % 16, (y + 8) % 16, (z + 4) % 8)
+                for r in range(4):
+                    sim.send(
+                        Packet(
+                            Header(source=(x, y, z), dest=dest), length=16
+                        ),
+                        at_cycle=r * 24,
+                    )
+
+
+def _machine_run(engine: str, workload, faults=()):
+    """One fresh machine-scale run: (fingerprint, wall, result, sim).
+    The pid counter restarts so fingerprints rebase identically and the
+    adapter (route memo included) is rebuilt so every engine starts from
+    the same cold state."""
+    import itertools
+
+    import repro.core.packet as packet_mod
+
+    packet_mod._packet_ids = itertools.count(1_000_000)
+    sim = _machine_sim(engine, faults=faults)
+    workload(sim)
+    t0 = time.perf_counter()
+    res = sim.run(max_cycles=100_000)
+    wall = time.perf_counter() - t0
+    return res.fingerprint(), wall, res, sim
+
+
+def _profile_machine_2048(top: int) -> str:
+    """cProfile dump of one reduced SoA p2p leg (kernel phases and
+    their numpy sections dominate the top-N; the scalar drivers'
+    profiles are already covered by the build cases)."""
+    import itertools
+
+    import repro.core.packet as packet_mod
+
+    packet_mod._packet_ids = itertools.count(1_000_000)
+    sim = _machine_sim("soa")
+    _machine_p2p_workload(sim, rounds=6)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run(max_cycles=100_000)
+    profiler.disable()
+    if sim.engine_used != "soa":
+        raise AssertionError(
+            "machine_2048: profiling leg fell back to the scalar path"
+        )
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(
+        top
+    )
+    return buf.getvalue()
+
+
+def _run_machine_2048(repeats: int = 3, rounds: int = 20) -> Dict:
+    """The tentpole leg: a full 2048-PE SR2201 run under the batched SoA
+    engine vs the scalar active driver, fingerprint-identical.
+
+    The p2p leg (all-PE fixed-permutation traffic, ``rounds`` rounds)
+    times the SoA driver best-of-``repeats`` and the active driver once
+    -- the active leg is ~7x slower, and its wall noise can only
+    *inflate* the reported ratio, so a single reference run keeps the
+    case affordable without weakening the floor.  ``speedup_vs_active``
+    is an in-run, machine-independent ratio like ``speedup_vs_legacy``;
+    ``soa_drift`` lists the legs on which the SoA fingerprint diverged
+    from the active driver's (always empty unless the kernel is broken)
+    and regresses at any threshold.  A silent fallback to the scalar
+    path fails the case outright: the whole point is that the kernel
+    ran.  The detour leg re-runs a faulted subgrid workload under both
+    drivers (untimed gate) so machine-scale detours ride in the
+    identity hash too."""
+    repeats = max(1, repeats)
+    soa_drift: List[str] = []
+
+    fp_soa, wall_soa, res_soa, sim_soa = _machine_run(
+        "soa", lambda sim: _machine_p2p_workload(sim, rounds)
+    )
+    if sim_soa.engine_used != "soa":
+        raise AssertionError(
+            f"machine_2048: SoA kernel fell back to the scalar path "
+            f"({sim_soa.engine_fallback}) -- the p2p leg must run "
+            f"in-kernel"
+        )
+    for _ in range(repeats - 1):
+        fp, wall, _, _ = _machine_run(
+            "soa", lambda sim: _machine_p2p_workload(sim, rounds)
+        )
+        if fp != fp_soa:
+            raise AssertionError(
+                "machine_2048: SoA p2p leg drifted between repeats"
+            )
+        wall_soa = min(wall_soa, wall)
+    fp_active, wall_active, _, _ = _machine_run(
+        "active", lambda sim: _machine_p2p_workload(sim, rounds)
+    )
+    if fp_soa != fp_active:
+        soa_drift.append("p2p")
+
+    faults = (Fault.router((8, 8, 4)),)
+    fp_dsoa, _, res_detour, sim_detour = _machine_run(
+        "soa", _machine_detour_workload, faults=faults
+    )
+    if sim_detour.engine_used != "soa":
+        raise AssertionError(
+            f"machine_2048: detour leg fell back to the scalar path "
+            f"({sim_detour.engine_fallback})"
+        )
+    fp_dactive, _, _, _ = _machine_run(
+        "active", _machine_detour_workload, faults=faults
+    )
+    if fp_dsoa != fp_dactive:
+        soa_drift.append("detour")
+
+    speedup = round(wall_active / wall_soa, 3) if wall_soa > 0 else None
+    # a disabled or degraded kernel collapses the ratio toward 1x; the
+    # committed baseline records ~7x and compare_bench gates the fine
+    # 30%-relative floor, so this in-run check only has to catch the
+    # catastrophic case without flaking on noisy machines
+    if rounds >= 6 and speedup is not None and speedup < 3.0:
+        raise AssertionError(
+            f"machine_2048: SoA speedup collapsed to {speedup}x vs the "
+            f"active driver (kernel perf regression)"
+        )
+
+    lats = res_soa.latencies
+    identity = repr((fp_soa, fp_dsoa))
+    return {
+        "description": (
+            f"full 16x16x8 SR2201 ({16 * 16 * 8} PEs): {rounds}-round "
+            f"fixed-permutation p2p under the SoA kernel vs the active "
+            f"driver, plus a faulted detour-subgrid parity leg"
+        ),
+        "repeats": repeats,
+        "rounds": rounds,
+        "shape": "x".join(map(str, MACHINE_SHAPE)),
+        "engine_used": "soa",
+        "wall_time_s": round(wall_soa, 6),
+        "active_wall_s": round(wall_active, 6),
+        "cycles": res_soa.cycles,
+        "cycles_per_sec": (
+            round(res_soa.cycles / wall_soa, 1) if wall_soa > 0 else 0.0
+        ),
+        "active_cycles_per_sec": (
+            round(res_soa.cycles / wall_active, 1)
+            if wall_active > 0
+            else 0.0
+        ),
+        "speedup_vs_active": speedup,
+        "soa_drift": soa_drift,
+        "flit_moves": res_soa.flit_moves,
+        "delivered": len(res_soa.delivered),
+        "mean_latency": (
+            round(sum(lats) / len(lats), 3) if lats else None
+        ),
+        "deadlocked": res_soa.deadlocked,
+        "detour_cycles": res_detour.cycles,
+        "detour_delivered": len(res_detour.delivered),
+        "identity_sha256": hashlib.sha256(
+            identity.encode("utf-8")
+        ).hexdigest(),
+    }
+
+
 #: the pinned suite; order is the report order
 BENCH_CASES: Tuple[BenchCase, ...] = (
     BenchCase(
@@ -685,6 +902,14 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         "Fig. 9 deadlock workload: avoidance vs online recovery vs halt",
         True,
         runner=_run_recovery_shootout,
+    ),
+    BenchCase(
+        "machine_2048",
+        "full 16x16x8 SR2201: SoA kernel vs active driver, "
+        "fingerprint-identical",
+        True,
+        runner=_run_machine_2048,
+        profile=_profile_machine_2048,
     ),
     BenchCase(
         "p2p_8x8_mid",
@@ -753,11 +978,15 @@ def run_case(
     adds a cProfile top-N cumulative dump from one extra run.
 
     Runner cases (``case.runner``, e.g. ``sweep_fanout``) measure
-    themselves -- repeats are theirs to apply, and the legacy/profile
-    extras do not apply (there is no single engine run to twin or
-    profile)."""
+    themselves -- repeats are theirs to apply, and the legacy extra does
+    not (there is no single engine run to twin).  A runner case profiles
+    only when it brings its own ``case.profile`` override (machine_2048
+    profiles its SoA leg)."""
     if case.runner is not None:
-        return case.runner(repeats=max(1, repeats))
+        out = case.runner(repeats=max(1, repeats))
+        if profile_top and case.profile is not None:
+            out["profile"] = case.profile(profile_top)
+        return out
     runs = [_measure(case) for _ in range(max(1, repeats))]
     for other in runs[1:]:
         for field in DETERMINISTIC_FIELDS:
@@ -862,10 +1091,11 @@ def load_bench(path: str) -> Dict:
         3,
         4,
         5,
+        6,
         BENCH_SCHEMA,
     ):
         raise ValueError(
-            f"{path} is not a schema-1/2/3/4/5/{BENCH_SCHEMA} bench file "
+            f"{path} is not a schema-1/2/3/4/5/6/{BENCH_SCHEMA} bench file "
             f"(kind={doc.get('kind')!r}, schema={doc.get('schema')!r})"
         )
     return doc
@@ -934,17 +1164,32 @@ def compare_bench(
                     "fast path disagrees with legacy_scan on these fields",
                 )
             )
-        old_speedup = old_case.get("speedup_vs_legacy")
-        new_speedup = new_case.get("speedup_vs_legacy")
-        if old_speedup and new_speedup is not None:
-            if new_speedup < old_speedup * 0.7:
-                out.append(
-                    Regression(
-                        name, "speedup_vs_legacy", old_speedup, new_speedup,
-                        "fast-vs-legacy speedup fell more than 30% below "
-                        "baseline",
-                    )
+        # the SoA kernel's in-run twin of legacy_drift: the batched
+        # driver disagreeing with the scalar active driver regresses at
+        # any threshold (fingerprint identity is the kernel's contract)
+        if new_case.get("soa_drift"):
+            out.append(
+                Regression(
+                    name, "soa_drift", [], new_case["soa_drift"],
+                    "SoA kernel disagrees with the active driver on "
+                    "these legs",
                 )
+            )
+        for ratio, desc in (
+            ("speedup_vs_legacy", "fast-vs-legacy"),
+            ("speedup_vs_active", "SoA-vs-active"),
+        ):
+            old_speedup = old_case.get(ratio)
+            new_speedup = new_case.get(ratio)
+            if old_speedup and new_speedup is not None:
+                if new_speedup < old_speedup * 0.7:
+                    out.append(
+                        Regression(
+                            name, ratio, old_speedup, new_speedup,
+                            f"{desc} speedup fell more than 30% below "
+                            f"baseline",
+                        )
+                    )
         # the sweep-runtime in-run ratios, same machine-independent idea:
         # a lost warm pool or a cache that stops hitting collapses these
         # toward 1x, far past a 50% drop; the wide margin absorbs the
@@ -1005,6 +1250,19 @@ def render_bench(doc: Dict) -> str:
                     f"delivered={leg['delivered']} "
                     f"rotations={leg['recoveries']} {end}"
                 )
+            continue
+        if "speedup_vs_active" in c:  # runner case (machine_2048)
+            drift = (
+                f" DRIFT={','.join(c['soa_drift'])}" if c["soa_drift"] else ""
+            )
+            lines.append(
+                f"  {name:<18} {c['cycles']:>6} cycles in "
+                f"{c['wall_time_s']:.3f}s "
+                f"({c['cycles_per_sec']:>10.0f} cyc/s soa)  "
+                f"delivered={c['delivered']} "
+                f"vs_active={c['speedup_vs_active']:.2f}x "
+                f"detour={c['detour_delivered']}{drift}"
+            )
             continue
         if "specs" in c:  # runner case (sweep_fanout); wall_time_s = warm leg
             line = (

@@ -98,7 +98,8 @@ def _build(args) -> tuple:
 
 
 def _build_sim(args, stall_limit: int):
-    """A simulator honoring ``--scheme`` and ``--recovery`` (trace/report).
+    """A simulator honoring ``--scheme``/``--recovery``/``--engine``
+    (trace/report).
 
     An explicit routing scheme dispatches through the
     :mod:`repro.routing` registry; the default keeps the legacy paper
@@ -107,12 +108,15 @@ def _build_sim(args, stall_limit: int):
     from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
 
     recovery = bool(getattr(args, "recovery", False))
+    engine = getattr(args, "engine", "active") or "active"
     scheme = getattr(args, "scheme", "") or ""
     if scheme in ("", "dxb"):
         _, logic = _build(args)
         return NetworkSimulator(
             MDCrossbarAdapter(logic),
-            SimConfig(stall_limit=stall_limit, recovery=recovery),
+            SimConfig(
+                stall_limit=stall_limit, recovery=recovery, engine=engine
+            ),
         )
     from .routing import make_scheme
 
@@ -120,9 +124,25 @@ def _build_sim(args, stall_limit: int):
     return NetworkSimulator(
         sch.adapter,
         SimConfig(
-            num_vcs=sch.num_vcs, stall_limit=stall_limit, recovery=recovery
+            num_vcs=sch.num_vcs,
+            stall_limit=stall_limit,
+            recovery=recovery,
+            engine=engine,
         ),
     )
+
+
+def _note_engine_fallback(args, sim) -> None:
+    """One stderr line when a requested ``--engine soa`` run was handed
+    to the scalar driver (trace/report always subscribe per-cycle hooks,
+    which the kernel does not support) -- the fallback is correct by
+    contract but should never be silent at the CLI."""
+    if getattr(args, "engine", "active") == "soa" and sim.engine_used != "soa":
+        print(
+            f"note: soa engine fell back to the scalar driver "
+            f"({sim.engine_fallback})",
+            file=sys.stderr,
+        )
 
 
 def _add_scheme(p: argparse.ArgumentParser) -> None:
@@ -131,6 +151,16 @@ def _add_scheme(p: argparse.ArgumentParser) -> None:
         help="routing scheme from the repro.routing registry "
              "(dxb/adaptive/hyperx_ft/mesh/torus/hypercube/fullmesh_novc; "
              "default: the kind's default scheme)",
+    )
+
+
+def _add_engine(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine", choices=("active", "soa"), default="active",
+        help="cycle driver: the scalar active-set engine (default) or "
+             "the batched structure-of-arrays kernel "
+             "(fingerprint-identical; soa hands unsupported state back "
+             "to the scalar driver mid-run)",
     )
 
 
@@ -304,6 +334,7 @@ def cmd_sweep(args) -> int:
             metrics=args.metrics,
             scheme=args.scheme,
             recovery=args.recovery,
+            engine=args.engine,
         )
         for load in args.loads
     ]
@@ -403,6 +434,7 @@ def cmd_trace(args) -> int:
         )
         sim.add_generator(gen)
         res = sim.run(max_cycles=args.cycles * 10, until_drained=False)
+    _note_engine_fallback(args, sim)
     # keep stdout pure JSONL when tracing to it; the summary goes to stderr
     print(
         f"traced {sorted(recorder.events)} for {res.cycles} cycles: "
@@ -508,6 +540,7 @@ def cmd_report(args) -> int:
     )
     sim.add_generator(gen)
     res = sim.run(max_cycles=args.cycles * 10, until_drained=False)
+    _note_engine_fallback(args, sim)
     spans.detach(sim)
     util = suite.find(ChannelUtilization)
     try:
@@ -898,6 +931,82 @@ def _doctor_routing() -> List[Tuple[str, bool]]:
     return checks
 
 
+def _doctor_engines() -> List[Tuple[str, bool]]:
+    """Engine-mode health: the same doctor-grid workloads under all
+    three cycle drivers (batched SoA kernel, scalar active driver,
+    legacy full scan) must fingerprint byte-identically; the kernel must
+    actually run in-kernel on its supported workload (no silent
+    fallback); unsupported state must hand back with an explicit
+    reason."""
+    import itertools
+
+    import repro.core.packet as packet_mod
+    from .core import Fault, Header, Packet, RC
+    from .sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+    from .traffic import BernoulliInjector, uniform
+
+    shape = (4, 3)
+
+    def run(engine, legacy=False, faults=(), bcast=False):
+        # identical pid streams per driver: fingerprints compare exactly
+        packet_mod._packet_ids = itertools.count(1_000_000)
+        logic = SwitchLogic(
+            MDCrossbar(shape), make_config(shape, faults=tuple(faults))
+        )
+        sim = NetworkSimulator(
+            MDCrossbarAdapter(logic),
+            SimConfig(stall_limit=400, engine=engine, legacy_scan=legacy),
+        )
+        if bcast:
+            sim.send(
+                Packet(
+                    Header(
+                        source=(2, 1), dest=(2, 1), rc=RC.BROADCAST_REQUEST
+                    ),
+                    length=4,
+                )
+            )
+        sim.add_generator(
+            BernoulliInjector(load=0.2, pattern=uniform, seed=3, stop_at=80)
+        )
+        return sim.run(max_cycles=2000).fingerprint(), sim
+
+    checks: List[Tuple[str, bool]] = []
+    for label, faults in (
+        ("healthy", ()),
+        ("faulted", (Fault.router((2, 0)),)),
+    ):
+        fp_soa, sim_soa = run("soa", faults=faults)
+        fp_act, _ = run("active", faults=faults)
+        fp_leg, _ = run("active", legacy=True, faults=faults)
+        checks.append(
+            (
+                f"engine: soa == active == legacy_scan on the {label} "
+                f"4x3 grid",
+                fp_soa == fp_act == fp_leg,
+            )
+        )
+        checks.append(
+            (
+                f"engine: {label} grid ran in-kernel (no silent fallback)",
+                sim_soa.engine_used == "soa"
+                and sim_soa.engine_fallback is None,
+            )
+        )
+    fp_b_soa, sim_b = run("soa", bcast=True)
+    fp_b_act, _ = run("active", bcast=True)
+    checks.append(
+        (
+            f"engine: unsupported state falls back with a reason "
+            f"({sim_b.engine_fallback or 'MISSING'}), identically",
+            sim_b.engine_used == "active"
+            and bool(sim_b.engine_fallback)
+            and fp_b_soa == fp_b_act,
+        )
+    )
+    return checks
+
+
 def cmd_doctor(args) -> int:
     from .core.selfcheck import self_check
 
@@ -906,7 +1015,12 @@ def cmd_doctor(args) -> int:
     print(f"self-check on {'x'.join(map(str, args.shape))}:")
     for line in report.rows():
         print(" ", line)
-    obs_checks = _doctor_obs() + _doctor_telemetry() + _doctor_routing()
+    obs_checks = (
+        _doctor_obs()
+        + _doctor_telemetry()
+        + _doctor_routing()
+        + _doctor_engines()
+    )
     for name, ok in obs_checks:
         print(f"  {name}: {'ok' if ok else 'FAIL'}")
     healthy = report.healthy and all(ok for _, ok in obs_checks)
@@ -970,6 +1084,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "repeatable")
     _add_scheme(p)
     _add_recovery(p)
+    _add_engine(p)
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes for the sweep (default: serial)")
     p.add_argument("--cache", dest="cache", action="store_true",
@@ -1002,6 +1117,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_scheme(p)
     _add_recovery(p)
+    _add_engine(p)
     p.add_argument("--load", type=float, default=0.2)
     p.add_argument("--pattern", default="uniform")
     p.add_argument("--packet-length", type=int, default=4)
@@ -1026,6 +1142,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_scheme(p)
     _add_recovery(p)
+    _add_engine(p)
     p.add_argument("--trace", help="render from a saved JSONL trace instead "
                                    "of running a simulation")
     p.add_argument("--sweep", metavar="LEDGER",

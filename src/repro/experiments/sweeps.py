@@ -34,6 +34,7 @@ def build_network(
     faults=(),
     scheme: str = "",
     recovery: bool = False,
+    engine: str = "active",
 ):
     """(simulator factory) for a network kind and routing scheme.
 
@@ -42,8 +43,9 @@ def build_network(
     ``dxb`` for the MD crossbar), and ``faults`` pre-configures schemes
     that model standing faults, as a standing fault would be in the
     hardware.  ``recovery`` turns on the engine's online deadlock
-    recovery (see :class:`~repro.sim.SimConfig`).  Unknown kinds/schemes
-    and kind/scheme mismatches raise
+    recovery and ``engine`` selects the cycle driver (``"active"`` or the
+    batched ``"soa"`` kernel; see :class:`~repro.sim.SimConfig`).
+    Unknown kinds/schemes and kind/scheme mismatches raise
     :class:`~repro.core.config.ConfigError`.
     """
     from ..routing import make_scheme, resolve_scheme
@@ -53,7 +55,10 @@ def build_network(
     return lambda: NetworkSimulator(
         sch.adapter,
         SimConfig(
-            num_vcs=sch.num_vcs, stall_limit=stall_limit, recovery=recovery
+            num_vcs=sch.num_vcs,
+            stall_limit=stall_limit,
+            recovery=recovery,
+            engine=engine,
         ),
     )
 
@@ -110,6 +115,7 @@ def sweep(
     stall_limit: int = 2000,
     scheme: str = "",
     recovery: bool = False,
+    engine: str = "active",
     **kw,
 ) -> List[LoadPoint]:
     """Sweep the load axis; each point is an independent fixed-seed run.
@@ -141,6 +147,7 @@ def sweep(
             stall_limit=stall_limit,
             scheme=scheme,
             recovery=recovery,
+            engine=engine,
         )
         return [
             run_load_point(make_sim, load, pattern, seed=seed, **kw)
@@ -158,6 +165,7 @@ def sweep(
         stall_limit=stall_limit,
         scheme=scheme,
         recovery=recovery,
+        engine=engine,
         **kw,
     )
     results = run_specs(

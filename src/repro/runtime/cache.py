@@ -50,7 +50,12 @@ CACHE_SCHEMA = 1
 #:    ``PointResult.to_dict()`` now emits it, so every result's canonical
 #:    form changed; cached pre-telemetry ``PointResult`` pickles would
 #:    also deserialize without the new field.
-CODE_VERSION = 4
+#: 5: the batched SoA engine mode -- ``RunSpec.to_dict()`` gained the
+#:    ``engine`` driver selection, and the route phase now offers
+#:    candidates in sorted-cid order (grant-conflict winners are
+#:    candidate-order dependent, so heavily contended runs' observable
+#:    results shifted).
+CODE_VERSION = 5
 
 
 def spec_key(spec: RunSpec) -> str:

@@ -130,6 +130,7 @@ class NetworkCache:
                 faults=spec.faults,
                 scheme=spec.scheme,
                 recovery=spec.recovery,
+                engine=spec.engine,
             )()
             self._sims[key] = (sim, getattr(sim.adapter, "logic", None))
             if len(self._sims) > self.capacity:

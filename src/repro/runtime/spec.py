@@ -65,6 +65,13 @@ class RunSpec:
     #: ``SimConfig.recovery``); part of the spec's cached identity --
     #: recovery changes what the same workload observably produces
     recovery: bool = False
+    #: cycle-driver selection (see ``SimConfig.engine``): ``"active"``
+    #: (scalar active-set driver) or ``"soa"`` (batched
+    #: structure-of-arrays kernel).  Results are fingerprint-identical
+    #: by contract, but the field is still part of the spec's cached
+    #: identity: a cache hit must replay the driver the spec named, so
+    #: an engine-parity bug can never be masked by the cache
+    engine: str = "active"
 
     def describe(self) -> str:
         shape_s = "x".join(map(str, self.shape))
@@ -73,6 +80,8 @@ class RunSpec:
             bits.append(f"scheme={self.scheme}")
         if self.recovery:
             bits.append("recovery")
+        if self.engine != "active":
+            bits.append(f"engine={self.engine}")
         if self.pattern != "uniform":
             bits.append(f"pattern={self.pattern}")
         if self.faults:
@@ -100,6 +109,7 @@ class RunSpec:
             "spans": self.spans,
             "scheme": self.scheme,
             "recovery": self.recovery,
+            "engine": self.engine,
         }
 
     def network_key(self) -> Tuple:
@@ -121,6 +131,7 @@ class RunSpec:
             self.faults,
             self.scheme,
             self.recovery,
+            self.engine,
         )
 
     def execute(self, sim=None) -> "PointResult":
@@ -146,6 +157,7 @@ class RunSpec:
                 faults=self.faults,
                 scheme=self.scheme,
                 recovery=self.recovery,
+                engine=self.engine,
             )
         else:
             if sim is None:
@@ -156,6 +168,7 @@ class RunSpec:
                     faults=self.faults,
                     scheme=self.scheme,
                     recovery=self.recovery,
+                    engine=self.engine,
                 )()
             if self.metrics:
                 from ..obs.collectors import attach_standard_collectors

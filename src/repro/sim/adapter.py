@@ -60,6 +60,24 @@ class RoutingAdapter(Protocol):
         ...
 
 
+def decide_batch(adapter, queries):
+    """Batch route lookup: one :class:`SimDecision` per query.
+
+    ``queries`` is a sequence of ``(element, in_from, in_vc, header)``
+    tuples.  The SoA driver collects every unrouted header of a cycle and
+    resolves them in one call; adapters that maintain a decision memo can
+    answer the common all-hits case without per-query method dispatch.
+    Falls back to looping ``adapter.decide`` -- decisions are pure, so
+    batch and scalar lookups are interchangeable.  Adapters may provide
+    their own ``decide_batch(queries)`` with identical semantics.
+    """
+    batch = getattr(adapter, "decide_batch", None)
+    if batch is not None:
+        return batch(queries)
+    decide = adapter.decide
+    return [decide(el, src, vc, hdr) for el, src, vc, hdr in queries]
+
+
 #: default bound on the route-decision memo.  Uniform traffic on an 8x8
 #: network touches a few thousand distinct (element, input, dest, rc)
 #: keys, so the default leaves ample headroom while still bounding a
@@ -156,3 +174,22 @@ class MDCrossbarAdapter:
             cache.popitem(last=False)
             self._evictions += 1
         return decision
+
+    def decide_batch(self, queries):
+        """Memo-first batch lookup (see :func:`decide_batch`): resolves
+        each query against the LRU directly and only drops to
+        :meth:`decide` on a miss, so a steady-traffic batch costs one
+        dict probe per header."""
+        cache = self._cache
+        scheme = self.scheme
+        out = []
+        for el, src, vc, hdr in queries:
+            key = (scheme, el, src, hdr.dest, hdr.rc)
+            hit = cache.get(key)
+            if hit is not None:
+                self._hits += 1
+                cache.move_to_end(key)
+                out.append(hit)
+            else:
+                out.append(self.decide(el, src, vc, hdr))
+        return out

@@ -53,6 +53,16 @@ class SimConfig:
     #: which cycle member is rotated out: ``"youngest"`` (largest pid --
     #: the least sunk progress) or ``"oldest"`` (smallest pid)
     recovery_victim: str = "youngest"
+    #: cycle driver: ``"active"`` (default, the PR 4 active-set fast
+    #: path) or ``"soa"`` (the batched structure-of-arrays kernel in
+    #: :mod:`repro.sim.soa` -- vectorized flit state and grant
+    #: arbitration, built for full-machine shapes).  ``legacy_scan=True``
+    #: still forces the full-scan oracle regardless.  All drivers
+    #: produce byte-identical :meth:`SimResult.fingerprint` outputs; the
+    #: SoA kernel falls back to the active driver whenever a subscribed
+    #: hook or fabric feature needs the scalar path (see
+    #: ``NetworkSimulator.engine_used``).
+    engine: str = "active"
     #: recovery actions allowed per run before the watchdog escalates to
     #: the ordinary DeadlockReport halt (livelock bound)
     recovery_limit: int = 16
@@ -70,6 +80,8 @@ class SimConfig:
             )
         if self.recovery_limit < 1:
             raise ValueError("recovery_limit must be >= 1")
+        if self.engine not in ("active", "soa"):
+            raise ValueError("engine must be 'active' or 'soa'")
 
     @staticmethod
     def wormhole(**kw) -> "SimConfig":

@@ -447,6 +447,13 @@ class CycleEngine:
         #: recovery actions taken this run (see ``config.recovery``)
         self.recoveries = 0
         self.recovery_victims: List[int] = []
+        #: which cycle driver actually ran, and why the SoA kernel handed
+        #: a run back to the active driver (None when it never did)
+        self.engine_used = (
+            "legacy_scan" if self.config.legacy_scan else self.config.engine
+        )
+        self.engine_fallback: Optional[str] = None
+        self._soa = None  # lazily built SoAKernel (static tables survive)
         # a tuple so the hot ``live_nodes`` property can hand it out
         # without copying (generators read it every cycle)
         self._live_nodes = tuple(
@@ -505,6 +512,10 @@ class CycleEngine:
         self.deadlock = None
         self.recoveries = 0
         self.recovery_victims = []
+        self.engine_used = (
+            "legacy_scan" if self.config.legacy_scan else self.config.engine
+        )
+        self.engine_fallback = None
         self.hooks = HookBus()
         if self.trace is not None:
             self.hooks.log.append(self.trace)
@@ -686,7 +697,10 @@ class CycleEngine:
         element_of_input = self._element_of_input
         connections = self.connections
         pending_by_cin = self._pending_by_cin
-        for key in list(self._route_candidates):
+        # sorted: candidate order decides pending-list order, which decides
+        # grant-conflict winners -- set iteration order must never leak
+        # into results (and the SoA kernel routes in the same vkey order)
+        for key in sorted(self._route_candidates):
             el = element_of_input.get(key)
             if el is None:  # a PE input: ejection handles it
                 done.append(key)
@@ -1224,31 +1238,51 @@ class CycleEngine:
         (``cycle_start``/``phase_end``) is subscribed, the loop takes the
         active-set fast path: idle stretches are skipped to the next
         generator wake or scheduled send, and steady-state body-flit
-        streams advance as bulk windows.  Either way the results are
-        byte-identical to stepping every cycle.
+        streams advance as bulk windows.  With ``config.engine == "soa"``
+        the batched :class:`~repro.sim.soa.SoAKernel` drives the cycles
+        instead, handing back to the active driver on any fabric feature
+        it does not vectorize (``engine_used`` / ``engine_fallback``
+        record the outcome).  Either way the results are byte-identical
+        to stepping every cycle.
         """
         horizon = self.cycle + (max_cycles if max_cycles is not None else self.config.max_cycles)
         legacy = self.config.legacy_scan
         hooks = self.hooks
+        soa = None
+        if self.config.engine == "soa" and not legacy:
+            soa = self._soa_kernel()
+            self.engine_used = "soa"
         while self.cycle < horizon:
             if until_drained and not self.pending_work() and not self.generators:
                 break
-            if not (legacy or hooks.cycle_start or hooks.phase_end):
-                if self._idle():
-                    target = self._next_event_cycle(horizon)
-                    if target is not None and target > self.cycle:
-                        # skipping idle cycles is not progress: the
-                        # watchdog baseline must stay where the last real
-                        # flit movement left it, exactly as a cycle-by-
-                        # cycle legacy scan would leave it
-                        self.cycle = target
-                        continue
-                else:
-                    k = self._stream_window(horizon)
-                    if k:
-                        self._advance_stream_window(k)
-                        continue
-            self.step()
+            if soa is not None:
+                outcome = soa.drive(horizon, until_drained)
+                if outcome == "bail":
+                    self.engine_used = "active"
+                    self.engine_fallback = soa.fallback_reason
+                    soa = None
+                    continue
+                if outcome != "stalled":
+                    continue
+                # stalled: the kernel synced out on the exact detection
+                # cycle -- fall through to the watchdog block unstepped
+            else:
+                if not (legacy or hooks.cycle_start or hooks.phase_end):
+                    if self._idle():
+                        target = self._next_event_cycle(horizon)
+                        if target is not None and target > self.cycle:
+                            # skipping idle cycles is not progress: the
+                            # watchdog baseline must stay where the last
+                            # real flit movement left it, exactly as a
+                            # cycle-by-cycle legacy scan would leave it
+                            self.cycle = target
+                            continue
+                    else:
+                        k = self._stream_window(horizon)
+                        if k:
+                            self._advance_stream_window(k)
+                            continue
+                self.step()
             if (
                 self.in_flight
                 and self.cycle - self._last_progress >= self.config.stall_limit
@@ -1271,6 +1305,15 @@ class CycleEngine:
                     raise DeadlockError(self.deadlock)
                 break
         return self.result()
+
+    def _soa_kernel(self):
+        """The engine's :class:`~repro.sim.soa.SoAKernel`, built lazily
+        (its static topology tables survive resets and repeated runs)."""
+        if self._soa is None:
+            from .soa import SoAKernel
+
+            self._soa = SoAKernel(self)
+        return self._soa
 
     def fabric_quiescent(self) -> bool:
         """No connection, request or buffered flit anywhere."""

@@ -1,0 +1,884 @@
+"""The batched structure-of-arrays cycle driver (``SimConfig(engine="soa")``).
+
+The object-per-flit engine tops out around half a million cycles/sec even
+with the active-set fast path: every cycle walks Python deques of
+:class:`~repro.sim.fabric.SimFlit` objects.  Full-machine shapes (the
+SR2201/2048's 16x16x8 hyper-crossbar has ~20k channels) need the flit
+state itself batched.  :class:`SoAKernel` keeps the hot fabric state in
+preallocated numpy arrays -- per-channel flit ring buffers (packet id /
+flit kind / sequence), channel owners, connection tables, candidate masks
+-- and executes the same five phases with vectorized masks and array
+reductions:
+
+* **eject** drains every pending PE buffer with one gather, locating tail
+  flits by a flag-matrix reduction (per-tail delivery bookkeeping stays
+  scalar: deliveries are rare relative to flit moves);
+* **route** filters the candidate mask down to genuinely unrouted headers
+  with vector comparisons, then resolves them through the adapter's batch
+  lookup (:func:`~repro.sim.adapter.decide_batch`, memo-first);
+* **grant** resolves each crossbar's input-port conflicts with a
+  first-request-per-output ``np.unique`` reduction instead of the
+  per-:class:`~repro.sim.fabric.PendingRequest` Python loop (the scalar
+  sequential grant is equivalent to it for single-output ``"all"``-policy
+  requests, the only kind the vector path accepts; adaptive ``"any"``
+  requests drop the cycle's grant phase to an exact scalar loop);
+* **transfer** moves one flit per established connection with fancy-indexed
+  ring-buffer pops and pushes.  The scalar engine iterates connections in
+  dict insertion order, and that order is observable: a connection whose
+  destination buffer is full (or source buffer empty) at phase start still
+  moves if the draining (or supplying) connection comes *earlier* in the
+  iteration.  The kernel therefore splits the phase: order-independent
+  movers (source ready and destination space at phase start) apply
+  vectorized, and the small conditional set resolves in ascending
+  connection order against the recorded enabler orders -- byte-identical
+  to the sequential scan;
+* **inject** mirrors the scalar phase (generators are arbitrary Python
+  callbacks and injection order rides on engine state the kernel shares).
+
+**Parity discipline.**  The kernel shares the engine's canonical workload
+state (``in_flight``, ``delivered``, ``dropped``, ``source_queues``,
+scheduled sends, counters) and mutates it directly; only the fabric hot
+state is mirrored into arrays.  On any exit -- drained, horizon, stall,
+or fallback -- :meth:`SoAKernel.sync_out` rebuilds the engine's object
+state (buffers, owners, connection dict in insertion order, pending
+list, candidate sets) exactly as the scalar drivers would have left it,
+so results are byte-identical across ``soa`` / ``active`` /
+``legacy_scan`` and a run may switch drivers mid-flight.
+
+**Scalar fallback.**  The kernel handles the fabric features the paper's
+full-machine workloads exercise: one virtual channel, unicast
+single-output ``"all"`` decisions, adaptive ``"any"`` decisions, and
+drop decisions.  Anything else -- serialized S-XB grants, multicast
+fan-out, more than one VC, or a subscribed per-event hook
+(``cycle_start`` / ``phase_end`` / ``inject`` / ``grant`` / ``block`` /
+``deliver`` / ``log``; the terminal ``deadlock`` / ``recovery`` hooks
+are fine) -- makes it bail *before* mutating anything mid-phase and hand
+the run to the active driver, recording the reason on
+``engine.engine_fallback``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.packet import FlitKind
+from .adapter import decide_batch
+from .fabric import Connection, PendingRequest, SimFlit
+
+_HEAD = int(FlitKind.HEAD)
+_BODY = int(FlitKind.BODY)
+_TAIL = int(FlitKind.TAIL)
+_HEAD_TAIL = int(FlitKind.HEAD_TAIL)
+
+#: hooks whose subscribers need the scalar engine's per-event call sites
+SCALAR_HOOKS: Tuple[str, ...] = (
+    "cycle_start",
+    "phase_end",
+    "inject",
+    "grant",
+    "block",
+    "deliver",
+    "log",
+)
+
+
+class _PendRec:
+    """A pending grant request in kernel form (keeps the decision object
+    so :meth:`SoAKernel.sync_out` can rebuild the exact
+    :class:`PendingRequest`)."""
+
+    __slots__ = ("pid", "cin", "wanted", "decision", "arrived")
+
+    def __init__(self, pid, cin, wanted, decision, arrived) -> None:
+        self.pid = pid
+        self.cin = cin
+        #: VCKey tuple, engine format (vc is always 0 here)
+        self.wanted = wanted
+        self.decision = decision
+        self.arrived = arrived
+
+
+class SoAKernel:
+    """Array-state mirror of one :class:`~repro.sim.engine.CycleEngine`.
+
+    Static topology tables are built once per engine; the mutable arrays
+    are (re)filled from the engine's object state by :meth:`materialize`
+    each time the run loop enters the kernel, and written back by
+    :meth:`sync_out` on every exit, so the engine's observable state is
+    always canonical outside :meth:`drive`.
+    """
+
+    def __init__(self, eng) -> None:
+        self.eng = eng
+        self.cap = eng.config.buffer_depth
+        cids = [key[0] for key in eng.vcs]
+        self.V = max(cids) + 1 if cids else 0
+        V = self.V
+        # ---- static topology tables
+        self.is_pe = np.zeros(V, dtype=bool)
+        self.pe_order = np.full(V, V + 1, dtype=np.int64)
+        self.pe_coord: List[Optional[tuple]] = [None] * V
+        for i, (coord, (cid, _)) in enumerate(eng._pe_inputs):
+            self.is_pe[cid] = True
+            self.pe_order[cid] = i
+            self.pe_coord[cid] = coord
+        self.el_of: List[Optional[tuple]] = [None] * V
+        for (cid, _), el in eng._element_of_input.items():
+            self.el_of[cid] = el
+        self.chan_src: List[Optional[tuple]] = [None] * V
+        for (cid, _), vc in eng.vcs.items():
+            self.chan_src[cid] = vc.channel.src
+        self.coords = list(eng.topo.node_coords())
+        self.pe_slot = {c: p for p, c in enumerate(self.coords)}
+        self.inj_cid = {c: key[0] for c, key in eng._inj_key.items()}
+        P = len(self.coords)
+        # ---- mutable fabric arrays
+        self.buf_pid = np.zeros((V, self.cap), dtype=np.int64)
+        self.buf_kind = np.zeros((V, self.cap), dtype=np.int64)
+        self.buf_seq = np.zeros((V, self.cap), dtype=np.int64)
+        self.buf_start = np.zeros(V, dtype=np.int64)
+        self.buf_len = np.zeros(V, dtype=np.int64)
+        self.owner = np.full(V, -1, dtype=np.int64)
+        self.route_cand = np.zeros(V, dtype=bool)
+        self.eject_pend = np.zeros(V, dtype=bool)
+        self.pend_cin = np.zeros(V, dtype=bool)
+        self.busy_delta = np.zeros(V, dtype=np.int64)
+        # fabric connections, indexed by input channel cid
+        self.fc_alive = np.zeros(V, dtype=bool)
+        self.fc_pid = np.zeros(V, dtype=np.int64)
+        self.fc_cout = np.full(V, -1, dtype=np.int64)
+        self.fc_order = np.zeros(V, dtype=np.int64)
+        self.fc_started = np.zeros(V, dtype=np.int64)
+        # injection connections, indexed by PE slot
+        self.ic_alive = np.zeros(P, dtype=bool)
+        self.ic_pid = np.zeros(P, dtype=np.int64)
+        self.ic_cout = np.zeros(P, dtype=np.int64)
+        self.ic_sent = np.zeros(P, dtype=np.int64)
+        self.ic_len = np.zeros(P, dtype=np.int64)
+        self.ic_order = np.zeros(P, dtype=np.int64)
+        self.ic_started = np.zeros(P, dtype=np.int64)
+        self.ic_packet: List[Optional[object]] = [None] * P
+        self.pending: List[_PendRec] = []
+        self.any_count = 0
+        self.hdr_by_pid: dict = {}
+        self.order_counter = 0
+        self.nconns = 0
+        self.flit_moves = 0
+        self.last_progress = 0
+        self.fallback_reason: Optional[str] = None
+
+    # ----------------------------------------------------------- lifecycle
+    def _no(self, reason: str) -> bool:
+        self.fallback_reason = reason
+        return False
+
+    def materialize(self) -> bool:
+        """Fill the arrays from the engine's object state.  Returns False
+        (with :attr:`fallback_reason` set) when the state needs a scalar
+        driver; nothing is mutated in that case."""
+        eng = self.eng
+        if eng.config.num_vcs != 1:
+            return self._no("num_vcs > 1")
+        for name in SCALAR_HOOKS:
+            if getattr(eng.hooks, name):
+                return self._no(f"hook '{name}' subscribed")
+        if any(eng.serial_queues.values()):
+            return self._no("serialized (S-XB) request in flight")
+        for req in eng.pending:
+            if req.decision.serialize or req.reserved:
+                return self._no("partially reserved request in flight")
+            if req.decision.policy != "any" and len(req.wanted) != 1:
+                return self._no("multicast request in flight")
+        for conn in eng.connections.values():
+            if len(conn.couts) > 1:
+                return self._no("multicast connection in flight")
+        # ---- buffers and owners
+        self.buf_len[:] = 0
+        self.buf_start[:] = 0
+        self.owner[:] = -1
+        self.hdr_by_pid.clear()
+        for (cid, _), vc in eng.vcs.items():
+            self.owner[cid] = -1 if vc.owner is None else vc.owner
+            if vc.buffer:
+                for j, flit in enumerate(vc.buffer):
+                    self.buf_pid[cid, j] = flit.pid
+                    self.buf_kind[cid, j] = int(flit.kind)
+                    self.buf_seq[cid, j] = flit.seq
+                    if flit.header is not None:
+                        self.hdr_by_pid[flit.pid] = flit.header
+                self.buf_len[cid] = len(vc.buffer)
+        # ---- candidate masks
+        self.route_cand[:] = False
+        for cid, _ in eng._route_candidates:
+            self.route_cand[cid] = True
+        self.eject_pend[:] = False
+        for cid, _ in eng._eject_pending:
+            self.eject_pend[cid] = True
+        self.pend_cin[:] = False
+        for cid, _ in eng._pending_by_cin:
+            self.pend_cin[cid] = True
+        # ---- connections (dict insertion order becomes the order stamp)
+        self.fc_alive[:] = False
+        self.fc_cout[:] = -1
+        self.ic_alive[:] = False
+        for p in range(len(self.ic_packet)):
+            self.ic_packet[p] = None
+        for idx, conn in enumerate(eng.connections.values()):
+            if conn.cin is None:
+                p = self.pe_slot[conn.element[1]]
+                inf = eng.in_flight[conn.pid]
+                self.ic_alive[p] = True
+                self.ic_pid[p] = conn.pid
+                self.ic_cout[p] = conn.couts[0][0]
+                self.ic_sent[p] = conn.supply[0].seq
+                self.ic_len[p] = inf.packet.length
+                self.ic_order[p] = idx
+                self.ic_started[p] = conn.started_at
+                self.ic_packet[p] = inf.packet
+                self.hdr_by_pid.setdefault(conn.pid, inf.packet.header)
+            else:
+                cid = conn.cin[0]
+                self.fc_alive[cid] = True
+                self.fc_pid[cid] = conn.pid
+                self.fc_cout[cid] = conn.couts[0][0] if conn.couts else -1
+                self.fc_order[cid] = idx
+                self.fc_started[cid] = conn.started_at
+        self.order_counter = len(eng.connections)
+        self.nconns = len(eng.connections)
+        # ---- pending requests
+        self.pending = [
+            _PendRec(r.pid, r.cin[0], r.wanted, r.decision, r.arrived_at)
+            for r in eng.pending
+        ]
+        self.any_count = sum(
+            1 for r in self.pending if r.decision.policy == "any"
+        )
+        self.busy_delta[:] = 0
+        self.flit_moves = eng.flit_moves
+        self.last_progress = eng._last_progress
+        self.fallback_reason = None
+        return True
+
+    def sync_out(self) -> None:
+        """Write the array state back into the engine's object state,
+        byte-identical to what the scalar drivers would hold."""
+        eng = self.eng
+        cap = self.cap
+        hdr = self.hdr_by_pid
+        for (cid, _), vc in eng.vcs.items():
+            o = self.owner[cid]
+            vc.owner = None if o < 0 else int(o)
+            buf = vc.buffer
+            buf.clear()
+            n = int(self.buf_len[cid])
+            start = int(self.buf_start[cid])
+            for j in range(n):
+                s = (start + j) % cap
+                pid = int(self.buf_pid[cid, s])
+                kind = FlitKind(int(self.buf_kind[cid, s]))
+                buf.append(
+                    SimFlit(
+                        pid=pid,
+                        kind=kind,
+                        seq=int(self.buf_seq[cid, s]),
+                        header=hdr.get(pid)
+                        if kind in (FlitKind.HEAD, FlitKind.HEAD_TAIL)
+                        else None,
+                    )
+                )
+        conns = []
+        for cid in np.nonzero(self.fc_alive)[0].tolist():
+            cout = int(self.fc_cout[cid])
+            conns.append(
+                (
+                    int(self.fc_order[cid]),
+                    Connection(
+                        pid=int(self.fc_pid[cid]),
+                        element=self.el_of[cid],
+                        cin=(cid, 0),
+                        couts=() if cout < 0 else ((cout, 0),),
+                        started_at=int(self.fc_started[cid]),
+                    ),
+                )
+            )
+        for p in np.nonzero(self.ic_alive)[0].tolist():
+            packet = self.ic_packet[p]
+            supply = deque()
+            length = int(self.ic_len[p])
+            for seq in range(int(self.ic_sent[p]), length):
+                supply.append(
+                    SimFlit(
+                        pid=packet.pid,
+                        kind=_flit_kind(seq, length),
+                        seq=seq,
+                        header=packet.header if seq == 0 else None,
+                    )
+                )
+            conns.append(
+                (
+                    int(self.ic_order[p]),
+                    Connection(
+                        pid=int(self.ic_pid[p]),
+                        element=("PE", self.coords[p]),
+                        cin=None,
+                        couts=((int(self.ic_cout[p]), 0),),
+                        supply=supply,
+                        started_at=int(self.ic_started[p]),
+                    ),
+                )
+            )
+        eng.connections.clear()
+        for _, conn in sorted(conns, key=lambda t: t[0]):
+            eng.connections[(conn.element, conn.cin)] = conn
+        eng.pending = [
+            PendingRequest(
+                pid=r.pid,
+                element=self.el_of[r.cin],
+                cin=(r.cin, 0),
+                decision=r.decision,
+                wanted=r.wanted,
+                arrived_at=r.arrived,
+            )
+            for r in self.pending
+        ]
+        eng._pending_by_cin = {r.cin for r in eng.pending}
+        eng._route_candidates = {
+            (int(c), 0) for c in np.nonzero(self.route_cand)[0]
+        }
+        eng._eject_pending = {
+            (int(c), 0) for c in np.nonzero(self.eject_pend)[0]
+        }
+        for cid in np.nonzero(self.busy_delta)[0].tolist():
+            eng.channel_busy[cid] = eng.channel_busy.get(cid, 0) + int(
+                self.busy_delta[cid]
+            )
+        self.busy_delta[:] = 0
+        eng.flit_moves = self.flit_moves
+        eng._last_progress = self.last_progress
+
+    # -------------------------------------------------------------- driver
+    def drive(self, horizon: int, until_drained: bool) -> str:
+        """Run cycles until an exit condition; always leaves the engine's
+        object state canonical.  Returns ``"done"`` (drained / horizon /
+        caller should re-check), ``"stalled"`` (the watchdog condition
+        holds -- the engine's run loop diagnoses and recovers), or
+        ``"bail"`` (unsupported state; :attr:`fallback_reason` says why;
+        the active driver picks the cycle up mid-flight)."""
+        eng = self.eng
+        if not self.materialize():
+            return "bail"
+        stall_limit = eng.config.stall_limit
+        while eng.cycle < horizon:
+            if (
+                until_drained
+                and not eng.pending_work()
+                and not eng.generators
+            ):
+                break
+            if self._idle():
+                target = eng._next_event_cycle(horizon)
+                if target is not None and target > eng.cycle:
+                    eng.cycle = target
+                    continue
+            self.phase_eject()
+            bail = self.phase_route()
+            if bail is not None:
+                self.sync_out()
+                self.fallback_reason = bail
+                return "bail"
+            self.phase_grant()
+            self.phase_transfer()
+            self.phase_inject()
+            eng.cycle += 1
+            if (
+                eng.in_flight
+                and eng.cycle - self.last_progress >= stall_limit
+            ):
+                self.sync_out()
+                return "stalled"
+        self.sync_out()
+        return "done"
+
+    def _idle(self) -> bool:
+        eng = self.eng
+        if (
+            eng.in_flight
+            or self.nconns
+            or self.pending
+            or eng._nonempty_sources
+        ):
+            return False
+        return not (self.route_cand.any() or self.eject_pend.any())
+
+    # -------------------------------------------------------------- phases
+    def phase_eject(self) -> None:
+        e = np.nonzero(self.eject_pend)[0]
+        if e.size == 0:
+            return
+        self.eject_pend[e] = False
+        e = e[np.argsort(self.pe_order[e], kind="stable")]
+        lens = self.buf_len[e]
+        nz = lens > 0
+        if not nz.all():
+            e = e[nz]
+            lens = lens[nz]
+        if e.size == 0:
+            return
+        eng = self.eng
+        self.flit_moves += int(lens.sum())
+        self.last_progress = eng.cycle
+        cap = self.cap
+        offs = np.arange(cap)
+        slots = (self.buf_start[e][:, None] + offs[None, :]) % cap
+        kinds = self.buf_kind[e[:, None], slots]
+        valid = offs[None, :] < lens[:, None]
+        tails = valid & ((kinds == _TAIL) | (kinds == _HEAD_TAIL))
+        rows, cols = np.nonzero(tails)
+        if rows.size:
+            in_flight = eng.in_flight
+            tpids = self.buf_pid[e[rows], slots[rows, cols]]
+            for r, pid in zip(rows.tolist(), tpids.tolist()):
+                inf = in_flight.get(pid)
+                if inf is None:
+                    continue
+                coord = self.pe_coord[int(e[r])]
+                inf.deliveries += 1
+                inf.served.add(coord)
+                if inf.done:
+                    inf.packet.delivered_at = eng.cycle
+                    eng.delivered.append(inf.packet)
+                    del in_flight[pid]
+                    self.hdr_by_pid.pop(pid, None)
+        self.buf_len[e] = 0
+
+    def phase_route(self) -> Optional[str]:
+        """Route every fresh header; returns a fallback reason (bailing
+        *before* any route effect is applied) or None."""
+        cand = np.nonzero(self.route_cand)[0]
+        if cand.size == 0:
+            return None
+        pe = self.is_pe[cand]
+        if pe.any():
+            self.route_cand[cand[pe]] = False  # ejection handles PE inputs
+            cand = cand[~pe]
+        empty = self.buf_len[cand] == 0
+        if empty.any():
+            self.route_cand[cand[empty]] = False
+            cand = cand[~empty]
+        if cand.size == 0:
+            return None
+        heads = self.buf_kind[cand, self.buf_start[cand]]
+        headish = (heads == _HEAD) | (heads == _HEAD_TAIL)
+        cand = cand[headish]  # non-heads stay candidates (HoL wait)
+        if cand.size == 0:
+            return None
+        busy = self.fc_alive[cand] | self.pend_cin[cand]
+        cand = cand[~busy]  # already connected/requested: stay candidates
+        if cand.size == 0:
+            return None
+        eng = self.eng
+        pids = self.buf_pid[cand, self.buf_start[cand]]
+        cand_l = cand.tolist()
+        pids_l = pids.tolist()
+        hdr = self.hdr_by_pid
+        queries = [
+            (self.el_of[cid], self.chan_src[cid], 0, hdr[pid])
+            for cid, pid in zip(cand_l, pids_l)
+        ]
+        try:
+            decisions = decide_batch(eng.adapter, queries)
+        except Exception as exc:
+            from ..core.switch_logic import RoutingError
+
+            if isinstance(exc, RoutingError):
+                # decisions are pure: the scalar route phase will hit the
+                # same error and run the unroutable-packet kill path
+                return "unroutable packet (online reconfiguration)"
+            raise
+        # one pass, nothing committed until every decision checks out --
+        # a bail mid-batch must leave the fabric untouched (only the
+        # wanted memo fills in, and that is a pure topology cache)
+        cycle = eng.cycle
+        memo = eng._wanted_memo
+        el_of = self.el_of
+        new_recs: List[_PendRec] = []
+        new_any = 0
+        drops: List[Tuple[int, int]] = []
+        for cid, pid, d in zip(cand_l, pids_l, decisions):
+            if d.drop:
+                drops.append((cid, pid))
+                continue
+            if d.serialize:
+                return "serialized (S-XB) decision"
+            if d.policy != "any":
+                if len(d.outputs) != 1:
+                    return "multicast decision"
+            elif not d.outputs:
+                return "adaptive decision with no outputs"
+            el = el_of[cid]
+            wkey = (el, d.outputs)
+            wanted = memo.get(wkey)
+            if wanted is None:
+                wanted = tuple(
+                    (eng.topo.channel(el, out_el).cid, out_vc)
+                    for out_el, out_vc in d.outputs
+                )
+                memo[wkey] = wanted
+            new_recs.append(_PendRec(pid, cid, wanted, d, cycle))
+            if d.policy == "any":
+                new_any += 1
+        for cid, pid in drops:
+            self.fc_alive[cid] = True
+            self.fc_pid[cid] = pid
+            self.fc_cout[cid] = -1
+            self.fc_order[cid] = self.order_counter
+            self.order_counter += 1
+            self.fc_started[cid] = cycle
+            self.nconns += 1
+            inf = eng.in_flight.get(pid)
+            if inf is not None:
+                inf.dropped = True
+        self.pending.extend(new_recs)
+        self.any_count += new_any
+        self.route_cand[cand] = False
+        if new_recs:
+            self.pend_cin[
+                np.fromiter(
+                    (r.cin for r in new_recs), np.int64, count=len(new_recs)
+                )
+            ] = True
+        return None
+
+    def phase_grant(self) -> None:
+        pend = self.pending
+        if not pend:
+            return
+        if self.any_count == 0:
+            # every request is single-output "all": the sequential scan
+            # grants each free output to its first requester in arrival
+            # order, which is exactly the first-occurrence reduction
+            outs = np.fromiter(
+                (r.wanted[0][0] for r in pend), dtype=np.int64, count=len(pend)
+            )
+            free = self.owner[outs] == -1
+            if not free.any():
+                return
+            idx_free = np.nonzero(free)[0]
+            _, first = np.unique(outs[idx_free], return_index=True)
+            win = idx_free[first]
+            win.sort()  # establishment (and fc_order) in arrival order
+            wl = win.tolist()
+            wrecs = [pend[i] for i in wl]
+            n = len(wrecs)
+            cins = np.fromiter((r.cin for r in wrecs), np.int64, count=n)
+            pids = np.fromiter((r.pid for r in wrecs), np.int64, count=n)
+            wouts = outs[win]
+            self.owner[wouts] = pids
+            self.fc_alive[cins] = True
+            self.fc_pid[cins] = pids
+            self.fc_cout[cins] = wouts
+            self.fc_order[cins] = self.order_counter + np.arange(n)
+            self.order_counter += n
+            self.fc_started[cins] = self.eng.cycle
+            self.pend_cin[cins] = False
+            self.nconns += n
+            self.last_progress = self.eng.cycle
+            hdrs = self.hdr_by_pid
+            for r in wrecs:
+                h = hdrs[r.pid]
+                rc = r.decision.rc
+                if h.rc != rc:
+                    # the switch rewrites the RC bit as the header passes
+                    hdrs[r.pid] = h.with_rc(rc)
+            if n == len(pend):
+                self.pending = []
+            else:
+                wset = set(wl)
+                self.pending = [
+                    r for i, r in enumerate(pend) if i not in wset
+                ]
+            return
+        # adaptive requests present: exact scalar sequential grant
+        owner = self.owner
+        remaining = []
+        for rec in pend:
+            if rec.decision.policy == "any":
+                chosen = next(
+                    (k[0] for k in rec.wanted if owner[k[0]] == -1), None
+                )
+                if chosen is None:
+                    remaining.append(rec)
+                    continue
+                rec.wanted = ((chosen, 0),)
+                self.any_count -= 1
+                self._establish(rec, chosen)
+            else:
+                out = rec.wanted[0][0]
+                if owner[out] == -1:
+                    self._establish(rec, out)
+                else:
+                    remaining.append(rec)
+        self.pending = remaining
+
+    def _establish(self, rec: _PendRec, out: int) -> None:
+        self.owner[out] = rec.pid
+        hdr = self.hdr_by_pid[rec.pid]
+        if hdr.rc != rec.decision.rc:
+            # the switch rewrites the RC bit as the header passes
+            self.hdr_by_pid[rec.pid] = hdr.with_rc(rec.decision.rc)
+        cin = rec.cin
+        self.fc_alive[cin] = True
+        self.fc_pid[cin] = rec.pid
+        self.fc_cout[cin] = out
+        self.fc_order[cin] = self.order_counter
+        self.order_counter += 1
+        self.fc_started[cin] = self.eng.cycle
+        self.nconns += 1
+        self.pend_cin[cin] = False
+        self.last_progress = self.eng.cycle
+
+    def phase_transfer(self) -> None:
+        f = np.nonzero(self.fc_alive)[0]
+        i = np.nonzero(self.ic_alive)[0]
+        if f.size == 0 and i.size == 0:
+            return
+        cap = self.cap
+        buf_len = self.buf_len
+        fl = buf_len[f]
+        fhead_pid = self.buf_pid[f, self.buf_start[f]]
+        fsrc_ok = (fl > 0) & (fhead_pid == self.fc_pid[f])
+        fdst = self.fc_cout[f]
+        fdrop = fdst < 0
+        fdst_safe = np.where(fdrop, 0, fdst)
+        fdst_ok = fdrop | (buf_len[fdst_safe] < cap)
+        fm0 = fsrc_ok & fdst_ok
+        idst = self.ic_cout[i]
+        im0 = buf_len[idst] < cap
+        # conditional movers: blocked at phase start but enabled by an
+        # earlier-in-order mover draining their destination (or supplying
+        # their empty source), matching the scalar dict-order scan
+        fsrc_pot = (~fsrc_ok) & (fl == 0)
+        fdst_pot = (~fdst_ok) & self.fc_alive[fdst_safe] & ~fdrop
+        fcond = (~fm0) & (fsrc_ok | fsrc_pot) & (fdst_ok | fdst_pot)
+        icond = (~im0) & self.fc_alive[idst]
+        extras: List[Tuple[int, str, int]] = []
+        if fcond.any() or icond.any():
+            extras = self._resolve_conditional(
+                f, fm0, fcond, i, im0, icond
+            )
+        moved = False
+        fm = f[fm0]
+        if fm.size:
+            moved = True
+            self._apply_fabric(fm)
+        im = i[im0]
+        if im.size:
+            moved = True
+            self._apply_injection(im)
+        for _, kind, idx in extras:
+            moved = True
+            if kind == "f":
+                self._apply_fabric(np.array([idx], dtype=np.int64))
+            else:
+                self._apply_injection(np.array([idx], dtype=np.int64))
+        if moved:
+            self.last_progress = self.eng.cycle
+
+    def _resolve_conditional(self, f, fm0, fcond, i, im0, icond):
+        """Decide the order-dependent movers with one ascending pass (an
+        enabler always has a strictly smaller connection order)."""
+        V = self.V
+        filler_ord = np.full(V, -1, dtype=np.int64)
+        filler_isf = np.zeros(V, dtype=bool)
+        filler_id = np.zeros(V, dtype=np.int64)
+        fout = self.fc_cout[f]
+        fnz = f[fout >= 0]
+        filler_ord[self.fc_cout[fnz]] = self.fc_order[fnz]
+        filler_isf[self.fc_cout[fnz]] = True
+        filler_id[self.fc_cout[fnz]] = fnz
+        filler_ord[self.ic_cout[i]] = self.ic_order[i]
+        filler_id[self.ic_cout[i]] = i
+        moved_f = np.zeros(V, dtype=bool)
+        moved_f[f[fm0]] = True
+        moved_i = np.zeros(len(self.ic_alive), dtype=bool)
+        moved_i[i[im0]] = True
+        cands = [
+            (int(self.fc_order[cid]), "f", int(cid))
+            for cid in f[fcond].tolist()
+        ] + [
+            (int(self.ic_order[p]), "i", int(p)) for p in i[icond].tolist()
+        ]
+        cands.sort()
+        cap = self.cap
+        buf_len = self.buf_len
+        extras = []
+        for order_c, kind, idx in cands:
+            if kind == "f":
+                cid = idx
+                src_ok = buf_len[cid] > 0 and (
+                    self.buf_pid[cid, self.buf_start[cid]]
+                    == self.fc_pid[cid]
+                )
+                if not src_ok and buf_len[cid] == 0:
+                    fo = filler_ord[cid]
+                    if 0 <= fo < order_c:
+                        fid = int(filler_id[cid])
+                        src_ok = (
+                            moved_f[fid]
+                            if filler_isf[cid]
+                            else moved_i[fid]
+                        )
+                d = int(self.fc_cout[cid])
+                dst_ok = d < 0 or buf_len[d] < cap
+                if not dst_ok and self.fc_alive[d]:
+                    dst_ok = self.fc_order[d] < order_c and moved_f[d]
+                if src_ok and dst_ok:
+                    moved_f[cid] = True
+                    extras.append((order_c, kind, cid))
+            else:
+                p = idx
+                d = int(self.ic_cout[p])
+                dst_ok = buf_len[d] < cap
+                if not dst_ok and self.fc_alive[d]:
+                    dst_ok = self.fc_order[d] < order_c and moved_f[d]
+                if dst_ok:
+                    moved_i[p] = True
+                    extras.append((order_c, kind, p))
+        return extras
+
+    def _apply_fabric(self, fm) -> None:
+        """Move one flit through each fabric connection in ``fm`` (pops
+        before pushes, so a buffer popped and refilled in the same cycle
+        lands its newcomer behind the survivors)."""
+        cap = self.cap
+        s = self.buf_start[fm]
+        v_pid = self.buf_pid[fm, s]
+        v_kind = self.buf_kind[fm, s]
+        v_seq = self.buf_seq[fm, s]
+        self.buf_start[fm] = (s + 1) % cap
+        self.buf_len[fm] -= 1
+        d = self.fc_cout[fm]
+        push = d >= 0
+        dp = d[push]
+        if dp.size:
+            slot = (self.buf_start[dp] + self.buf_len[dp]) % cap
+            self.buf_pid[dp, slot] = v_pid[push]
+            self.buf_kind[dp, slot] = v_kind[push]
+            self.buf_seq[dp, slot] = v_seq[push]
+            self.buf_len[dp] += 1
+            self.busy_delta[dp] += 1
+            kp = v_kind[push]
+            headish = (kp == _HEAD) | (kp == _HEAD_TAIL)
+            self.route_cand[dp[headish]] = True
+            self.eject_pend[dp[self.is_pe[dp]]] = True
+        tailish = (v_kind == _TAIL) | (v_kind == _HEAD_TAIL)
+        td = fm[tailish]
+        if td.size:
+            douts = self.fc_cout[td]
+            rel = douts[douts >= 0]
+            self.owner[rel] = -1
+            self.fc_alive[td] = False
+            self.nconns -= int(td.size)
+            nonempty = self.buf_len[td] > 0
+            self.route_cand[td[nonempty]] = True
+            drops = td[douts < 0]
+            if drops.size:
+                eng = self.eng
+                for cid in drops[
+                    np.argsort(self.fc_order[drops], kind="stable")
+                ].tolist():
+                    pid = int(self.fc_pid[cid])
+                    inf = eng.in_flight.pop(pid, None)
+                    if inf is not None:
+                        eng.dropped.append(inf.packet)
+                    self.hdr_by_pid.pop(pid, None)
+        self.flit_moves += int(fm.size)
+
+    def _apply_injection(self, im) -> None:
+        cap = self.cap
+        seq = self.ic_sent[im]
+        ln = self.ic_len[im]
+        kind = np.where(
+            ln == 1,
+            _HEAD_TAIL,
+            np.where(
+                seq == 0, _HEAD, np.where(seq == ln - 1, _TAIL, _BODY)
+            ),
+        )
+        d = self.ic_cout[im]
+        slot = (self.buf_start[d] + self.buf_len[d]) % cap
+        self.buf_pid[d, slot] = self.ic_pid[im]
+        self.buf_kind[d, slot] = kind
+        self.buf_seq[d, slot] = seq
+        self.buf_len[d] += 1
+        self.busy_delta[d] += 1
+        headish = (kind == _HEAD) | (kind == _HEAD_TAIL)
+        self.route_cand[d[headish]] = True
+        self.ic_sent[im] += 1
+        done = seq == ln - 1
+        t = im[done]
+        if t.size:
+            self.owner[self.ic_cout[t]] = -1
+            self.ic_alive[t] = False
+            self.nconns -= int(t.size)
+            for p in t.tolist():
+                self.ic_packet[p] = None
+        self.flit_moves += int(im.size)
+
+    def phase_inject(self) -> None:
+        eng = self.eng
+        due = eng._scheduled.pop(eng.cycle, None)
+        if due:
+            for p in due:
+                p.injected_at = eng.cycle
+                eng.send(p)
+        for gen in eng.generators:
+            gen(eng)
+        if not eng._nonempty_sources:
+            return
+        owner = self.owner
+        for coord in list(eng._nonempty_sources):
+            queue = eng.source_queues[coord]
+            if not queue:
+                eng._nonempty_sources.discard(coord)
+                continue
+            cid = self.inj_cid[coord]
+            if owner[cid] != -1:
+                continue
+            packet = queue.popleft()
+            if not queue:
+                eng._nonempty_sources.discard(coord)
+            owner[cid] = packet.pid
+            p = self.pe_slot[coord]
+            self.ic_alive[p] = True
+            self.ic_pid[p] = packet.pid
+            self.ic_cout[p] = cid
+            self.ic_sent[p] = 0
+            self.ic_len[p] = packet.length
+            self.ic_order[p] = self.order_counter
+            self.order_counter += 1
+            self.ic_started[p] = eng.cycle
+            self.ic_packet[p] = packet
+            self.nconns += 1
+            self.hdr_by_pid[packet.pid] = packet.header
+            from .fabric import InFlightPacket
+
+            eng.in_flight[packet.pid] = InFlightPacket(
+                packet=packet,
+                expected_deliveries=eng.expected_deliveries(packet),
+            )
+            eng.injected += 1
+            self.last_progress = eng.cycle
+
+
+def _flit_kind(seq: int, length: int) -> FlitKind:
+    if length == 1:
+        return FlitKind.HEAD_TAIL
+    if seq == 0:
+        return FlitKind.HEAD
+    if seq == length - 1:
+        return FlitKind.TAIL
+    return FlitKind.BODY

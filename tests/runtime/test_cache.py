@@ -39,6 +39,7 @@ class TestSpecKey:
             spec(metrics=True),
             spec(faults=(Fault.router((1, 1)),)),
             spec(label="named"),
+            spec(engine="soa"),
         ]
         keys = {spec_key(v) for v in variants}
         assert spec_key(base) not in keys

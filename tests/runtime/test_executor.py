@@ -59,6 +59,20 @@ class TestRunSpec:
         assert d["spec"]["load"] == 0.05
         assert "mean" in d["latency"]
 
+    def test_engine_field_selects_driver_not_result(self):
+        """An engine="soa" spec runs the batched kernel but must produce
+        the identical point -- the engine is part of the cached identity
+        (so a hit replays the named driver) yet never of the outcome."""
+        soa = RunSpec(load=0.1, engine="soa", **FAST).execute()
+        act = RunSpec(load=0.1, **FAST).execute()
+        d_soa, d_act = soa.to_dict(), act.to_dict()
+        for d in (d_soa, d_act):
+            d.pop("wall_time")
+            d["spec"].pop("engine")
+        assert d_soa == d_act
+        assert RunSpec(engine="soa").network_key() != RunSpec().network_key()
+        assert "engine=soa" in RunSpec(engine="soa").describe()
+
 
 class TestSpecConstructors:
     def test_load_sweep_specs(self):

@@ -125,12 +125,15 @@ class TestEngineParity:
             sim.send(p)
         # detection at cycle 208: last flit move at cycle 8, watchdog
         # fires on exactly the stall_limit-th (200th) stalled cycle (the
-        # seed engine fired one cycle later, at 209, off by one)
+        # seed engine fired one cycle later, at 209, off by one).  The
+        # flit-move count and cyclic-wait order were re-recorded when the
+        # route phase switched to sorted candidate order (grant-conflict
+        # winners are candidate-order dependent; CODE_VERSION 5).
         assert _fingerprint(sim.run(max_cycles=5000), pkts) == {
             "cycles": 208,
             "delivered": [],
-            "deadlock": (208, (0, 1)),
-            "flit_moves": 104,
+            "deadlock": (208, (1, 0)),
+            "flit_moves": 106,
             "injected": 2,
             "in_flight": 2,
         }
@@ -191,8 +194,9 @@ class TestEngineParity:
                 [(p.pid - base, p.injected_at, p.delivered_at) for p in res.delivered]
             ).encode()
         ).hexdigest()
+        # re-recorded for the sorted route-candidate order (CODE_VERSION 5)
         assert sig == (
-            "a175d78c957bf36b8030809e4bbdd0831bae6a0842c0ad76885f129026010009"
+            "5176b5de058caa8a61e52a5981f4767768ee608778214b80d00a8eb910d8556c"
         )
 
     def test_result_fingerprint_helper_is_stable(self):

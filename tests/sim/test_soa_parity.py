@@ -1,0 +1,327 @@
+"""SoA kernel vs active vs legacy: three-way byte-identical results.
+
+``SimConfig(engine="soa")`` selects the batched structure-of-arrays
+driver (:mod:`repro.sim.soa`); these tests pin its contract -- the same
+:meth:`SimResult.fingerprint` as the active driver and the legacy full
+scan on every workload, whether the kernel ran the cycles itself or
+handed them back to the scalar path mid-run.  A property-based sweep
+(hypothesis) draws random small grids, fault sets, traffic patterns and
+seeds; directed cases cover each fallback reason and the mid-run
+reconfiguration handoff.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.core.packet as packet_mod
+from repro.core import Fault, Header, Packet, RC
+from repro.core.config import DetourScheme
+from repro.sim import MDCrossbarAdapter, NetworkSimulator, SimConfig
+from repro.topology import MDCrossbar
+from repro.traffic import BernoulliInjector, uniform
+from tests.conftest import make_logic
+
+DRIVERS = ("soa", "active", "legacy")
+
+
+def reset_pids():
+    """Restart the process-global pid counter so every driver of a
+    repeat sees identical ids and fingerprints compare exactly."""
+    packet_mod._packet_ids = itertools.count(1_000_000)
+
+
+def build(driver, shape, stall_limit=400, recovery=False, **logic_kw):
+    cfg = SimConfig(
+        stall_limit=stall_limit,
+        engine="soa" if driver == "soa" else "active",
+        legacy_scan=driver == "legacy",
+        recovery=recovery,
+    )
+    return NetworkSimulator(
+        MDCrossbarAdapter(make_logic(MDCrossbar(shape), **logic_kw)), cfg
+    )
+
+
+def run_three(workload, shape, until_drained=True, **build_kw):
+    """The same workload under all three drivers; asserts fingerprint
+    identity and returns the soa-driver simulator for extra checks."""
+    results = {}
+    sims = {}
+    for driver in DRIVERS:
+        reset_pids()
+        sim = build(driver, shape, **build_kw)
+        max_cycles = workload(sim)
+        results[driver] = sim.run(
+            max_cycles=max_cycles, until_drained=until_drained
+        )
+        sims[driver] = sim
+    f = {d: results[d].fingerprint() for d in DRIVERS}
+    assert f["soa"] == f["active"], (
+        f"soa diverged from active (engine_used={sims['soa'].engine_used},"
+        f" fallback={sims['soa'].engine_fallback})"
+    )
+    assert f["active"] == f["legacy"], "active diverged from legacy"
+    assert (
+        results["soa"].recoveries == results["active"].recoveries
+        and results["soa"].recovery_victims
+        == results["active"].recovery_victims
+    )
+    return sims["soa"], results["soa"]
+
+
+# --------------------------------------------------------- fuzz sweep
+SHAPES = [(3, 2), (4, 3), (2, 2, 2), (5,), (3, 3)]
+
+
+@st.composite
+def scenarios(draw):
+    shape = draw(st.sampled_from(SHAPES))
+    coords = sorted(MDCrossbar(shape).node_coords())
+    n_faults = draw(st.integers(0, 1 if len(shape) < 2 else 2))
+    faulted = draw(
+        st.lists(
+            st.sampled_from(coords),
+            min_size=n_faults,
+            max_size=n_faults,
+            unique=True,
+        )
+    )
+    live = [c for c in coords if c not in faulted]
+    naive = draw(st.booleans())
+    n_sends = draw(st.integers(1, 12))
+    sends = []
+    for _ in range(n_sends):
+        src = draw(st.sampled_from(live))
+        kind = draw(st.sampled_from(("p2p", "p2p", "p2p", "bcast", "sbcast")))
+        if kind == "p2p":
+            dest = draw(st.sampled_from(coords))  # dead dests: drop path
+            rc = RC.NORMAL
+        else:
+            dest = src
+            rc = RC.BROADCAST if kind == "bcast" else RC.BROADCAST_REQUEST
+        sends.append(
+            (
+                src,
+                dest,
+                rc,
+                draw(st.integers(1, 10)),  # length
+                draw(st.integers(0, 6)),  # at_cycle
+            )
+        )
+    load = draw(st.sampled_from((0.0, 0.1, 0.4, 0.8)))
+    seed = draw(st.integers(0, 2**16))
+    recovery = draw(st.booleans())
+    return shape, tuple(faulted), naive, tuple(sends), load, seed, recovery
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenarios())
+def test_fuzzed_three_way_parity(scenario):
+    shape, faulted, naive, sends, load, seed, recovery = scenario
+    logic_kw = {}
+    if faulted:
+        logic_kw["fault"] = [Fault.router(c) for c in faulted]
+    if naive:
+        logic_kw["detour_scheme"] = DetourScheme.NAIVE
+
+    def workload(sim):
+        for src, dest, rc, length, at in sends:
+            sim.send(
+                Packet(Header(source=src, dest=dest, rc=rc), length=length),
+                at_cycle=at,
+            )
+        if load:
+            sim.add_generator(
+                BernoulliInjector(
+                    load=load, pattern=uniform, seed=seed, stop_at=60
+                )
+            )
+        return 3000
+
+    try:
+        run_three(workload, shape, recovery=recovery, **logic_kw)
+    except ValueError:
+        # an infeasible fault configuration is rejected while building
+        # the switch logic, before any driver is involved -- every
+        # driver sees the identical rejection, so there is no parity
+        # left to check
+        pass
+
+
+# ----------------------------------------------------- directed cases
+def test_pure_p2p_runs_in_kernel():
+    def workload(sim):
+        sim.add_generator(
+            BernoulliInjector(load=0.3, pattern=uniform, seed=7, stop_at=150)
+        )
+        return 1500
+
+    sim, _ = run_three(workload, (4, 3), until_drained=False)
+    assert sim.engine_used == "soa"
+    assert sim.engine_fallback is None
+
+
+def test_broadcast_falls_back_with_reason():
+    from repro.core.config import BroadcastMode
+
+    def workload(sim):
+        sim.send(
+            Packet(
+                Header(source=(2, 1), dest=(2, 1), rc=RC.BROADCAST), length=6
+            )
+        )
+        return 2000
+
+    sim, _ = run_three(
+        workload, (4, 3), broadcast_mode=BroadcastMode.NAIVE
+    )
+    assert sim.engine_used == "active"
+    assert sim.engine_fallback == "multicast decision"
+
+
+def test_serialized_broadcast_falls_back():
+    def workload(sim):
+        sim.send(
+            Packet(
+                Header(
+                    source=(3, 2), dest=(3, 2), rc=RC.BROADCAST_REQUEST
+                ),
+                length=6,
+            )
+        )
+        return 2000
+
+    sim, _ = run_three(workload, (4, 3))
+    assert sim.engine_used == "active"
+    assert sim.engine_fallback == "serialized (S-XB) decision"
+
+
+def test_subscribed_hook_forces_scalar_path():
+    reset_pids()
+    sim = build("soa", (4, 3))
+    sim.hooks.deliver.append(lambda *a: None)
+    sim.send(Packet(Header(source=(0, 0), dest=(3, 2)), length=4))
+    res = sim.run()
+    assert sim.engine_used == "active"
+    assert sim.engine_fallback == "hook 'deliver' subscribed"
+    reset_pids()
+    ref = build("active", (4, 3))
+    ref.send(Packet(Header(source=(0, 0), dest=(3, 2)), length=4))
+    assert res.fingerprint() == ref.run().fingerprint()
+
+
+def test_terminal_hooks_stay_in_kernel():
+    """deadlock/recovery hooks fire outside the cycle loop: no fallback."""
+    reset_pids()
+    sim = build("soa", (4, 3))
+    sim.hooks.deadlock.append(lambda *a: None)
+    sim.hooks.recovery.append(lambda *a: None)
+    sim.send(Packet(Header(source=(0, 0), dest=(3, 2)), length=4))
+    sim.run()
+    assert sim.engine_used == "soa"
+
+
+def test_fig9_recovery_parity():
+    def workload(sim):
+        sim.send(
+            Packet(
+                Header(source=(3, 2), dest=(3, 2), rc=RC.BROADCAST_REQUEST),
+                length=6,
+            ),
+            at_cycle=0,
+        )
+        for src, dest, at in (
+            ((0, 0), (2, 2), 1),
+            ((1, 0), (3, 1), 1),
+            ((0, 1), (1, 2), 2),
+        ):
+            sim.send(Packet(Header(source=src, dest=dest), length=6), at_cycle=at)
+        return 20_000
+
+    _, res = run_three(
+        workload,
+        (4, 3),
+        recovery=True,
+        stall_limit=200,
+        fault=Fault.router((2, 0)),
+        detour_scheme=DetourScheme.NAIVE,
+    )
+    assert res.recoveries > 0
+
+
+def test_midrun_fault_reconfiguration_parity():
+    results = {}
+    for driver in DRIVERS:
+        reset_pids()
+        sim = build(driver, (4, 4), stall_limit=300)
+        sim.add_generator(
+            BernoulliInjector(load=0.4, pattern=uniform, seed=5, stop_at=200)
+        )
+        sim.run(max_cycles=55, until_drained=False)
+        sim.inject_fault(Fault.router((2, 2)))
+        results[driver] = sim.run(
+            max_cycles=8000, until_drained=False
+        ).fingerprint()
+    assert results["soa"] == results["active"] == results["legacy"]
+    # the dead destination exercised the kernel's drop-connection path
+    assert results["soa"][2]  # dropped pids non-empty
+
+
+def test_adaptive_any_policy_runs_in_kernel():
+    """The full-mesh scheme issues policy="any" grant requests with a
+    single VC -- the kernel's sequential adaptive grant branch."""
+    from repro.routing import make_scheme
+
+    results = {}
+    for driver in DRIVERS:
+        reset_pids()
+        sch = make_scheme("fullmesh_novc", (8,))
+        cfg = SimConfig(
+            num_vcs=sch.num_vcs,
+            stall_limit=400,
+            engine="soa" if driver == "soa" else "active",
+            legacy_scan=driver == "legacy",
+        )
+        sim = NetworkSimulator(sch.adapter, cfg)
+        sim.add_generator(
+            BernoulliInjector(load=0.7, pattern=uniform, seed=11, stop_at=300)
+        )
+        results[driver] = (
+            sim.run(max_cycles=2000, until_drained=False).fingerprint(),
+            sim.engine_used,
+        )
+    assert results["soa"][0] == results["active"][0] == results["legacy"][0]
+    assert results["soa"][1] == "soa"
+
+
+def test_multi_vc_scheme_falls_back():
+    from repro.routing import make_scheme
+
+    reset_pids()
+    sch = make_scheme("torus", (4, 4))
+    sim = NetworkSimulator(
+        sch.adapter,
+        SimConfig(num_vcs=sch.num_vcs, stall_limit=400, engine="soa"),
+    )
+    sim.send(Packet(Header(source=(0, 0), dest=(2, 2)), length=4))
+    sim.run()
+    assert sim.engine_used == "active"
+    assert sim.engine_fallback == "num_vcs > 1"
+
+
+def test_engine_used_reports_legacy_scan():
+    reset_pids()
+    sim = NetworkSimulator(
+        MDCrossbarAdapter(make_logic(MDCrossbar((4, 3)))),
+        SimConfig(legacy_scan=True, engine="soa"),
+    )
+    sim.send(Packet(Header(source=(0, 0), dest=(3, 2)), length=4))
+    sim.run()
+    assert sim.engine_used == "legacy_scan"
+
+
+def test_invalid_engine_rejected():
+    with pytest.raises(ValueError):
+        SimConfig(engine="vectorized")
