@@ -1,6 +1,11 @@
 """E19 (paper Sections 1/4/6): what the facility buys in system
 reliability -- MTTF without the facility, with the paper's single-fault
-facility, and with the multi-fault extension."""
+facility, and with the multi-fault extension.
+
+The extended column comes from the campaign engine
+(:mod:`repro.analysis.campaign`) -- the same estimator the ``repro
+campaign`` CLI and the ``campaign_reliability`` bench case use, so this
+table cannot drift from a second reliability implementation."""
 
 from repro.analysis import mttf_comparison
 
@@ -8,7 +13,9 @@ from repro.analysis import mttf_comparison
 def test_e19_mttf_comparison(benchmark, report):
     def kernel():
         return {
-            shape: mttf_comparison(shape, samples=150, seed=13)
+            shape: mttf_comparison(
+                shape, samples=150, seed=13, engine="campaign"
+            )
             for shape in [(4, 3), (4, 4)]
         }
 

@@ -36,6 +36,15 @@ from .reliability import (
     mttf_single_fault_facility,
     simulate_extended_facility,
 )
+from .campaign import (
+    CampaignCheckpoint,
+    CampaignResult,
+    CampaignSpec,
+    SwitchUniverse,
+    campaign_mttf_estimate,
+    run_campaign,
+    wilson_interval,
+)
 from .properties import (
     NetworkProfile,
     comparison_table,
@@ -45,6 +54,13 @@ from .properties import (
 )
 
 __all__ = [
+    "CampaignCheckpoint",
+    "CampaignResult",
+    "CampaignSpec",
+    "SwitchUniverse",
+    "campaign_mttf_estimate",
+    "run_campaign",
+    "wilson_interval",
     "ChannelBudget",
     "ConflictStats",
     "EmbeddingReport",

@@ -60,7 +60,11 @@ from .traffic import BernoulliInjector, uniform
 #: SR2201 machine under the batched SoA engine vs the active driver
 #: (``speedup_vs_active``/``soa_drift``/``engine_used``), with a
 #: faulted detour leg riding in the identity hash.
-BENCH_SCHEMA = 7
+#: schema 8: the ``campaign_reliability`` runner case -- the streaming
+#: Monte-Carlo campaign engine on the full machine vs the scalar
+#: per-sample loop (``samples``/``samples_per_sec``/``speedup_vs_loop``)
+#: with a chunking/jobs-invariant ``identity_sha256``.
+BENCH_SCHEMA = 8
 
 #: simulated quantities that must be bit-identical between runs of a case
 #: (compared only where present; runner cases carry a subset plus their
@@ -81,6 +85,7 @@ DETERMINISTIC_FIELDS = (
     "ledger_records",
     "ledger_identity_sha256",
     "engine_used",
+    "samples",
 )
 
 
@@ -857,6 +862,134 @@ def _run_machine_2048(repeats: int = 3, rounds: int = 20) -> Dict:
     }
 
 
+#: samples in the campaign_reliability bench campaign -- big enough
+#: that the vectorized kernel's per-block fixed costs are amortized,
+#: small enough for three best-of repeats in CI
+CAMPAIGN_BENCH_SAMPLES = 100_000
+
+#: samples in the scalar-loop reference leg -- enough wall time (~25ms)
+#: that the rate measurement is not timer noise, still a rounding error
+#: next to the campaign legs
+CAMPAIGN_LOOP_SAMPLES = 100
+
+#: in-run floor for campaign-vs-loop throughput; ISSUE 10 demands >= 20x
+#: and the kernel delivers >100x, so the floor only trips when the
+#: vectorized path breaks (machine-independent ratio, like
+#: ``speedup_vs_legacy``)
+CAMPAIGN_SPEEDUP_FLOOR = 20.0
+
+
+def _run_campaign_reliability(repeats: int = 3) -> Dict:
+    """Measure the Monte-Carlo campaign engine on the full machine.
+
+    Three legs: (a) the serial campaign -- ``CAMPAIGN_BENCH_SAMPLES``
+    fault-placement walks on the 16x16x8 SR2201 through the vectorized
+    block kernel, best-of-``repeats``; (b) the same campaign fanned over
+    2 workers, whose merged estimate must hash identically to the serial
+    one (the chunking/jobs-invariance contract, asserted in-run); (c)
+    the scalar per-sample loop (``simulate_extended_facility``) as the
+    throughput reference.  ``speedup_vs_loop`` is an in-run,
+    machine-independent ratio with a hard ``CAMPAIGN_SPEEDUP_FLOOR``;
+    ``identity_sha256`` is the campaign's own chunking-invariant
+    estimate hash, exact-matched against the baseline."""
+    from .analysis.campaign import CampaignSpec, run_campaign
+    from .analysis.reliability import simulate_extended_facility
+
+    repeats = max(1, repeats)
+    spec = CampaignSpec(shape=MACHINE_SHAPE, samples=CAMPAIGN_BENCH_SAMPLES)
+
+    serial_wall = float("inf")
+    serial = None
+    for _ in range(repeats):
+        result = run_campaign(spec, jobs=1)
+        if serial is not None and (
+            result.identity_sha256 != serial.identity_sha256
+        ):
+            raise AssertionError(
+                "campaign_reliability: serial campaign drifted between "
+                "repeats (determinism bug)"
+            )
+        serial_wall = min(serial_wall, result.wall_s)
+        serial = result
+
+    fanout = run_campaign(spec, jobs=2)
+    if fanout.identity_sha256 != serial.identity_sha256:
+        raise AssertionError(
+            "campaign_reliability: jobs=2 campaign drifted from the "
+            "serial estimate (chunking-invariance bug)"
+        )
+
+    loop_wall = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        simulate_extended_facility(
+            MACHINE_SHAPE, samples=CAMPAIGN_LOOP_SAMPLES, seed=spec.seed
+        )
+        loop_wall = min(loop_wall, time.perf_counter() - t0)
+
+    def _speedup() -> float:
+        return round(
+            (spec.samples / serial_wall)
+            / (CAMPAIGN_LOOP_SAMPLES / loop_wall),
+            3,
+        )
+
+    if _speedup() < CAMPAIGN_SPEEDUP_FLOOR:
+        # a transient load spike on a shared CI box can shave the
+        # margin; re-measure both legs once (folding into the bests)
+        # before calling it a regression -- a genuinely slow kernel
+        # fails both times
+        extra = run_campaign(spec, jobs=1)
+        serial_wall = min(serial_wall, extra.wall_s)
+        t0 = time.perf_counter()
+        simulate_extended_facility(
+            MACHINE_SHAPE, samples=CAMPAIGN_LOOP_SAMPLES, seed=spec.seed
+        )
+        loop_wall = min(loop_wall, time.perf_counter() - t0)
+    speedup = _speedup()
+    if speedup < CAMPAIGN_SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"campaign_reliability: kernel is only {speedup}x the scalar "
+            f"loop (floor {CAMPAIGN_SPEEDUP_FLOOR}x) -- vectorized "
+            f"sampling path regressed"
+        )
+    samples_per_sec = spec.samples / serial_wall
+    loop_rate = CAMPAIGN_LOOP_SAMPLES / loop_wall
+
+    est = serial.estimate()
+    # "cycles" for this runner case = total fault-injection steps walked
+    # across the campaign (deterministic given the seed, like the engine
+    # cases' cycle counts); "delivered" = completed sample walks.
+    steps = serial.state.survived_sum
+    return {
+        "description": (
+            f"{spec.samples}-sample reliability campaign on the full "
+            f"16x16x8 SR2201: vectorized block kernel (serial + 2-worker "
+            f"fanout, identical estimates) vs the scalar per-sample loop"
+        ),
+        "repeats": repeats,
+        "shape": "x".join(map(str, spec.shape)),
+        "samples": spec.samples,
+        "blocks": serial.blocks_done,
+        "block_samples": spec.block_samples,
+        "cycles": steps,
+        "delivered": spec.samples,
+        "deadlocked": False,
+        "cycles_per_sec": (
+            round(steps / serial_wall, 1) if serial_wall > 0 else 0.0
+        ),
+        "wall_time_s": round(serial_wall, 6),
+        "fanout_wall_s": round(fanout.wall_s, 6),
+        "samples_per_sec": round(samples_per_sec, 1),
+        "loop_samples_per_sec": round(loop_rate, 1),
+        "speedup_vs_loop": speedup,
+        "mean_mttf": est.mean,
+        "std_error": est.std_error,
+        "mean_faults_survived": round(est.mean_faults_survived, 4),
+        "identity_sha256": serial.identity_sha256,
+    }
+
+
 #: the pinned suite; order is the report order
 BENCH_CASES: Tuple[BenchCase, ...] = (
     BenchCase(
@@ -910,6 +1043,13 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         True,
         runner=_run_machine_2048,
         profile=_profile_machine_2048,
+    ),
+    BenchCase(
+        "campaign_reliability",
+        "100k-sample Monte-Carlo reliability campaign on the full "
+        "machine: block kernel vs scalar loop, jobs-invariant",
+        True,
+        runner=_run_campaign_reliability,
     ),
     BenchCase(
         "p2p_8x8_mid",
@@ -1092,11 +1232,12 @@ def load_bench(path: str) -> Dict:
         4,
         5,
         6,
+        7,
         BENCH_SCHEMA,
     ):
         raise ValueError(
-            f"{path} is not a schema-1/2/3/4/5/6/{BENCH_SCHEMA} bench file "
-            f"(kind={doc.get('kind')!r}, schema={doc.get('schema')!r})"
+            f"{path} is not a schema-1/2/3/4/5/6/7/{BENCH_SCHEMA} bench "
+            f"file (kind={doc.get('kind')!r}, schema={doc.get('schema')!r})"
         )
     return doc
 
@@ -1178,6 +1319,7 @@ def compare_bench(
         for ratio, desc in (
             ("speedup_vs_legacy", "fast-vs-legacy"),
             ("speedup_vs_active", "SoA-vs-active"),
+            ("speedup_vs_loop", "campaign-vs-loop"),
         ):
             old_speedup = old_case.get(ratio)
             new_speedup = new_case.get(ratio)
@@ -1262,6 +1404,15 @@ def render_bench(doc: Dict) -> str:
                 f"delivered={c['delivered']} "
                 f"vs_active={c['speedup_vs_active']:.2f}x "
                 f"detour={c['detour_delivered']}{drift}"
+            )
+            continue
+        if "samples_per_sec" in c:  # runner case (campaign_reliability)
+            lines.append(
+                f"  {name:<18} {c['samples']:>6} samples in "
+                f"{c['wall_time_s']:.3f}s "
+                f"({c['samples_per_sec']:>10.1f} samples/s)  "
+                f"vs_loop={c['speedup_vs_loop']:.1f}x "
+                f"survives={c['mean_faults_survived']}"
             )
             continue
         if "specs" in c:  # runner case (sweep_fanout); wall_time_s = warm leg

@@ -405,6 +405,106 @@ def cmd_sweep(args) -> int:
     return 1 if any(r.point.deadlocked for r in results) else 0
 
 
+def cmd_campaign(args) -> int:
+    import contextlib
+    import json as _json
+
+    from .analysis.campaign import CampaignSpec, run_campaign
+    from .analysis.reliability import (
+        mttf_no_facility,
+        mttf_single_fault_facility,
+    )
+    from .obs import LiveDashboard, SweepLedger
+    from .routing import resolve_scheme
+
+    # fail fast, before any worker spawns: the campaign models the
+    # md-crossbar fault facility, so the scheme must both resolve in the
+    # registry and be one the R1/R2 oracle covers (CampaignSpec rejects
+    # e.g. hyperx_ft, which routes md-crossbar but has no S-XB facility)
+    kind, scheme = resolve_scheme("", args.scheme)
+    if kind != "md-crossbar":
+        from .core.config import ConfigError
+
+        raise ConfigError(
+            f"reliability campaigns model the md-crossbar facility; "
+            f"scheme {scheme!r} routes {kind!r}"
+        )
+    spec = CampaignSpec(
+        shape=args.shape,
+        samples=args.samples,
+        seed=args.seed,
+        rate=args.rate,
+        max_faults=args.max_faults,
+        scheme=scheme,
+        block_samples=args.block,
+    ).validated()
+    sink_cm = (
+        open(args.ledger, "w")
+        if args.ledger
+        else contextlib.nullcontext(None)
+    )
+    with sink_cm as sink:
+        ledger = (
+            SweepLedger(sink=sink) if (args.ledger or args.live) else None
+        )
+        dash = LiveDashboard(spec.num_blocks) if args.live else None
+        result = run_campaign(
+            spec,
+            jobs=args.jobs,
+            ledger=ledger,
+            progress=dash.progress if dash else None,
+        )
+    if dash is not None:
+        dash.finish(ledger=ledger)
+    est = result.estimate()
+    rate_s = result.samples_done / result.wall_s if result.wall_s else 0.0
+    print(
+        f"ran {result.samples_done} samples in {result.blocks_done} "
+        f"block(s) on {result.workers} worker(s) in {result.chunks} "
+        f"chunk(s), {result.wall_s:.2f}s ({rate_s:,.0f} samples/s)",
+        file=sys.stderr,
+    )
+    if args.ledger:
+        print(
+            f"ledger: {len(ledger)} record(s) -> {args.ledger}",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(_json.dumps(result.to_dict(), indent=2))
+        return 0
+    from .topology.mdcrossbar import MDCrossbar
+
+    n = len(MDCrossbar(spec.shape).switch_elements())
+    base = mttf_no_facility(n, spec.rate)
+    shape_s = "x".join(map(str, spec.shape))
+    print(
+        f"reliability campaign: {shape_s} ({n} switches), "
+        f"{spec.samples} samples, seed {spec.seed}, "
+        f"scheme {spec.scheme}, blocks of {spec.block_samples}"
+    )
+    print(f"no facility     : MTTF {base:.6f}  (1.00x)")
+    single = mttf_single_fault_facility(n, spec.rate)
+    print(f"paper facility  : MTTF {single:.6f}  ({single / base:.2f}x)")
+    print(
+        f"extended (multi): {est.row()} ({est.mean / base:.2f}x)"
+    )
+    print(f"identity: {result.identity_sha256}")
+    table = result.disconnect_table()
+    if table:
+        print("P(disconnect | k faults), Wilson 95%:")
+        print("  k    trials  disconnects      p      [lo, hi]")
+        shown = table[:20]
+        for row in shown:
+            print(
+                f"  {row['k']:<4d} {row['trials']:>7d}  {row['disconnects']:>11d}  "
+                f"{row['p']:.4f}  [{row['wilson_lo']:.4f}, "
+                f"{row['wilson_hi']:.4f}]"
+            )
+        if len(table) > len(shown):
+            print(f"  ... {len(table) - len(shown)} more row(s), see --json")
+    return 0
+
+
 def cmd_trace(args) -> int:
     import contextlib
 
@@ -1110,6 +1210,40 @@ def build_parser() -> argparse.ArgumentParser:
                         "ETA, deadlocks) with closing per-worker "
                         "utilization bars")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="Monte-Carlo reliability campaign (streaming, chunkable)",
+    )
+    p.add_argument("--shape", type=parse_shape, default=(4, 3),
+                   help="e.g. 4x3 or 16x16x8 (the full SR2201)")
+    p.add_argument("--samples", type=int, default=100_000,
+                   help="fault-placement samples (default: 100000)")
+    p.add_argument("--seed", type=int, default=13,
+                   help="campaign seed; block b draws from "
+                        "SeedSequence(seed, spawn_key=(b,)) so results "
+                        "never depend on chunking or --jobs")
+    p.add_argument("--rate", type=float, default=1.0,
+                   help="per-switch exponential failure rate")
+    p.add_argument("--max-faults", type=int, default=None,
+                   help="stop each walk at this many accumulated faults "
+                        "(default: run to infeasibility)")
+    p.add_argument("--block", type=int, default=16384,
+                   help="samples per sampling block -- the RNG/reduction "
+                        "unit, part of the campaign identity")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: in-process serial; "
+                        "any value yields the identical estimate)")
+    _add_scheme(p)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable estimate + per-k disconnect "
+                        "table on stdout")
+    p.add_argument("--ledger", metavar="PATH",
+                   help="write campaign_start/campaign_chunk/campaign_end "
+                        "records to the schema-versioned JSONL run ledger")
+    p.add_argument("--live", action="store_true",
+                   help="live block-progress dashboard on stderr")
+    p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser(
         "trace", help="capture a structured JSONL event trace of one run"

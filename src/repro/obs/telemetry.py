@@ -56,7 +56,28 @@ kind                fields
 ``sweep_error``      ``run``, ``error`` (the failed run's exception;
                      replaces the run's ``spec_done``/``sweep_end``
                      records -- a failed run records only this)
+``campaign_start``   (schema 2) the :class:`CampaignSpec` fields --
+                     ``shape``, ``samples``, ``seed``, ``rate``,
+                     ``max_faults``, ``scheme``, ``block_samples`` --
+                     plus ``blocks`` (total), ``first_block``/
+                     ``last_block`` (the block range this invocation
+                     covers; a resume starts past 0), ``jobs``,
+                     ``workers`` (effective), ``chunks`` (planned)
+``campaign_chunk``   (schema 2) ``chunk`` (0-based), ``first_block``/
+                     ``last_block``, ``samples`` (in the chunk),
+                     ``worker`` (pid, None in-process), ``wall_s``;
+                     written in completion order -- chunk progress is
+                     runtime, not result, so the whole kind is stripped
+``campaign_end``     (schema 2) ``samples``, ``blocks`` (folded so
+                     far), ``mean_mttf``, ``std_error`` (None when one
+                     sample), ``mean_faults_survived``,
+                     ``identity_sha256`` (the chunking/jobs-invariant
+                     estimate hash), ``wall_s``
 =================== =====================================================
+
+Schema history: 1 -- the original sweep-session record set; 2 -- adds
+the ``campaign_start``/``campaign_chunk``/``campaign_end`` kinds for
+:mod:`repro.analysis.campaign` (schema-1 ledgers remain readable).
 
 **Identity rules.**  Everything a ledger records splits into *what* the
 sweep computed -- the specs and their deterministic outcomes -- and *how*
@@ -93,12 +114,12 @@ from typing import Deque, Dict, IO, Iterable, List, NamedTuple, Optional, Tuple
 from collections import deque
 
 #: bump when a record kind gains/loses/renames a field
-LEDGER_SCHEMA_VERSION = 1
+LEDGER_SCHEMA_VERSION = 2
 
 #: schema versions :func:`read_ledger` understands
-READABLE_LEDGER_VERSIONS: Tuple[int, ...] = (1,)
+READABLE_LEDGER_VERSIONS: Tuple[int, ...] = (1, 2)
 
-#: every record kind a schema-1 ledger may contain
+#: every record kind a schema-2 ledger may contain
 LEDGER_KINDS: Tuple[str, ...] = (
     "ledger_header",
     "session_open",
@@ -109,6 +130,9 @@ LEDGER_KINDS: Tuple[str, ...] = (
     "spec_done",
     "sweep_end",
     "sweep_error",
+    "campaign_start",
+    "campaign_chunk",
+    "campaign_end",
 )
 
 #: record kinds that describe how the runtime executed (placement,
@@ -121,6 +145,10 @@ RUNTIME_KINDS = frozenset(
         "chunk_dispatch",
         "chunk_done",
         "sweep_error",
+        # campaign chunk progress arrives in completion order and names
+        # workers -- placement, not result; campaign_start/_end survive
+        # stripping (minus their RUNTIME_FIELDS) as the campaign identity
+        "campaign_chunk",
     }
 )
 

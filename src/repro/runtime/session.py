@@ -641,3 +641,61 @@ class SweepSession:
             self._discard_pool()
             raise
         return done
+
+    # ---------------------------------------------------------- generic fan-out
+    def run_tasks(
+        self,
+        fn: Callable,
+        tasks: Sequence[Tuple],
+        on_result: Optional[Callable[[int, object], None]] = None,
+    ) -> int:
+        """Fan arbitrary ``fn(*task)`` calls over the warm pool.
+
+        The escape hatch for workloads that are *not* one
+        :class:`RunSpec` per unit of work -- campaign chunks push
+        thousands of Monte-Carlo samples through a single task, so the
+        per-spec pickling, cache lookup and ledger bookkeeping of
+        :meth:`run` would be pure overhead.  ``fn`` must be a
+        module-level (picklable) callable that raises on failure;
+        ``tasks`` is a sequence of argument tuples.
+
+        ``on_result(index, payload)`` fires in **completion order** --
+        callers needing a deterministic fold must reorder (see
+        :func:`repro.analysis.campaign.run_campaign`).  Failure
+        semantics mirror :meth:`run`: a worker exception cancels queued
+        tasks and discards the pool (the session stays usable); an
+        ``on_result`` exception cancels queued tasks but keeps the warm
+        pool, since the workers are healthy.  Degenerate inputs
+        (``jobs <= 1`` or a single task) run in-process.
+
+        Returns the number of tasks completed.  Unlike :meth:`run`,
+        nothing is ledgered or cached here -- callers own their own
+        telemetry.
+        """
+        tasks = list(tasks)
+        if self.effective_workers(len(tasks)) <= 1:
+            for i, task in enumerate(tasks):
+                payload = fn(*task)
+                if on_result is not None:
+                    on_result(i, payload)
+            return len(tasks)
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(fn, *task): i for i, task in enumerate(tasks)
+        }
+        try:
+            for fut in _futures.as_completed(futures):
+                payload = fut.result()
+                if on_result is not None:
+                    try:
+                        on_result(futures[fut], payload)
+                    except BaseException as exc:
+                        raise _ConsumerError(exc) from exc
+        except _ConsumerError as wrapper:
+            for f in futures:
+                f.cancel()
+            raise wrapper.cause
+        except BaseException:
+            self._discard_pool()
+            raise
+        return len(tasks)

@@ -1,5 +1,9 @@
 """Unit tests for the reliability (MTTF) model."""
 
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 import pytest
 
 from repro.analysis.reliability import (
@@ -45,6 +49,87 @@ class TestMonteCarlo:
         est = simulate_extended_facility((4, 3), samples=50, seed=9)
         assert est.std_error > 0
 
+    def test_std_error_single_sample_is_nan_without_warning(self):
+        """One observation has no spread: explicit NaN, not a
+        ddof RuntimeWarning that happens to produce one."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            est = simulate_extended_facility((4, 3), samples=1, seed=9)
+        assert math.isnan(est.std_error)
+        assert est.samples == 1
+        assert est.mean > 0
+
+
+def _legacy_simulate(shape, rate=1.0, samples=200, seed=13, max_faults=None):
+    """The pre-campaign implementation, verbatim: make_config per step,
+    full re-sort of the fault list per step.  The refactored walker must
+    reproduce it byte for byte."""
+    from repro.core.config import ConfigError, make_config
+    from repro.core.multifault import all_single_faults
+
+    rng = np.random.default_rng(seed)
+    singles = all_single_faults(shape)
+    n = len(singles)
+    cap = max_faults if max_faults is not None else n
+    times: List[float] = []
+    survived: List[int] = []
+    feasibility_cache: Dict[Tuple[int, ...], bool] = {}
+    for _ in range(samples):
+        order = rng.permutation(n)
+        t = 0.0
+        alive = n
+        faults: List[int] = []
+        death: Optional[float] = None
+        for step, idx in enumerate(order):
+            t += float(rng.exponential(1.0 / (alive * rate)))
+            alive -= 1
+            faults.append(int(idx))
+            key = tuple(sorted(faults))
+            feasible = feasibility_cache.get(key)
+            if feasible is None:
+                try:
+                    make_config(shape, faults=tuple(singles[i] for i in key))
+                    feasible = True
+                except ConfigError:
+                    feasible = False
+                feasibility_cache[key] = feasible
+            if not feasible or len(faults) >= cap:
+                death = t
+                survived.append(
+                    len(faults) - 1 if not feasible else len(faults)
+                )
+                break
+        times.append(death if death is not None else t)
+        if death is None:
+            survived.append(len(faults))
+    arr = np.asarray(times)
+    return (
+        float(arr.mean()),
+        float(arr.std(ddof=1) / np.sqrt(len(arr))),
+        float(np.mean(survived)),
+    )
+
+
+class TestLegacyParity:
+    @pytest.mark.parametrize(
+        "shape,kwargs",
+        [
+            ((4, 3), {}),
+            ((4, 3), {"seed": 5, "samples": 60}),
+            ((3, 2, 2), {"samples": 40}),
+            ((4, 3), {"max_faults": 2, "samples": 40}),
+            ((8, 1), {"samples": 30, "rate": 2.5}),
+        ],
+    )
+    def test_byte_identical_to_make_config_walker(self, shape, kwargs):
+        mean, std_error, survived = _legacy_simulate(shape, **kwargs)
+        est = simulate_extended_facility(shape, **kwargs)
+        assert est.mean == mean
+        assert est.std_error == std_error
+        assert est.mean_faults_survived == survived
+
 
 class TestComparison:
     def test_rows_and_ordering(self):
@@ -54,3 +139,12 @@ class TestComparison:
         rows = cmp.rows()
         assert any("paper facility" in r for r in rows)
         assert any("extended" in r for r in rows)
+
+    def test_campaign_engine(self):
+        cmp = mttf_comparison((4, 3), samples=500, seed=11, engine="campaign")
+        assert cmp.extended.samples == 500
+        assert cmp.no_facility < cmp.single_fault < cmp.extended.mean
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            mttf_comparison((4, 3), samples=10, engine="gpu")

@@ -466,3 +466,67 @@ class TestSessionCache:
         specs = small_specs()[:2]
         results = run_specs(specs, executor=ProcessPoolExecutor(jobs=2))
         assert [r.spec for r in results] == specs
+
+
+# ---------------------------------------------------------------- run_tasks
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"task {x} failed")
+
+
+class TestRunTasks:
+    """The generic fan-out door (campaign chunks ride through here):
+    arbitrary picklable fn over the warm pool, completion-order
+    callbacks, run()-matching failure semantics."""
+
+    def test_serial_path(self):
+        got = []
+        with SweepSession() as session:
+            n = session.run_tasks(
+                _square, [(2,), (3,), (4,)],
+                on_result=lambda i, v: got.append((i, v)),
+            )
+        assert n == 3
+        assert got == [(0, 4), (1, 9), (2, 16)]
+
+    def test_single_task_stays_in_process(self):
+        got = []
+        with SweepSession(jobs=4) as session:
+            session.run_tasks(_square, [(5,)], on_result=lambda i, v: got.append(v))
+            assert session._pool is None  # degenerate input: no pool spawned
+        assert got == [25]
+
+    def test_pooled_results_cover_every_task(self):
+        got = {}
+        with SweepSession(jobs=2) as session:
+            n = session.run_tasks(
+                _square, [(i,) for i in range(8)],
+                on_result=lambda i, v: got.__setitem__(i, v),
+            )
+        assert n == 8
+        assert got == {i: i * i for i in range(8)}
+
+    def test_worker_failure_surfaces_and_discards_pool(self):
+        with SweepSession(jobs=2) as session:
+            session.run_tasks(_square, [(1,), (2,)])
+            assert session._pool is not None
+            with pytest.raises(RuntimeError, match="failed"):
+                session.run_tasks(_boom, [(1,), (2,)])
+            assert session._pool is None
+            # the session itself stays usable
+            session.run_tasks(_square, [(1,), (2,)])
+
+    def test_consumer_failure_keeps_the_warm_pool(self):
+        def consume(i, v):
+            raise ValueError("consumer broke")
+
+        with SweepSession(jobs=2) as session:
+            session.run_tasks(_square, [(1,), (2,)])
+            pool = session._pool
+            with pytest.raises(ValueError, match="consumer broke"):
+                session.run_tasks(_square, [(1,), (2,)], on_result=consume)
+            assert session._pool is pool
